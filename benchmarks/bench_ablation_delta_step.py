@@ -1,0 +1,13 @@
+"""Ablation benchmark: adaptive trust-region α vs fixed α in the δ-step."""
+
+from repro.experiments import ablations
+
+
+def bench_ablation_delta_step(benchmark, scale, registry, run_once):
+    table = run_once(
+        benchmark, ablations.delta_step_ablation, scale=scale, registry=registry, seed=0
+    )
+    records = table.to_records()
+    adaptive = next(r for r in records if "adaptive" in r["alpha"])
+    # the adaptive linearisation must not be worse than any fixed alpha tried
+    assert all(adaptive["success rate"] >= r["success rate"] - 1e-9 for r in records)

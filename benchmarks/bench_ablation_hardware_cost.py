@@ -1,0 +1,18 @@
+"""Ablation benchmark: memory-level injection cost of the ℓ0 vs ℓ2 modification."""
+
+from repro.experiments import ablations
+
+
+def bench_ablation_hardware_cost(benchmark, scale, registry, run_once):
+    table = run_once(benchmark, ablations.hardware_cost, scale=scale, registry=registry, seed=0)
+    records = table.to_records()
+    l0_words = [r["words touched"] for r in records if r["attack"] == "l0 attack"]
+    l2_words = [r["words touched"] for r in records if r["attack"] == "l2 attack"]
+    l0_flips = [r["bit flips"] for r in records if r["attack"] == "l0 attack"]
+    l2_flips = [r["bit flips"] for r in records if r["attack"] == "l2 attack"]
+    # the l0 attack touches fewer memory words and needs fewer bit flips — the
+    # practicality argument behind the paper's l0 objective
+    assert max(l0_words) <= min(l2_words)
+    assert sum(l0_flips) < sum(l2_flips)
+    # the injected (quantised) attack still succeeds
+    assert all(r["post-injection success"] >= 0.99 for r in records if r["attack"] == "l0 attack")

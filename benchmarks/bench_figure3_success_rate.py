@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 3 (attack success rate vs S; fault tolerance)."""
+
+from repro.experiments import figure3
+
+
+def bench_figure3(benchmark, scale, registry, run_once):
+    table = run_once(benchmark, figure3.run, scale=scale, registry=registry, seed=0)
+    records = table.to_records()
+    for dataset in {r["dataset"] for r in records}:
+        rows = sorted((r for r in records if r["dataset"] == dataset), key=lambda r: r["S"])
+        # paper shape: near-perfect success for small S ...
+        assert rows[0]["success rate"] >= 0.99
+        # ... and the success rate never goes up as S keeps growing past the
+        # smallest value (allowing small fluctuations)
+        assert rows[-1]["success rate"] <= rows[0]["success rate"] + 1e-9

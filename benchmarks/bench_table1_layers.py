@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (ℓ0 norm per attacked FC layer, MNIST-like)."""
+
+from repro.experiments import table1
+
+
+def bench_table1(benchmark, scale, registry, run_once):
+    table = run_once(benchmark, table1.run, scale=scale, registry=registry, seed=0)
+    assert [row[0] for row in table.rows] == ["fc1", "fc2", "fc_logits"]
+
+    def numeric(cell):
+        return int(str(cell).rstrip("*"))
+
+    # the paper's headline shape: the last FC layer needs the fewest changes
+    first_s_column = 2
+    assert numeric(table.rows[2][first_s_column]) < numeric(table.rows[0][first_s_column])

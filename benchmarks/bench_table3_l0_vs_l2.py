@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 3 (ℓ0-based vs ℓ2-based attack norms)."""
+
+from repro.experiments import table3
+
+
+def bench_table3(benchmark, scale, registry, run_once):
+    table = run_once(benchmark, table3.run, scale=scale, registry=registry, seed=0)
+    l0_row, l2_row = table.rows
+    l0_columns = [i for i, c in enumerate(table.columns) if c.startswith("l0 (")]
+    l2_columns = [i for i, c in enumerate(table.columns) if c.startswith("l2 (")]
+    # paper shape: the l0 attack modifies fewer parameters at every (S, R) ...
+    assert all(l0_row[i] < l2_row[i] for i in l0_columns)
+    # ... while the l2 attack achieves the smaller Euclidean magnitude overall
+    assert sum(l2_row[i] for i in l2_columns) <= sum(l0_row[i] for i in l2_columns)

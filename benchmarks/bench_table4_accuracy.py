@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 4 (test accuracy after modification, both datasets)."""
+
+from repro.experiments import table4
+
+
+def bench_table4(benchmark, scale, registry, run_once):
+    table = run_once(benchmark, table4.run, scale=scale, registry=registry, seed=0)
+    records = table.to_records()
+    s_columns = [c for c in table.columns if c.startswith("S=")]
+    smallest_s = s_columns[0]
+    for dataset in {r["dataset"] for r in records}:
+        rows = [r for r in records if r["dataset"] == dataset]
+        rows.sort(key=lambda r: r["R"])
+        accuracies = [r[smallest_s] for r in rows if r[smallest_s] != "-"]
+        # paper shape: accuracy retention improves as R grows
+        assert accuracies[-1] >= accuracies[0] - 0.02
+        # and at the largest R the damage for the smallest S stays small
+        clean = rows[0]["clean accuracy"]
+        assert clean - accuracies[-1] <= 0.05

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or an ablation)
+and prints the resulting rows, so running
+
+    pytest benchmarks/ --benchmark-only
+
+both times the experiment drivers and reproduces the numbers.
+
+The grid scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(``smoke``, ``ci`` — the default, ``paper`` or ``full``).  Victim models are
+cached on disk by the model registry, so only the first run of the suite pays
+the training cost.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.zoo.registry import ModelRegistry, default_registry
+
+
+def bench_scale() -> str:
+    """Return the experiment scale used by the benchmark suite."""
+    return os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def registry() -> ModelRegistry:
+    """Process-wide registry (disk-cached) shared by all benchmarks."""
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def run_once():
+    """Return a helper running an experiment driver once under benchmark timing.
+
+    Experiment drivers take seconds to minutes, so the usual multi-round
+    calibration of pytest-benchmark is disabled; the table produced by the
+    run is printed so the benchmark output contains the paper's rows.
+    """
+
+    def _run(benchmark, func, **kwargs):
+        table = benchmark.pedantic(lambda: func(**kwargs), rounds=1, iterations=1)
+        print()
+        print(table.render("text"))
+        return table
+
+    return _run

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: sneak two faults into a small CNN and measure the damage.
+
+Pipeline demonstrated:
+
+1. generate the synthetic MNIST-like dataset and train the victim CNN
+   (cached, so re-running the example is fast),
+2. pick ``S = 2`` images to misclassify and ``R − S = 48`` images whose
+   classification must not change,
+3. run the ℓ0 fault sneaking attack on the last fully connected layer,
+4. report the modification size, the attack success and the test-accuracy
+   retention.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import evaluate_attack_result, make_attack_plan
+from repro.attacks import FaultSneakingAttack, FaultSneakingConfig
+from repro.experiments.common import get_trained_model
+
+
+def main() -> None:
+    print("Training (or loading) the MNIST-like victim model ...")
+    trained = get_trained_model("mnist_like", scale="ci", seed=0)
+    model = trained.model
+    test_set = trained.data.test
+    print(f"  clean test accuracy: {trained.test_accuracy:.3f}")
+    print(f"  model: {model.name} with {model.n_params:,} parameters")
+
+    plan = make_attack_plan(test_set, num_targets=2, num_images=50, seed=0)
+    print(f"\nAttack plan: {plan.describe()}")
+    for i in range(plan.num_targets):
+        print(
+            f"  image {i}: true label {plan.true_labels[i]} "
+            f"-> target label {plan.target_labels[i]}"
+        )
+
+    config = FaultSneakingConfig(norm="l0", layers=("fc_logits",))
+    attack = FaultSneakingAttack(model, config)
+    result = attack.attack(plan)
+    print(f"\n{result.summary()}")
+
+    evaluation = evaluate_attack_result(
+        result, test_set, clean_model=model, clean_accuracy=trained.test_accuracy
+    )
+    print("\nEvaluation against the full test set:")
+    print(f"  modified parameters (l0): {evaluation.l0_norm}")
+    print(f"  modification magnitude (l2): {evaluation.l2_norm:.3f}")
+    print(f"  attack success rate:      {evaluation.success_rate:.0%}")
+    print(f"  keep rate (R-S images):   {evaluation.keep_rate:.0%}")
+    print(
+        f"  test accuracy: {evaluation.clean_test_accuracy:.3f} -> "
+        f"{evaluation.attacked_test_accuracy:.3f} "
+        f"({evaluation.accuracy_drop_percent:.2f} point drop)"
+    )
+
+    hacked = result.modified_model()
+    predictions = hacked.predict(plan.target_images)
+    print("\nPredictions of the modified model on the target images:", predictions.tolist())
+
+
+if __name__ == "__main__":
+    main()

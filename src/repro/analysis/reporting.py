@@ -1,0 +1,143 @@
+"""Lightweight tabular reporting.
+
+Every experiment driver produces a :class:`Table`; the same object renders to
+an aligned ASCII table (what the benchmark harness prints), GitHub-flavoured
+markdown (what EXPERIMENTS.md embeds) and CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Table", "format_float", "render_text", "render_markdown", "render_csv"]
+
+
+def format_float(value, *, digits: int = 3) -> str:
+    """Format a scalar cell: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value - round(value)) < 1e-12 and abs(value) < 1e12:
+            return str(int(round(value)))
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns.
+
+    Attributes
+    ----------
+    title:
+        Table heading (e.g. ``"Table 4: test accuracy after modification"``).
+    columns:
+        Column names, in display order.
+    rows:
+        One list per row, aligned with ``columns``.
+    notes:
+        Free-form footnotes appended after the table body.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values, **named) -> None:
+        """Append a row given positionally or by column name."""
+        if values and named:
+            raise ValueError("pass the row either positionally or by name, not both")
+        if named:
+            missing = [col for col in self.columns if col not in named]
+            if missing:
+                raise ValueError(f"missing values for columns {missing}")
+            row = [named[col] for col in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    f"expected {len(self.columns)} values, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list:
+        """Return all values of one column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column named {name!r}") from exc
+        return [row[index] for row in self.rows]
+
+    def to_records(self) -> list[dict]:
+        """Return the rows as a list of dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    # -- rendering -----------------------------------------------------------------
+    def render(self, fmt: str = "text", *, digits: int = 3) -> str:
+        """Render the table as ``"text"``, ``"markdown"`` or ``"csv"``."""
+        if fmt == "text":
+            return render_text(self, digits=digits)
+        if fmt == "markdown":
+            return render_markdown(self, digits=digits)
+        if fmt == "csv":
+            return render_csv(self, digits=digits)
+        raise ValueError(f"unknown format {fmt!r}; expected text, markdown or csv")
+
+    def save(self, path: str | Path, fmt: str = "csv", *, digits: int = 6) -> Path:
+        """Write the rendered table to a file and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render(fmt, digits=digits) + "\n", encoding="utf-8")
+        return path
+
+
+def _formatted_cells(table: Table, digits: int) -> list[list[str]]:
+    return [[format_float(value, digits=digits) for value in row] for row in table.rows]
+
+
+def render_text(table: Table, *, digits: int = 3) -> str:
+    """Render an aligned plain-text table."""
+    cells = _formatted_cells(table, digits)
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells)) if cells else len(str(col))
+        for i, col in enumerate(table.columns)
+    ]
+    lines = [table.title, "=" * max(len(table.title), 1)]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(table.columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(table.columns))))
+    for note in table.notes:
+        lines.append(f"* {note}")
+    return "\n".join(lines)
+
+
+def render_markdown(table: Table, *, digits: int = 3) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    cells = _formatted_cells(table, digits)
+    lines = [f"**{table.title}**", ""]
+    lines.append("| " + " | ".join(str(c) for c in table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
+    for note in table.notes:
+        lines.append("")
+        lines.append(f"*{note}*")
+    return "\n".join(lines)
+
+
+def render_csv(table: Table, *, digits: int = 6) -> str:
+    """Render the table as CSV (no quoting of commas inside cells)."""
+    cells = _formatted_cells(table, digits)
+    lines = [",".join(str(c) for c in table.columns)]
+    lines.extend(",".join(row) for row in cells)
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""DNN fault-tolerance analysis (paper §5.5 and Figure 3).
+
+The paper's observation: as ``S`` grows, the attack can no longer flip every
+target image; the number of *successful* faults saturates around a
+model-dependent limit (≈10 for their MNIST/CIFAR networks when only the last
+FC layer is modified).  :func:`fault_tolerance_curve` sweeps ``S`` and records
+the success rate and the absolute number of injected faults so that both the
+curve of Figure 3 and the saturation limit can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.fault_sneaking import FaultSneakingAttack, FaultSneakingConfig
+from repro.attacks.targets import make_attack_plan
+from repro.data.dataset import Dataset
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["ToleranceCurve", "fault_tolerance_curve"]
+
+
+@dataclass
+class ToleranceCurve:
+    """Success rate and successful-fault count as a function of ``S``."""
+
+    s_values: list[int] = field(default_factory=list)
+    success_rates: list[float] = field(default_factory=list)
+    successful_faults: list[int] = field(default_factory=list)
+    keep_rates: list[float] = field(default_factory=list)
+    l0_norms: list[int] = field(default_factory=list)
+
+    def add(self, s: int, success_rate: float, faults: int, keep_rate: float, l0: int) -> None:
+        """Append one measurement."""
+        self.s_values.append(int(s))
+        self.success_rates.append(float(success_rate))
+        self.successful_faults.append(int(faults))
+        self.keep_rates.append(float(keep_rate))
+        self.l0_norms.append(int(l0))
+
+    @property
+    def tolerance(self) -> int:
+        """The model's fault tolerance: the largest number of faults ever injected.
+
+        The paper defines the tolerance as the plateau of successful faults
+        (≈10 for its models); the maximum over the sweep is that plateau as
+        long as the sweep extends past the saturation point.
+        """
+        return max(self.successful_faults) if self.successful_faults else 0
+
+    def saturation_s(self, threshold: float = 0.999) -> int | None:
+        """Smallest ``S`` at which the success rate first drops below ``threshold``."""
+        for s, rate in zip(self.s_values, self.success_rates):
+            if rate < threshold:
+                return s
+        return None
+
+    def as_records(self) -> list[dict]:
+        """Return the curve as a list of per-S dictionaries."""
+        return [
+            {
+                "S": s,
+                "success_rate": rate,
+                "successful_faults": faults,
+                "keep_rate": keep,
+                "l0": l0,
+            }
+            for s, rate, faults, keep, l0 in zip(
+                self.s_values,
+                self.success_rates,
+                self.successful_faults,
+                self.keep_rates,
+                self.l0_norms,
+            )
+        ]
+
+
+def fault_tolerance_curve(
+    model,
+    dataset: Dataset,
+    *,
+    s_values,
+    num_images: int,
+    config: FaultSneakingConfig | None = None,
+    target_strategy: str = "random",
+    seed: int = 0,
+) -> ToleranceCurve:
+    """Sweep ``S`` for a fixed ``R`` and record the attack success statistics.
+
+    Parameters
+    ----------
+    model:
+        The victim network.
+    dataset:
+        Pool from which anchor images are drawn (typically the test set).
+    s_values:
+        Iterable of ``S`` values to evaluate (each must be ≤ ``num_images``).
+    num_images:
+        ``R`` — total anchor images per attack.
+    config:
+        Attack configuration (defaults to the ℓ0 attack on the last FC layer).
+    target_strategy, seed:
+        Passed to :func:`repro.attacks.targets.make_attack_plan`; the same
+        seed is reused for every ``S`` so that curves are comparable.
+    """
+    s_values = [int(s) for s in s_values]
+    if any(s <= 0 for s in s_values):
+        raise ConfigurationError("all S values must be positive")
+    if any(s > num_images for s in s_values):
+        raise ConfigurationError("every S must be <= num_images (R)")
+    config = config or FaultSneakingConfig()
+    curve = ToleranceCurve()
+    attack = FaultSneakingAttack(model, config)
+    for s in s_values:
+        plan = make_attack_plan(
+            dataset,
+            num_targets=s,
+            num_images=num_images,
+            target_strategy=target_strategy,
+            seed=seed,
+        )
+        result = attack.attack(plan)
+        curve.add(
+            s,
+            result.success_rate,
+            result.num_successful_faults,
+            result.keep_rate,
+            result.l0_norm,
+        )
+    return curve

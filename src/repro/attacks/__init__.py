@@ -1,0 +1,53 @@
+"""The fault sneaking attack (the paper's core contribution) and baselines.
+
+Public entry points
+-------------------
+* :class:`FaultSneakingAttack` — the ADMM-based attack of the paper,
+  supporting both the ℓ0 and ℓ2 measures of parameter modification.
+* :class:`AttackPlan` / :func:`make_attack_plan` — choose the ``S`` images to
+  misclassify and the ``R − S`` images whose labels must stay fixed.
+* :class:`ParameterSelector` / :class:`ParameterView` — select which model
+  parameters (layers, weights and/or biases) the adversary may touch.
+* :mod:`repro.attacks.baselines` — the Liu et al. ICCAD'17 single-bias attack
+  (SBA) and gradient-descent attack (GDA) used as comparison points.
+"""
+
+from repro.attacks.parameter_view import ParameterSelector, ParameterView
+from repro.attacks.objective import AttackObjective
+from repro.attacks.proximal import prox_l0, prox_l1, prox_l2, get_proximal_operator
+from repro.attacks.admm import ADMMConfig, ADMMHistory, ADMMResult, ADMMSolver
+from repro.attacks.targets import AttackPlan, make_attack_plan
+from repro.attacks.fault_sneaking import (
+    FaultSneakingAttack,
+    FaultSneakingConfig,
+    FaultSneakingResult,
+)
+from repro.attacks.baselines import (
+    GradientDescentAttack,
+    GradientDescentAttackConfig,
+    SingleBiasAttack,
+    SingleBiasAttackConfig,
+)
+
+__all__ = [
+    "ParameterSelector",
+    "ParameterView",
+    "AttackObjective",
+    "prox_l0",
+    "prox_l1",
+    "prox_l2",
+    "get_proximal_operator",
+    "ADMMConfig",
+    "ADMMHistory",
+    "ADMMResult",
+    "ADMMSolver",
+    "AttackPlan",
+    "make_attack_plan",
+    "FaultSneakingAttack",
+    "FaultSneakingConfig",
+    "FaultSneakingResult",
+    "SingleBiasAttack",
+    "SingleBiasAttackConfig",
+    "GradientDescentAttack",
+    "GradientDescentAttackConfig",
+]

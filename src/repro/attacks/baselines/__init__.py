@@ -1,0 +1,26 @@
+"""Baseline fault-injection attacks from Liu et al., ICCAD 2017 ([16]).
+
+These are the comparison points the paper measures itself against:
+
+* :class:`SingleBiasAttack` (SBA) — misclassify a *single* image by
+  increasing one bias of the classification layer.
+* :class:`GradientDescentAttack` (GDA) — gradient descent on the attacked
+  layer's parameters followed by *modification compression* (iteratively
+  zeroing the smallest modifications while the attack still succeeds).
+"""
+
+from repro.attacks.baselines.single_bias import SingleBiasAttack, SingleBiasAttackConfig, SingleBiasResult
+from repro.attacks.baselines.gradient_descent import (
+    GradientDescentAttack,
+    GradientDescentAttackConfig,
+    GradientDescentResult,
+)
+
+__all__ = [
+    "SingleBiasAttack",
+    "SingleBiasAttackConfig",
+    "SingleBiasResult",
+    "GradientDescentAttack",
+    "GradientDescentAttackConfig",
+    "GradientDescentResult",
+]

@@ -1,0 +1,499 @@
+"""Public interface of the fault sneaking attack.
+
+:class:`FaultSneakingAttack` glues together the pieces defined elsewhere in
+this package — parameter selection (:mod:`.parameter_view`), the
+misclassification objective (:mod:`.objective`) and the ADMM solver
+(:mod:`.admm`) — behind the attack model of the paper: given ``R`` anchor
+images, force the first ``S`` to chosen target labels while keeping the other
+``R − S`` classifications unchanged, with a minimal (ℓ0 or ℓ2) modification of
+the selected DNN parameters.
+
+Typical use::
+
+    plan = make_attack_plan(test_set, num_targets=4, num_images=200, seed=0)
+    attack = FaultSneakingAttack(model, FaultSneakingConfig(norm="l0"))
+    result = attack.attack(plan)
+    hacked = result.modified_model()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.attacks.admm import ADMMConfig, ADMMHistory, ADMMResult, ADMMSolver
+from repro.attacks.objective import AttackObjective
+from repro.attacks.parameter_view import ParameterSelector, ParameterView
+from repro.attacks.targets import AttackPlan
+from repro.nn.model import Sequential
+from repro.utils.errors import ConfigurationError
+from repro.utils.logging import get_logger
+
+__all__ = ["FaultSneakingConfig", "FaultSneakingResult", "FaultSneakingAttack"]
+
+_LOGGER = get_logger("attacks.fault_sneaking")
+
+# Fallback per-norm defaults for the ADMM penalty ρ (see ADMMConfig.rho), used
+# when ``rho`` is left as ``None`` and no warm start is available to calibrate
+# against.  For the ℓ0 norm the hard-threshold level is sqrt(2/ρ) ≈ 0.063 at
+# ρ = 500, which matches the magnitude of last-FC-layer modifications on the
+# benchmark models.
+_DEFAULT_RHO = {"l0": 500.0, "l1": 200.0, "l2": 50.0}
+
+# Percentile of the non-zero warm-start magnitudes used as the ℓ0/ℓ1 threshold
+# when auto-calibrating ρ: entries below roughly this fraction of the dense
+# solution are dropped by the first z-step.
+_CALIBRATION_PERCENTILE = 65.0
+
+
+@dataclass(frozen=True)
+class FaultSneakingConfig:
+    """Configuration of the fault sneaking attack.
+
+    Parameters
+    ----------
+    norm:
+        Modification measure ``D(δ)``: ``"l0"`` (number of modified
+        parameters) or ``"l2"`` (magnitude of the modification).  ``"l1"`` is
+        supported as an extension.
+    layers:
+        Names of the layers the adversary may modify (``None`` = all
+        trainable layers).  The paper's main experiments modify only the last
+        fully connected layer, ``("fc_logits",)``.
+    include_weights, include_biases:
+        Restrict the attack to weight or bias parameters (Table 2).
+    rho, alpha, trust_radius, iterations, evaluate_every, primal_tolerance:
+        ADMM hyper-parameters, see :class:`~repro.attacks.admm.ADMMConfig`.
+        ``rho=None`` (default) calibrates ρ per attack: for the ℓ0/ℓ1 norms
+        the hard/soft threshold ``sqrt(2/ρ)`` / ``1/ρ`` is set to a percentile
+        of the dense warm start's non-zero magnitudes, so the same
+        configuration works across layers whose parameter counts (and hence
+        per-parameter modification magnitudes) differ by orders of magnitude.
+        ``alpha=None`` (default) chooses the linearisation constant adaptively
+        from ``trust_radius``.
+    kappa:
+        Confidence margin inside the hinge objective for the ``S`` target
+        images; a positive value makes the found modification robust to the
+        final sparsification.
+    keep_kappa:
+        Confidence margin for the ``R − S`` keep images.  The default 0
+        matches the paper's formulation: a keep image only contributes to the
+        objective once its classification actually flips.
+    target_weight, keep_weight:
+        The ``c_i`` weights of eqs. (5)/(6) for the ``S`` target images and
+        the ``R − S`` keep images respectively.
+    warm_start:
+        Run a dense warm-start phase before ADMM: normalised-gradient descent
+        with momentum on ``G(θ + δ)`` alone until the misclassification
+        requirements are met (or ``warmup_iterations`` is exhausted).  The
+        resulting dense ``δ`` initialises the ADMM iterations, whose proximal
+        z-steps then concentrate and shrink it.  Without the warm start the
+        non-convex ℓ0 problem frequently collapses to the trivial stationary
+        point ``δ = z = 0``.
+    warmup_iterations:
+        Iteration cap of the warm-start phase.
+    warmup_momentum:
+        Momentum coefficient of the warm-start phase.
+    refine_support_steps:
+        After ADMM finishes, run this many extra linearised δ-steps restricted
+        to the support of the chosen sparse modification (no new parameters
+        are touched).  This is an optional repair stage; 0 disables it.
+    zero_tolerance:
+        Entries with ``|δ_i| <=`` this value count as unmodified when
+        reporting the ℓ0 norm.
+    use_feature_cache:
+        Cache activations below the first attacked layer (exact; disable only
+        for diagnostics).
+    """
+
+    norm: str = "l0"
+    layers: tuple[str, ...] | None = ("fc_logits",)
+    include_weights: bool = True
+    include_biases: bool = True
+    rho: float | None = None
+    alpha: float | None = None
+    trust_radius: float = 0.05
+    iterations: int = 200
+    evaluate_every: int = 1
+    primal_tolerance: float = 1e-4
+    kappa: float = 1.0
+    keep_kappa: float = 0.0
+    target_weight: float = 1.0
+    keep_weight: float = 1.0
+    warm_start: bool = True
+    warmup_iterations: int = 600
+    warmup_momentum: float = 0.9
+    refine_support_steps: int = 100
+    zero_tolerance: float = 1e-8
+    use_feature_cache: bool = True
+
+    def __post_init__(self):
+        if self.norm not in _DEFAULT_RHO:
+            raise ConfigurationError(
+                f"norm must be one of {sorted(_DEFAULT_RHO)}, got {self.norm!r}"
+            )
+        if self.target_weight <= 0 or self.keep_weight < 0:
+            raise ConfigurationError("target_weight must be > 0 and keep_weight >= 0")
+        if self.kappa < 0 or self.keep_kappa < 0:
+            raise ConfigurationError("kappa and keep_kappa must be non-negative")
+        if self.refine_support_steps < 0:
+            raise ConfigurationError("refine_support_steps must be non-negative")
+        if self.warmup_iterations < 0:
+            raise ConfigurationError("warmup_iterations must be non-negative")
+        if not 0.0 <= self.warmup_momentum < 1.0:
+            raise ConfigurationError("warmup_momentum must be in [0, 1)")
+        if self.zero_tolerance < 0:
+            raise ConfigurationError("zero_tolerance must be non-negative")
+
+    @property
+    def effective_rho(self) -> float:
+        """The fallback ρ (per-norm default) used when no calibration is possible."""
+        return self.rho if self.rho is not None else _DEFAULT_RHO[self.norm]
+
+    def calibrated_rho(self, warm_delta: np.ndarray | None) -> float:
+        """Return the ρ to use, calibrating from a dense warm start when possible.
+
+        For the ℓ0 norm the z-step keeps entries with ``|v| > sqrt(2/ρ)``; for
+        the ℓ1 norm it soft-thresholds at ``1/ρ``.  Setting that threshold to
+        the ``_CALIBRATION_PERCENTILE``-th percentile of the warm start's
+        non-zero magnitudes sparsifies away the small entries of the dense
+        solution regardless of the attacked layer's size.  The ℓ2 norm has no
+        per-entry threshold, so the fixed default is used.
+        """
+        if self.rho is not None:
+            return self.rho
+        if self.norm == "l2" or warm_delta is None:
+            return self.effective_rho
+        magnitudes = np.abs(warm_delta)
+        magnitudes = magnitudes[magnitudes > self.zero_tolerance]
+        if magnitudes.size == 0:
+            return self.effective_rho
+        threshold = float(np.percentile(magnitudes, _CALIBRATION_PERCENTILE))
+        if threshold <= 0:
+            return self.effective_rho
+        if self.norm == "l0":
+            return 2.0 / threshold**2
+        return 1.0 / threshold
+
+    def selector(self) -> ParameterSelector:
+        """Return the parameter selector implied by this configuration."""
+        return ParameterSelector(
+            layers=self.layers,
+            include_weights=self.include_weights,
+            include_biases=self.include_biases,
+        )
+
+    def admm_config(self, rho: float | None = None) -> ADMMConfig:
+        """Return the ADMM solver configuration implied by this configuration.
+
+        ``rho`` overrides the penalty (used after warm-start calibration).
+        """
+        return ADMMConfig(
+            norm=self.norm,
+            rho=rho if rho is not None else self.effective_rho,
+            alpha=self.alpha,
+            trust_radius=self.trust_radius,
+            iterations=self.iterations,
+            evaluate_every=self.evaluate_every,
+            primal_tolerance=self.primal_tolerance,
+        )
+
+
+@dataclass
+class FaultSneakingResult:
+    """Outcome of one fault sneaking attack.
+
+    The result references the *original* (unmodified) model; the parameter
+    modification ``δ`` is stored separately so that callers decide whether to
+    apply it (:meth:`modified_model` / :meth:`apply_to`).
+    """
+
+    delta: np.ndarray
+    config: FaultSneakingConfig
+    plan: AttackPlan
+    view: ParameterView
+    success_mask: np.ndarray
+    keep_mask: np.ndarray
+    admm: ADMMResult
+
+    # -- norms ----------------------------------------------------------------
+    @property
+    def l0_norm(self) -> int:
+        """Number of modified parameters (entries above ``zero_tolerance``)."""
+        return int(np.count_nonzero(np.abs(self.delta) > self.config.zero_tolerance))
+
+    @property
+    def l2_norm(self) -> float:
+        """Euclidean magnitude of the parameter modification."""
+        return float(np.linalg.norm(self.delta))
+
+    @property
+    def linf_norm(self) -> float:
+        """Largest absolute single-parameter modification."""
+        return float(np.max(np.abs(self.delta))) if self.delta.size else 0.0
+
+    # -- attack bookkeeping ------------------------------------------------------
+    @property
+    def num_targets(self) -> int:
+        """``S`` — number of images that were to be misclassified."""
+        return self.plan.num_targets
+
+    @property
+    def num_images(self) -> int:
+        """``R`` — total number of anchor images."""
+        return self.plan.num_images
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of the ``S`` target images classified as their target."""
+        return float(self.success_mask.mean()) if self.success_mask.size else 1.0
+
+    @property
+    def num_successful_faults(self) -> int:
+        """Absolute number of successfully injected faults (≤ S)."""
+        return int(self.success_mask.sum())
+
+    @property
+    def keep_rate(self) -> float:
+        """Fraction of keep images whose classification is unchanged."""
+        return float(self.keep_mask.mean()) if self.keep_mask.size else 1.0
+
+    @property
+    def history(self) -> ADMMHistory:
+        """Per-iteration ADMM diagnostics."""
+        return self.admm.history
+
+    @property
+    def converged(self) -> bool:
+        """Whether ADMM met its convergence criterion before the iteration cap."""
+        return self.admm.converged
+
+    # -- applying the modification -------------------------------------------------
+    def delta_as_dict(self) -> dict[str, np.ndarray]:
+        """Return the modification split per parameter tensor (``layer/param``)."""
+        return self.view.as_param_dict(self.delta)
+
+    def modified_parameters(self) -> dict[str, np.ndarray]:
+        """Return ``θ + δ`` split per parameter tensor."""
+        return self.view.as_param_dict(self.view.baseline + self.delta)
+
+    def apply_to(self, model: Sequential) -> Sequential:
+        """Apply ``δ`` to another model with the same architecture (in place)."""
+        other_view = ParameterView(model, self.config.selector())
+        if other_view.size != self.view.size:
+            raise ConfigurationError(
+                "target model's attacked-parameter dimension does not match the result"
+            )
+        other_view.scatter(other_view.gather() + self.delta)
+        return model
+
+    def modified_model(self) -> Sequential:
+        """Return an independent copy of the victim model with ``θ + δ`` applied."""
+        return self.apply_to(self.view.model.copy())
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"FaultSneaking[{self.config.norm}] {self.plan.describe()}: "
+            f"success {self.num_successful_faults}/{self.num_targets}, "
+            f"keep rate {self.keep_rate:.2%}, "
+            f"l0={self.l0_norm}, l2={self.l2_norm:.3f}"
+        )
+
+
+class FaultSneakingAttack:
+    """The ADMM-based fault sneaking attack of the paper.
+
+    Parameters
+    ----------
+    model:
+        The victim network.  It is *not* modified: the attack restores the
+        original parameters before returning and reports the modification
+        separately.
+    config:
+        Attack configuration; defaults to the ℓ0 attack on the last FC layer.
+    """
+
+    def __init__(self, model: Sequential, config: FaultSneakingConfig | None = None):
+        self.model = model
+        self.config = config or FaultSneakingConfig()
+
+    # -- public entry points -----------------------------------------------------
+    def attack(self, plan: AttackPlan) -> FaultSneakingResult:
+        """Run the attack for a prepared :class:`AttackPlan`."""
+        view = ParameterView(self.model, self.config.selector())
+        objective = self._build_objective(view, plan)
+        initial_delta = (
+            self._dense_warm_start(objective) if self.config.warm_start else None
+        )
+        rho = self.config.calibrated_rho(initial_delta)
+        solver = ADMMSolver(self.config.admm_config(rho))
+        admm_result = solver.solve(objective, initial_delta=initial_delta)
+
+        delta = admm_result.delta
+        if self.config.refine_support_steps:
+            delta = self._refine_on_support(objective, delta)
+
+        success_mask = objective.success_mask(delta)
+        keep_mask = objective.keep_mask(delta)
+        view.restore()
+
+        result = FaultSneakingResult(
+            delta=delta,
+            config=self.config,
+            plan=plan,
+            view=view,
+            success_mask=success_mask,
+            keep_mask=keep_mask,
+            admm=admm_result,
+        )
+        _LOGGER.info("%s", result.summary())
+        return result
+
+    def attack_images(
+        self,
+        target_images: np.ndarray,
+        target_labels: np.ndarray,
+        *,
+        keep_images: np.ndarray | None = None,
+        keep_labels: np.ndarray | None = None,
+        true_labels: np.ndarray | None = None,
+    ) -> FaultSneakingResult:
+        """Run the attack from raw arrays instead of an :class:`AttackPlan`.
+
+        Parameters
+        ----------
+        target_images, target_labels:
+            The ``S`` images and the labels they should be classified as.
+        keep_images, keep_labels:
+            The ``R − S`` images whose classification must stay at
+            ``keep_labels`` (both optional).
+        true_labels:
+            Correct labels of the target images; only used for bookkeeping
+            (defaults to the model's current predictions).
+        """
+        target_images = np.asarray(target_images, dtype=np.float64)
+        target_labels = np.asarray(target_labels, dtype=np.int64)
+        if keep_images is None:
+            keep_images = target_images[:0]
+            keep_labels = target_labels[:0]
+        else:
+            keep_images = np.asarray(keep_images, dtype=np.float64)
+            if keep_labels is None:
+                raise ConfigurationError("keep_labels is required when keep_images is given")
+            keep_labels = np.asarray(keep_labels, dtype=np.int64)
+        if true_labels is None:
+            true_labels = self.model.predict(target_images) if len(target_images) else target_labels
+        true_labels = np.asarray(true_labels, dtype=np.int64)
+
+        plan = AttackPlan(
+            images=np.concatenate([target_images, keep_images], axis=0),
+            true_labels=np.concatenate([true_labels, keep_labels], axis=0),
+            target_labels=target_labels,
+            num_targets=int(target_labels.shape[0]),
+        )
+        return self.attack(plan)
+
+    # -- internals -------------------------------------------------------------------
+    def _build_objective(self, view: ParameterView, plan: AttackPlan) -> AttackObjective:
+        weights = np.concatenate(
+            [
+                np.full(plan.num_targets, self.config.target_weight),
+                np.full(plan.num_keep, self.config.keep_weight),
+            ]
+        )
+        kappa = np.concatenate(
+            [
+                np.full(plan.num_targets, self.config.kappa),
+                np.full(plan.num_keep, self.config.keep_kappa),
+            ]
+        )
+        return AttackObjective(
+            view,
+            plan.images,
+            plan.desired_labels,
+            num_targets=plan.num_targets,
+            weights=weights,
+            kappa=kappa,
+            use_feature_cache=self.config.use_feature_cache,
+        )
+
+    def _dense_warm_start(self, objective: AttackObjective) -> np.ndarray:
+        """Find a dense ``δ`` meeting the misclassification requirements.
+
+        Normalised-gradient descent with momentum on ``G(θ + δ)`` alone.  The
+        step length equals ``trust_radius`` so the path (and therefore the
+        ℓ2 norm of the warm start) stays short; the loop stops as soon as the
+        weighted hinge objective reaches zero.
+        """
+        cfg = self.config
+        delta = np.zeros(objective.view.size)
+        velocity = np.zeros_like(delta)
+        best = delta.copy()
+        best_value = np.inf
+        for _ in range(cfg.warmup_iterations):
+            value, grad = objective.value_and_gradient(delta)
+            if value < best_value:
+                best_value = value
+                best = delta.copy()
+            if value <= 0.0:
+                break
+            grad_norm = float(np.linalg.norm(grad))
+            if grad_norm <= 0.0:
+                break
+            velocity = cfg.warmup_momentum * velocity - cfg.trust_radius * grad / grad_norm
+            delta = delta + velocity
+        return best
+
+    def _refine_on_support(self, objective: AttackObjective, delta: np.ndarray) -> np.ndarray:
+        """Extra linearised δ-steps restricted to the existing support of ``δ``.
+
+        No new parameters are modified, so the ℓ0 norm cannot increase; the
+        values on the support are nudged to repair any still-violated
+        constraint.  The candidate with the best constraint satisfaction (ties
+        broken by ℓ2 norm) is returned.
+        """
+        support = np.abs(delta) > self.config.zero_tolerance
+        if not support.any():
+            return delta
+        best = delta.copy()
+        best_key = self._candidate_key(objective, best)
+        current = delta.copy()
+        for _ in range(self.config.refine_support_steps):
+            value, grad = objective.value_and_gradient(current)
+            if value <= 0.0:
+                break
+            grad[~support] = 0.0
+            grad_norm = float(np.linalg.norm(grad))
+            if grad_norm <= 0.0:
+                break
+            current = current - self.config.trust_radius * grad / grad_norm
+            current[~support] = 0.0
+            key = self._candidate_key(objective, current)
+            if key > best_key:
+                best_key = key
+                best = current.copy()
+        return best
+
+    @staticmethod
+    def _candidate_key(objective: AttackObjective, delta: np.ndarray) -> tuple[float, float]:
+        """Ranking key: constraint satisfaction first, then smaller ℓ2 norm."""
+        success = objective.success_rate(delta)
+        keep = objective.keep_rate(delta)
+        num_targets = objective.num_targets
+        num_keep = objective.num_images - num_targets
+        satisfaction = (
+            success * num_targets + keep * num_keep
+        ) / max(objective.num_images, 1)
+        return (satisfaction, -float(np.linalg.norm(delta)))
+
+
+def l0_attack_config(**overrides) -> FaultSneakingConfig:
+    """Convenience constructor for the ℓ0-based attack configuration."""
+    return replace(FaultSneakingConfig(norm="l0"), **overrides)
+
+
+def l2_attack_config(**overrides) -> FaultSneakingConfig:
+    """Convenience constructor for the ℓ2-based attack configuration."""
+    return replace(FaultSneakingConfig(norm="l2"), **overrides)

@@ -1,0 +1,253 @@
+"""Flat views over a selected subset of model parameters.
+
+The paper's attack modifies "either all the DNN parameters or only a portion
+of the parameters, e.g. weight parameters of the specific layer(s)" (§3).
+:class:`ParameterSelector` describes that portion symbolically (layer names,
+weights and/or biases) and :class:`ParameterView` materialises it as a single
+flat vector ``θ`` with scatter/gather operations, which is the representation
+the ADMM solver works in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.model import Sequential
+from repro.utils.errors import ConfigurationError, ShapeError
+
+__all__ = ["ParameterSelector", "ParameterView", "SelectedParameter"]
+
+_WEIGHT_NAMES = ("W", "gamma")
+_BIAS_NAMES = ("b", "beta")
+
+
+@dataclass(frozen=True)
+class ParameterSelector:
+    """Symbolic description of the attacked parameter subset.
+
+    Parameters
+    ----------
+    layers:
+        Names of layers whose parameters may be modified.  ``None`` selects
+        every trainable layer (the paper's "all the DNN parameters" case).
+    include_weights:
+        Whether multiplicative parameters (``W``/``gamma``) are attackable.
+    include_biases:
+        Whether additive parameters (``b``/``beta``) are attackable.
+    """
+
+    layers: tuple[str, ...] | None = ("fc_logits",)
+    include_weights: bool = True
+    include_biases: bool = True
+
+    def __post_init__(self):
+        if not self.include_weights and not self.include_biases:
+            raise ConfigurationError(
+                "selector must include at least one of weights or biases"
+            )
+        if self.layers is not None and len(self.layers) == 0:
+            raise ConfigurationError("layers must be None (= all) or a non-empty tuple")
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        where = "all layers" if self.layers is None else "+".join(self.layers)
+        kinds = []
+        if self.include_weights:
+            kinds.append("weights")
+        if self.include_biases:
+            kinds.append("biases")
+        return f"{where} ({', '.join(kinds)})"
+
+    def wants(self, param_name: str) -> bool:
+        """Return whether a parameter with this name is selected."""
+        if param_name in _WEIGHT_NAMES:
+            return self.include_weights
+        if param_name in _BIAS_NAMES:
+            return self.include_biases
+        # Unknown parameter kinds follow the weight switch.
+        return self.include_weights
+
+
+@dataclass(frozen=True)
+class SelectedParameter:
+    """One contiguous block of the flat attacked-parameter vector."""
+
+    layer_name: str
+    layer_index: int
+    param_name: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def slice(self) -> slice:
+        return slice(self.offset, self.offset + self.size)
+
+
+class ParameterView:
+    """A writable flat view over the parameters selected by a selector.
+
+    The view snapshots the original values ``θ`` at construction time;
+    :meth:`apply_delta` writes ``θ + δ`` into the live model and
+    :meth:`restore` puts the original values back.  All vectors handled by the
+    attack (``δ``, ``z``, ``s`` and gradients) share the ordering defined by
+    :attr:`blocks`.
+    """
+
+    def __init__(self, model: Sequential, selector: ParameterSelector | None = None):
+        self.model = model
+        self.selector = selector or ParameterSelector()
+        self.blocks: list[SelectedParameter] = self._resolve_blocks()
+        if not self.blocks:
+            raise ConfigurationError(
+                f"selector {self.selector.describe()!r} matches no parameters of model "
+                f"{model.name!r}"
+            )
+        self._baseline = self.gather()
+
+    # -- block resolution -------------------------------------------------------
+    def _resolve_blocks(self) -> list[SelectedParameter]:
+        selector = self.selector
+        if selector.layers is not None:
+            known = {layer.name for layer in self.model.layers}
+            missing = [name for name in selector.layers if name not in known]
+            if missing:
+                raise ConfigurationError(
+                    f"selector references unknown layers {missing}; "
+                    f"model layers are {sorted(known)}"
+                )
+        blocks: list[SelectedParameter] = []
+        offset = 0
+        for layer_index, layer in enumerate(self.model.layers):
+            if not layer.params:
+                continue
+            if selector.layers is not None and layer.name not in selector.layers:
+                continue
+            for param_name, value in layer.params.items():
+                if not selector.wants(param_name):
+                    continue
+                block = SelectedParameter(
+                    layer_name=layer.name,
+                    layer_index=layer_index,
+                    param_name=param_name,
+                    shape=tuple(value.shape),
+                    offset=offset,
+                )
+                blocks.append(block)
+                offset += block.size
+        return blocks
+
+    # -- basic properties ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of attackable scalars (the dimension of δ)."""
+        return sum(block.size for block in self.blocks)
+
+    @property
+    def baseline(self) -> np.ndarray:
+        """The original parameter values ``θ`` (copy)."""
+        return self._baseline.copy()
+
+    @property
+    def first_layer_index(self) -> int:
+        """Smallest model-layer index containing an attacked parameter.
+
+        Activations below this index never change during the attack, which is
+        what makes the feature cache in :class:`repro.attacks.objective.AttackObjective`
+        valid.
+        """
+        return min(block.layer_index for block in self.blocks)
+
+    def block_for(self, layer_name: str, param_name: str) -> SelectedParameter:
+        """Return the block describing one selected parameter tensor."""
+        for block in self.blocks:
+            if block.layer_name == layer_name and block.param_name == param_name:
+                return block
+        raise KeyError(f"parameter {layer_name}/{param_name} is not part of this view")
+
+    # -- gather / scatter ---------------------------------------------------------
+    def gather(self) -> np.ndarray:
+        """Read the current values of the selected parameters as a flat vector."""
+        out = np.empty(self.size, dtype=np.float64)
+        for block in self.blocks:
+            layer = self.model.layers[block.layer_index]
+            out[block.slice] = layer.params[block.param_name].reshape(-1)
+        return out
+
+    def scatter(self, values: np.ndarray) -> None:
+        """Write a flat vector into the live model parameters (in place)."""
+        values = self._check_vector(values, name="values")
+        for block in self.blocks:
+            layer = self.model.layers[block.layer_index]
+            layer.params[block.param_name][...] = values[block.slice].reshape(block.shape)
+
+    def gather_grads(self) -> np.ndarray:
+        """Read the accumulated gradients of the selected parameters."""
+        out = np.empty(self.size, dtype=np.float64)
+        for block in self.blocks:
+            layer = self.model.layers[block.layer_index]
+            grad = layer.grads.get(block.param_name)
+            if grad is None or grad.shape != block.shape:
+                raise ShapeError(
+                    f"layer {block.layer_name!r} holds no gradient for "
+                    f"{block.param_name!r}; run a backward pass first"
+                )
+            out[block.slice] = grad.reshape(-1)
+        return out
+
+    # -- δ application -------------------------------------------------------------
+    def apply_delta(self, delta: np.ndarray) -> None:
+        """Write ``θ + δ`` into the live model."""
+        delta = self._check_vector(delta, name="delta")
+        self.scatter(self._baseline + delta)
+
+    def restore(self) -> None:
+        """Write the original ``θ`` back into the live model."""
+        self.scatter(self._baseline)
+
+    def applied(self, delta: np.ndarray) -> "_AppliedDelta":
+        """Context manager applying ``δ`` and restoring ``θ`` on exit."""
+        return _AppliedDelta(self, delta)
+
+    def as_param_dict(self, vector: np.ndarray) -> dict[str, np.ndarray]:
+        """Split a flat vector into per-parameter tensors keyed by layer/param."""
+        vector = self._check_vector(vector, name="vector")
+        return {
+            f"{block.layer_name}/{block.param_name}": vector[block.slice].reshape(block.shape)
+            for block in self.blocks
+        }
+
+    def _check_vector(self, vector: np.ndarray, *, name: str) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.size,):
+            raise ShapeError(
+                f"{name} must be a flat vector of length {self.size}, got shape {vector.shape}"
+            )
+        return vector
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParameterView(model={self.model.name!r}, selection={self.selector.describe()!r}, "
+            f"size={self.size})"
+        )
+
+
+class _AppliedDelta:
+    """Context manager used by :meth:`ParameterView.applied`."""
+
+    def __init__(self, view: ParameterView, delta: np.ndarray):
+        self._view = view
+        self._delta = delta
+
+    def __enter__(self) -> ParameterView:
+        self._view.apply_delta(self._delta)
+        return self._view
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._view.restore()
+        return False

@@ -1,0 +1,184 @@
+"""Attack plans: which images to misclassify, into what, and which to pin.
+
+The paper's attack model (§3): given ``R`` images with correct labels, change
+the classification of the first ``S`` to chosen target labels while keeping
+the remaining ``R − S`` classifications unchanged.  :class:`AttackPlan` holds
+exactly that description and :func:`make_attack_plan` builds one from a
+dataset with several target-label selection strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.errors import ConfigurationError, ShapeError
+from repro.utils.rng import RandomState
+
+__all__ = ["AttackPlan", "make_attack_plan"]
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """The ``(X, T, L, S, R)`` tuple of the paper's attack model.
+
+    Attributes
+    ----------
+    images:
+        All ``R`` anchor images (targets first, keep images after).
+    true_labels:
+        Correct labels of all ``R`` images.
+    target_labels:
+        Adversarial target labels of the first ``S`` images.
+    num_targets:
+        ``S``.
+    """
+
+    images: np.ndarray
+    true_labels: np.ndarray
+    target_labels: np.ndarray
+    num_targets: int
+
+    def __post_init__(self):
+        if self.images.shape[0] != self.true_labels.shape[0]:
+            raise ShapeError("images and true_labels must have the same length")
+        if self.target_labels.shape[0] != self.num_targets:
+            raise ShapeError(
+                f"target_labels must have length S={self.num_targets}, "
+                f"got {self.target_labels.shape[0]}"
+            )
+        if not 0 <= self.num_targets <= self.images.shape[0]:
+            raise ConfigurationError(
+                f"S={self.num_targets} must lie in [0, R={self.images.shape[0]}]"
+            )
+
+    @property
+    def num_images(self) -> int:
+        """``R`` — total number of anchor images."""
+        return int(self.images.shape[0])
+
+    @property
+    def num_keep(self) -> int:
+        """``R − S`` — number of images whose classification must not change."""
+        return self.num_images - self.num_targets
+
+    @property
+    def desired_labels(self) -> np.ndarray:
+        """Per-image desired label: targets for the first S, true labels after."""
+        desired = self.true_labels.copy()
+        desired[: self.num_targets] = self.target_labels
+        return desired
+
+    @property
+    def target_images(self) -> np.ndarray:
+        """The ``S`` images to misclassify."""
+        return self.images[: self.num_targets]
+
+    @property
+    def keep_images(self) -> np.ndarray:
+        """The ``R − S`` images whose labels must stay fixed."""
+        return self.images[self.num_targets :]
+
+    @property
+    def keep_labels(self) -> np.ndarray:
+        """Correct labels of the keep images."""
+        return self.true_labels[self.num_targets :]
+
+    def describe(self) -> str:
+        """Short description used in logs and reports."""
+        return f"S={self.num_targets}, R={self.num_images}"
+
+
+def _choose_targets(
+    true_labels: np.ndarray,
+    num_classes: int,
+    strategy: str,
+    rng: np.random.Generator,
+    fixed_target: int | None,
+) -> np.ndarray:
+    """Pick an adversarial target label for every attacked image."""
+    if strategy == "random":
+        offsets = rng.integers(1, num_classes, size=true_labels.shape[0])
+        return (true_labels + offsets) % num_classes
+    if strategy == "next":
+        return (true_labels + 1) % num_classes
+    if strategy == "fixed":
+        if fixed_target is None:
+            raise ConfigurationError("strategy='fixed' requires fixed_target")
+        if not 0 <= fixed_target < num_classes:
+            raise ConfigurationError(
+                f"fixed_target must be in [0, {num_classes - 1}], got {fixed_target}"
+            )
+        targets = np.full(true_labels.shape[0], fixed_target, dtype=np.int64)
+        # A "fixed" target equal to the true label is not a misclassification;
+        # bump those to the next class.
+        clash = targets == true_labels
+        targets[clash] = (targets[clash] + 1) % num_classes
+        return targets
+    raise ConfigurationError(
+        f"unknown target strategy {strategy!r}; expected 'random', 'next' or 'fixed'"
+    )
+
+
+def make_attack_plan(
+    dataset: Dataset,
+    *,
+    num_targets: int,
+    num_images: int,
+    target_strategy: str = "random",
+    fixed_target: int | None = None,
+    only_correct: np.ndarray | None = None,
+    seed: int | None = 0,
+) -> AttackPlan:
+    """Draw an attack plan (``S`` target images + ``R − S`` keep images).
+
+    Parameters
+    ----------
+    dataset:
+        Pool to draw anchor images from (the paper draws them from the test
+        set; the adversary is *not* assumed to know the training set).
+    num_targets:
+        ``S`` — images to misclassify.
+    num_images:
+        ``R`` — total anchor images (must satisfy ``S ≤ R ≤ len(dataset)``).
+    target_strategy:
+        ``"random"`` (any wrong label), ``"next"`` (label + 1 mod C) or
+        ``"fixed"`` (all to ``fixed_target``).
+    only_correct:
+        Optional boolean mask (aligned with the dataset) restricting anchor
+        selection to images the clean model classifies correctly, so that
+        "keep the classification unchanged" and "keep it correct" coincide.
+    seed:
+        Seed for image selection and random targets.
+    """
+    if num_targets < 0 or num_images <= 0:
+        raise ConfigurationError("num_targets must be >= 0 and num_images > 0")
+    if num_targets > num_images:
+        raise ConfigurationError(
+            f"S={num_targets} cannot exceed R={num_images}"
+        )
+    pool = np.arange(len(dataset))
+    if only_correct is not None:
+        only_correct = np.asarray(only_correct, dtype=bool)
+        if only_correct.shape[0] != len(dataset):
+            raise ShapeError("only_correct mask must align with the dataset")
+        pool = pool[only_correct]
+    if num_images > pool.size:
+        raise ConfigurationError(
+            f"R={num_images} exceeds the available pool of {pool.size} images"
+        )
+    rng = RandomState(seed)
+    chosen = rng.choice(pool, size=num_images, replace=False)
+    images = dataset.images[chosen]
+    true_labels = dataset.labels[chosen]
+    target_labels = _choose_targets(
+        true_labels[:num_targets], dataset.num_classes, target_strategy, rng, fixed_target
+    )
+    return AttackPlan(
+        images=images,
+        true_labels=true_labels,
+        target_labels=target_labels,
+        num_targets=num_targets,
+    )

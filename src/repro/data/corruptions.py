@@ -1,0 +1,72 @@
+"""Dataset corruption utilities.
+
+Used in tests and ablations to study how the attack's stealth constraint
+behaves when the "keep" images are noisy or mislabelled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_probability
+
+__all__ = ["add_gaussian_noise", "add_label_noise", "random_erase"]
+
+
+def add_gaussian_noise(dataset: Dataset, std: float, *, seed: int | None = None) -> Dataset:
+    """Return a copy of the dataset with additive Gaussian pixel noise."""
+    if std < 0:
+        raise ValueError(f"std must be non-negative, got {std}")
+    rng = RandomState(seed)
+    noisy = dataset.images + rng.normal(0.0, std, size=dataset.images.shape)
+    return Dataset(
+        images=np.clip(noisy, 0.0, 1.0),
+        labels=dataset.labels.copy(),
+        num_classes=dataset.num_classes,
+        name=f"{dataset.name}+noise{std:g}",
+    )
+
+
+def add_label_noise(dataset: Dataset, fraction: float, *, seed: int | None = None) -> Dataset:
+    """Return a copy with a fraction of labels replaced by random other labels."""
+    fraction = check_probability(fraction, name="fraction")
+    rng = RandomState(seed)
+    labels = dataset.labels.copy()
+    n_corrupt = int(round(fraction * len(dataset)))
+    if n_corrupt:
+        idx = rng.choice(len(dataset), size=n_corrupt, replace=False)
+        offsets = rng.integers(1, dataset.num_classes, size=n_corrupt)
+        labels[idx] = (labels[idx] + offsets) % dataset.num_classes
+    return Dataset(
+        images=dataset.images.copy(),
+        labels=labels,
+        num_classes=dataset.num_classes,
+        name=f"{dataset.name}+labelnoise{fraction:g}",
+    )
+
+
+def random_erase(
+    dataset: Dataset, patch_size: int, *, probability: float = 1.0, seed: int | None = None
+) -> Dataset:
+    """Return a copy where random square patches are erased to zero."""
+    probability = check_probability(probability, name="probability")
+    if patch_size <= 0:
+        raise ValueError(f"patch_size must be positive, got {patch_size}")
+    rng = RandomState(seed)
+    images = dataset.images.copy()
+    height, width = images.shape[1:3]
+    patch = min(patch_size, height - 1, width - 1)
+    for i in range(len(dataset)):
+        if rng.random() >= probability:
+            continue
+        row = rng.integers(0, height - patch)
+        col = rng.integers(0, width - patch)
+        images[i, row : row + patch, col : col + patch, :] = 0.0
+    return Dataset(
+        images=images,
+        labels=dataset.labels.copy(),
+        num_classes=dataset.num_classes,
+        name=f"{dataset.name}+erase{patch_size}",
+    )

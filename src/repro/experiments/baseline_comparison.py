@@ -1,0 +1,126 @@
+"""§5.4 comparison — accuracy loss of fault sneaking vs the Liu et al. baselines.
+
+The paper reports that, when misclassifying a single image, the fault
+sneaking attack degrades MNIST accuracy by 0.8 points and CIFAR by 1.0 points,
+whereas the fault injection attack of [16] loses 3.86 and 2.35 points in its
+best case.  This driver runs all three attacks (fault sneaking ℓ0, GDA and
+SBA) under the same S = 1 requirement and reports the modification size, the
+attack success and the accuracy drop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.evaluation import evaluate_attack_result
+from repro.analysis.reporting import Table
+from repro.attacks.baselines import (
+    GradientDescentAttack,
+    GradientDescentAttackConfig,
+    SingleBiasAttack,
+    SingleBiasAttackConfig,
+)
+from repro.attacks.fault_sneaking import FaultSneakingAttack
+from repro.attacks.targets import make_attack_plan
+from repro.experiments.common import (
+    anchor_and_eval_split,
+    attack_config_for,
+    get_setting,
+    get_trained_model,
+)
+from repro.zoo.registry import ModelRegistry
+
+__all__ = ["run"]
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("mnist_like", "cifar_like"),
+) -> Table:
+    """Reproduce the §5.4 accuracy-loss comparison."""
+    setting = get_setting(scale)
+    table = Table(
+        title="Baseline comparison: accuracy loss when misclassifying one image (S=1)",
+        columns=[
+            "dataset",
+            "attack",
+            "l0",
+            "l2",
+            "success",
+            "clean accuracy",
+            "attacked accuracy",
+            "accuracy drop (pts)",
+        ],
+    )
+
+    for dataset in datasets:
+        trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+        model = trained.model
+        anchor_pool, test_set = anchor_and_eval_split(trained)
+        clean_accuracy = model.evaluate(test_set.images, test_set.labels)
+        num_images = min(setting.baseline_r, len(anchor_pool))
+        plan = make_attack_plan(
+            anchor_pool, num_targets=1, num_images=num_images, seed=seed + 17
+        )
+        target_image = plan.target_images[0]
+        target_label = int(plan.target_labels[0])
+
+        # Fault sneaking attack (the paper's method).
+        fs_result = FaultSneakingAttack(model, attack_config_for(scale, norm="l0")).attack(plan)
+        fs_eval = evaluate_attack_result(
+            fs_result, test_set, clean_model=model, clean_accuracy=clean_accuracy
+        )
+        table.add_row(
+            dataset,
+            "fault sneaking (l0)",
+            fs_eval.l0_norm,
+            fs_eval.l2_norm,
+            fs_eval.success_rate,
+            clean_accuracy,
+            fs_eval.attacked_test_accuracy,
+            fs_eval.accuracy_drop_percent,
+        )
+
+        # GDA baseline: gradient descent + modification compression, no keep images.
+        gda_config = GradientDescentAttackConfig(iterations=setting.attack_iterations)
+        gda_result = GradientDescentAttack(model, gda_config).attack(plan)
+        gda_model = gda_result.modified_model()
+        gda_accuracy = gda_model.evaluate(test_set.images, test_set.labels)
+        table.add_row(
+            dataset,
+            "GDA (Liu et al.)",
+            gda_result.l0_norm,
+            gda_result.l2_norm,
+            gda_result.success_rate,
+            clean_accuracy,
+            gda_accuracy,
+            100.0 * (clean_accuracy - gda_accuracy),
+        )
+
+        # SBA baseline: a single bias modification.
+        sba = SingleBiasAttack(model, SingleBiasAttackConfig())
+        sba_result = sba.attack(target_image, target_label)
+        sba_model = sba_result.modified_model()
+        sba_accuracy = sba_model.evaluate(test_set.images, test_set.labels)
+        table.add_row(
+            dataset,
+            "SBA (Liu et al.)",
+            sba_result.l0_norm,
+            sba_result.l2_norm,
+            float(sba_result.success),
+            clean_accuracy,
+            sba_accuracy,
+            100.0 * (clean_accuracy - sba_accuracy),
+        )
+
+    table.add_note(
+        "Paper reference: fault sneaking loses 0.8 pts (MNIST) / 1.0 pts (CIFAR); "
+        "the fault injection attack of Liu et al. loses 3.86 / 2.35 pts in its best case."
+    )
+    table.add_note(
+        "Expected shape: the fault sneaking attack retains more accuracy than both baselines."
+    )
+    return table

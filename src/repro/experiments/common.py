@@ -1,0 +1,234 @@
+"""Shared infrastructure for the experiment drivers.
+
+The paper's evaluation always starts from the same two trained networks (one
+per dataset) and varies the attack configuration and the (S, R) grid.  This
+module centralises:
+
+* the per-scale experiment settings (grid sizes, training budget, ADMM
+  iteration counts) so that the full suite can run either as a quick CI pass
+  or at the paper's scale;
+* trained-model acquisition through the :mod:`repro.zoo.registry` so that a
+  model is trained at most once per process / cache directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.attacks.fault_sneaking import FaultSneakingConfig
+from repro.utils.errors import ConfigurationError
+from repro.zoo.registry import ModelRegistry, ModelSpec, TrainedModel, default_registry
+
+__all__ = [
+    "ExperimentSetting",
+    "SETTINGS",
+    "get_setting",
+    "get_trained_model",
+    "attack_config_for",
+    "anchor_and_eval_split",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSetting:
+    """Grid sizes and budgets for one experiment scale.
+
+    Attributes
+    ----------
+    name:
+        ``"smoke"``, ``"ci"``, ``"paper"`` or ``"full"``.
+    architecture:
+        Architecture name passed to the model registry.
+    n_train, n_test, epochs:
+        Training budget of the victim models.
+    s_values, r_values:
+        Default S and R grids (Table 4 / Figures 1–2).
+    layer_s_values:
+        S (= R) grid of Table 1.
+    type_s_values:
+        S (= R) grid of Table 2.
+    norm_settings:
+        (S, R) pairs of Table 3.
+    tolerance_s_values, tolerance_r:
+        S grid and fixed R of Figure 3.
+    baseline_r:
+        R of the §5.4 baseline comparison (S = 1).
+    attack_iterations, warmup_iterations, refine_steps:
+        ADMM budget shared by all attacks at this scale.
+    """
+
+    name: str
+    architecture: str
+    n_train: int
+    n_test: int
+    epochs: int
+    s_values: tuple[int, ...]
+    r_values: tuple[int, ...]
+    layer_s_values: tuple[int, ...]
+    type_s_values: tuple[int, ...]
+    norm_settings: tuple[tuple[int, int], ...]
+    tolerance_s_values: tuple[int, ...]
+    tolerance_r: int
+    baseline_r: int
+    attack_iterations: int
+    warmup_iterations: int
+    refine_steps: int
+    hidden: tuple[int, int] = (200, 200)
+
+
+SETTINGS: dict[str, ExperimentSetting] = {
+    # "smoke" exists for fast sanity checks (unit tests, demos on very slow
+    # machines); its grids are too small to reproduce the paper's trends.
+    "smoke": ExperimentSetting(
+        name="smoke",
+        architecture="compact_cnn",
+        n_train=600,
+        n_test=250,
+        epochs=6,
+        s_values=(1, 2),
+        r_values=(10, 30),
+        layer_s_values=(1, 2),
+        type_s_values=(1, 2),
+        norm_settings=((1, 10), (2, 10)),
+        tolerance_s_values=(1, 4),
+        tolerance_r=10,
+        baseline_r=30,
+        attack_iterations=60,
+        warmup_iterations=250,
+        refine_steps=30,
+        hidden=(64, 32),
+    ),
+    "ci": ExperimentSetting(
+        name="ci",
+        architecture="compact_cnn",
+        n_train=1500,
+        n_test=600,
+        epochs=4,
+        s_values=(1, 4),
+        r_values=(50, 200),
+        layer_s_values=(1, 4),
+        type_s_values=(1, 2, 4),
+        norm_settings=((1, 10), (5, 10), (5, 20)),
+        tolerance_s_values=(2, 6, 12),
+        tolerance_r=20,
+        baseline_r=100,
+        attack_iterations=150,
+        warmup_iterations=300,
+        refine_steps=50,
+    ),
+    "paper": ExperimentSetting(
+        name="paper",
+        architecture="compact_cnn",
+        n_train=4000,
+        n_test=2000,
+        epochs=8,
+        s_values=(1, 2, 4, 8, 16),
+        r_values=(50, 100, 200, 500, 1000),
+        layer_s_values=(1, 4, 16),
+        type_s_values=(1, 2, 4, 8),
+        norm_settings=((1, 10), (5, 10), (5, 20)),
+        tolerance_s_values=(1, 2, 4, 8, 16, 32, 64, 128),
+        tolerance_r=200,
+        baseline_r=1000,
+        attack_iterations=300,
+        warmup_iterations=600,
+        refine_steps=100,
+    ),
+    "full": ExperimentSetting(
+        name="full",
+        architecture="paper_cnn",
+        n_train=6000,
+        n_test=2000,
+        epochs=10,
+        s_values=(1, 2, 4, 8, 16),
+        r_values=(50, 100, 200, 500, 1000),
+        layer_s_values=(1, 4, 16),
+        type_s_values=(1, 2, 4, 8),
+        norm_settings=((1, 10), (5, 10), (5, 20)),
+        tolerance_s_values=(1, 2, 4, 8, 16, 32, 64, 128),
+        tolerance_r=200,
+        baseline_r=1000,
+        attack_iterations=300,
+        warmup_iterations=600,
+        refine_steps=100,
+    ),
+}
+
+
+def get_setting(scale: str) -> ExperimentSetting:
+    """Return the :class:`ExperimentSetting` for a scale name."""
+    try:
+        return SETTINGS[scale]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; expected one of {sorted(SETTINGS)}"
+        ) from exc
+
+
+def get_trained_model(
+    dataset: str,
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+) -> TrainedModel:
+    """Return the trained victim model for a dataset at a given scale."""
+    setting = get_setting(scale)
+    registry = registry or default_registry()
+    spec = ModelSpec(
+        dataset=dataset,
+        architecture=setting.architecture,
+        n_train=setting.n_train,
+        n_test=setting.n_test,
+        hidden=setting.hidden,
+        epochs=setting.epochs,
+        seed=seed,
+    )
+    return registry.get(spec)
+
+
+def anchor_and_eval_split(trained: TrainedModel):
+    """Split the held-out data into a disjoint anchor pool and evaluation set.
+
+    The paper's adversary picks its ``R`` anchor images independently of the
+    data used to report test accuracy (it is not even assumed to know the
+    test set).  Drawing anchors from the same images that accuracy is
+    measured on would let the keep constraint trivially inflate the reported
+    accuracy at large ``R``, so every experiment that reports accuracy
+    retention uses this split: even-indexed test samples form the anchor
+    pool, odd-indexed samples form the evaluation set.  The test split is
+    i.i.d., so the parity split is unbiased and deterministic.
+
+    Returns
+    -------
+    (anchor_pool, eval_set):
+        Two disjoint :class:`~repro.data.dataset.Dataset` objects.
+    """
+    test = trained.data.test
+    indices = list(range(len(test)))
+    anchor_pool = test.subset(indices[0::2])
+    eval_set = test.subset(indices[1::2])
+    return anchor_pool, eval_set
+
+
+def attack_config_for(
+    scale: str,
+    *,
+    norm: str = "l0",
+    layers: tuple[str, ...] | None = ("fc_logits",),
+    **overrides,
+) -> FaultSneakingConfig:
+    """Return the attack configuration used by the experiments at ``scale``.
+
+    Additional keyword arguments override individual
+    :class:`FaultSneakingConfig` fields.
+    """
+    setting = get_setting(scale)
+    base = FaultSneakingConfig(
+        norm=norm,
+        layers=layers,
+        iterations=setting.attack_iterations,
+        warmup_iterations=setting.warmup_iterations,
+        refine_support_steps=setting.refine_steps,
+    )
+    return replace(base, **overrides) if overrides else base

@@ -1,0 +1,86 @@
+"""Figure 1 — ℓ0 norm of the last-FC-layer modification vs S (MNIST).
+
+The figure plots the number of modified parameters against the number of
+injected faults ``S`` for several values of ``R``.  The reproduction returns
+the same series as a table (one row per R, one column per S); the benchmark
+harness prints it, and the values can be plotted directly if desired.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plotting import ascii_line_chart
+from repro.analysis.reporting import Table
+from repro.analysis.sweeps import sweep_s_r_grid
+from repro.experiments.common import (
+    anchor_and_eval_split,
+    attack_config_for,
+    get_setting,
+    get_trained_model,
+)
+from repro.zoo.registry import ModelRegistry
+
+__all__ = ["run", "run_for_dataset"]
+
+
+def run_for_dataset(
+    dataset: str,
+    figure_name: str,
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+) -> Table:
+    """Shared implementation for Figures 1 and 2 (they differ only in dataset)."""
+    setting = get_setting(scale)
+    trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+    anchor_pool, eval_set = anchor_and_eval_split(trained)
+    s_values = setting.s_values
+    r_values = [r for r in setting.r_values if r <= len(anchor_pool)]
+
+    config = attack_config_for(scale, norm="l0")
+    records = sweep_s_r_grid(
+        trained.model,
+        anchor_pool,
+        s_values=s_values,
+        r_values=r_values,
+        config=config,
+        test_set=eval_set,
+        seed=seed,
+    )
+    by_key = {(rec.num_targets, rec.num_images): rec for rec in records}
+
+    columns = ["R"] + [f"l0 (S={s})" for s in s_values]
+    table = Table(
+        title=f"{figure_name}: l0 norm of last-FC-layer modifications vs S ({dataset})",
+        columns=columns,
+    )
+    for r in r_values:
+        row = [r]
+        for s in s_values:
+            rec = by_key.get((s, r))
+            row.append(rec.evaluation.l0_norm if rec else "-")
+        table.add_row(*row)
+    table.add_note(
+        "Expected shape: for fixed R the l0 norm increases with S; for small S the "
+        "norm tends to shrink as R grows (a more constrained model needs fewer changes)."
+    )
+    series = {
+        f"R={r}": [
+            by_key[(s, r)].evaluation.l0_norm if (s, r) in by_key else None for s in s_values
+        ]
+        for r in r_values
+    }
+    table.add_note(
+        "\n" + ascii_line_chart(list(s_values), series, title=f"{figure_name}: l0 vs S", y_label="l0")
+    )
+    return table
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+) -> Table:
+    """Reproduce Figure 1 (MNIST-like dataset)."""
+    return run_for_dataset("mnist_like", "Figure 1", scale, registry=registry, seed=seed)

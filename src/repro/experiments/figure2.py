@@ -1,0 +1,22 @@
+"""Figure 2 — ℓ0 norm of the last-FC-layer modification vs S (CIFAR).
+
+Identical protocol to Figure 1, run on the CIFAR-like dataset/model.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table
+from repro.experiments.figure1 import run_for_dataset
+from repro.zoo.registry import ModelRegistry
+
+__all__ = ["run"]
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+) -> Table:
+    """Reproduce Figure 2 (CIFAR-like dataset)."""
+    return run_for_dataset("cifar_like", "Figure 2", scale, registry=registry, seed=seed)

@@ -1,0 +1,80 @@
+"""Figure 3 — attack success rate of the S target images vs S.
+
+The paper's fault-tolerance finding (§5.5): the success rate stays ≈100 %
+while ``S`` is below the model's tolerance (≈10 for their networks when only
+the last FC layer is modified) and drops beyond it; the absolute number of
+successfully injected faults saturates near that tolerance.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plotting import ascii_line_chart
+from repro.analysis.reporting import Table
+from repro.analysis.tolerance import fault_tolerance_curve
+from repro.experiments.common import (
+    anchor_and_eval_split,
+    attack_config_for,
+    get_setting,
+    get_trained_model,
+)
+from repro.zoo.registry import ModelRegistry
+
+__all__ = ["run"]
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("mnist_like", "cifar_like"),
+) -> Table:
+    """Reproduce Figure 3 and return it as a :class:`Table`."""
+    setting = get_setting(scale)
+    s_values = list(setting.tolerance_s_values)
+    num_images = max(setting.tolerance_r, max(s_values))
+
+    table = Table(
+        title="Figure 3: fault sneaking attack success rate vs S",
+        columns=["dataset", "S", "success rate", "successful faults", "keep rate", "l0"],
+    )
+    config = attack_config_for(scale, norm="l0")
+    success_series: dict[str, list[float]] = {}
+    for dataset in datasets:
+        trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+        anchor_pool, _ = anchor_and_eval_split(trained)
+        curve = fault_tolerance_curve(
+            trained.model,
+            anchor_pool,
+            s_values=s_values,
+            num_images=min(num_images, len(anchor_pool)),
+            config=config,
+            seed=seed,
+        )
+        success_series[dataset] = list(curve.success_rates)
+        for record in curve.as_records():
+            table.add_row(
+                dataset,
+                record["S"],
+                record["success_rate"],
+                record["successful_faults"],
+                record["keep_rate"],
+                record["l0"],
+            )
+        table.add_note(
+            f"{dataset}: observed fault tolerance (max successful faults) = {curve.tolerance}"
+        )
+    table.add_note(
+        "Paper reference: success rate stays ~100% for S < 10 and drops beyond; the "
+        "number of successful faults saturates around 10."
+    )
+    table.add_note(
+        "\n"
+        + ascii_line_chart(
+            s_values,
+            success_series,
+            title="Figure 3: success rate vs S",
+            y_label="rate",
+        )
+    )
+    return table

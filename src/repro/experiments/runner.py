@@ -1,0 +1,84 @@
+"""Command-line entry point: ``python -m repro.experiments.runner`` or ``repro-experiments``.
+
+Examples
+--------
+Run one experiment at CI scale and print the table::
+
+    repro-experiments table4 --scale ci
+
+Run everything the paper reports at paper scale and save CSVs::
+
+    repro-experiments all --scale paper --output-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import EXPERIMENTS
+from repro.utils.logging import set_verbosity
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the Fault Sneaking Attack paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run ('all' runs every table and figure)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="ci",
+        choices=["smoke", "ci", "paper", "full"],
+        help="grid size / training budget (default: ci)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed (default: 0)")
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "markdown", "csv"],
+        help="output format for stdout (default: text)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="also save each table as CSV into this directory",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log per-attack progress to stderr"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    set_verbosity("info" if args.verbose else "warning")
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        table = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.time() - started
+        print(table.render(args.format))
+        print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
+        print()
+        if args.output_dir is not None:
+            path = args.output_dir / f"{name}_{args.scale}.csv"
+            table.save(path, "csv")
+            print(f"[saved {path}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

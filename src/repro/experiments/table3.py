@@ -1,0 +1,65 @@
+"""Table 3 — ℓ0-based vs ℓ2-based attacks.
+
+For three (S, R) settings the paper runs both variants of the attack on the
+last FC layer of the MNIST network and reports the ℓ0 and ℓ2 norms of the
+resulting modification.  Expected shape: the ℓ0 attack modifies far fewer
+parameters, at the price of a (somewhat) larger Euclidean magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table
+from repro.attacks.fault_sneaking import FaultSneakingAttack
+from repro.attacks.targets import make_attack_plan
+from repro.experiments.common import attack_config_for, get_setting, get_trained_model
+from repro.zoo.registry import ModelRegistry
+
+__all__ = ["run"]
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    dataset: str = "mnist_like",
+) -> Table:
+    """Reproduce Table 3 and return it as a :class:`Table`."""
+    setting = get_setting(scale)
+    trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+    model = trained.model
+    test_set = trained.data.test
+
+    columns = ["attack"]
+    for s, r in setting.norm_settings:
+        columns += [f"l0 (S={s},R={r})", f"l2 (S={s},R={r})"]
+    table = Table(
+        title=f"Table 3: l0 and l2 norms of the l0- and l2-based attacks ({dataset})",
+        columns=columns,
+    )
+
+    attack_variants = [
+        ("l0 attack", attack_config_for(scale, norm="l0")),
+        # The l2 attack does not sparsify, so it needs no hinge margin.
+        ("l2 attack", attack_config_for(scale, norm="l2", kappa=0.0)),
+    ]
+    for label, config in attack_variants:
+        row = [label]
+        for s, r in setting.norm_settings:
+            plan = make_attack_plan(
+                test_set, num_targets=s, num_images=r, seed=seed + 13 * s + r
+            )
+            result = FaultSneakingAttack(model, config).attack(plan)
+            row += [result.l0_norm, result.l2_norm]
+        table.add_row(*row)
+
+    table.add_note(
+        "Paper reference (MNIST, last FC layer): l0 attack 1026/1208/1606 modified "
+        "parameters vs l2 attack 1431/1432/1964; the l2 attack achieves the smaller "
+        "Euclidean norm."
+    )
+    table.add_note(
+        "Expected shape: the l0-based attack modifies fewer parameters than the "
+        "l2-based attack for every (S, R)."
+    )
+    return table

@@ -1,0 +1,71 @@
+"""Table 4 — test accuracy of the modified model over the (S, R) grid.
+
+The stealth claim of the paper: pinning the classification of ``R − S`` keep
+images preserves the overall test accuracy.  Accuracy falls as ``S`` grows
+(more faults to hide) and recovers as ``R`` grows (more anchor images
+stabilise the model); at ``S = 1, R = 1000`` the degradation is below one
+percentage point for MNIST.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table
+from repro.analysis.sweeps import sweep_s_r_grid
+from repro.experiments.common import (
+    anchor_and_eval_split,
+    attack_config_for,
+    get_setting,
+    get_trained_model,
+)
+from repro.zoo.registry import ModelRegistry
+
+__all__ = ["run"]
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("mnist_like", "cifar_like"),
+) -> Table:
+    """Reproduce Table 4 and return it as a :class:`Table`."""
+    setting = get_setting(scale)
+    s_values = setting.s_values
+    r_values = setting.r_values
+
+    columns = ["dataset", "clean accuracy", "R"] + [f"S={s}" for s in s_values]
+    table = Table(
+        title="Table 4: test accuracy after DNN parameter modifications",
+        columns=columns,
+    )
+
+    config = attack_config_for(scale, norm="l0")
+    for dataset in datasets:
+        trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+        anchor_pool, eval_set = anchor_and_eval_split(trained)
+        clean_accuracy = trained.model.evaluate(eval_set.images, eval_set.labels)
+        usable_r = [r for r in r_values if r <= len(anchor_pool)]
+        records = sweep_s_r_grid(
+            trained.model,
+            anchor_pool,
+            s_values=s_values,
+            r_values=usable_r,
+            config=config,
+            test_set=eval_set,
+            seed=seed,
+        )
+        by_key = {(rec.num_targets, rec.num_images): rec for rec in records}
+        for r in usable_r:
+            row = [dataset, clean_accuracy, r]
+            for s in s_values:
+                rec = by_key.get((s, r))
+                row.append(rec.evaluation.attacked_test_accuracy if rec else "-")
+            table.add_row(*row)
+
+    table.add_note(
+        "Paper reference: MNIST clean 99.5%, S=1/R=1000 -> 98.7% (0.8 pt drop); "
+        "CIFAR clean 79.5%, S=1/R=1000 -> 78.5% (1.0 pt drop).  Accuracy decreases "
+        "with S and recovers as R grows."
+    )
+    return table

@@ -1,0 +1,44 @@
+"""Simulated hardware fault-injection substrate.
+
+The paper motivates minimising the number of modified parameters by the cost
+of injecting faults into memory with laser beams or row hammer (§2.3).  The
+authors evaluate that cost analytically (the ℓ0 norm); this package goes one
+step further and *simulates* the memory level so that an attack's parameter
+modification can be turned into a concrete set of bit flips and costed under
+either injection technique:
+
+* :class:`ParameterMemoryMap` lays the attacked parameters out in a simulated
+  memory using a configurable storage format (float32 / float16 / fixed
+  point);
+* :class:`BitFlipPlan` is the exact set of (address, bit) flips that turns the
+  original parameter words into the modified ones;
+* :class:`RowHammerInjector` and :class:`LaserBeamInjector` are cost/feasibility
+  models for executing such a plan;
+* :class:`FaultInjectionCampaign` applies a plan through the quantised memory
+  (so the achieved modification is what the storage format can actually
+  represent) and re-verifies the attack on the resulting model.
+"""
+
+from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
+from repro.hardware.bitflip import BitFlip, BitFlipPlan, plan_bit_flips
+from repro.hardware.injectors import (
+    InjectionCost,
+    Injector,
+    LaserBeamInjector,
+    RowHammerInjector,
+)
+from repro.hardware.campaign import CampaignReport, FaultInjectionCampaign
+
+__all__ = [
+    "MemoryLayout",
+    "ParameterMemoryMap",
+    "BitFlip",
+    "BitFlipPlan",
+    "plan_bit_flips",
+    "Injector",
+    "InjectionCost",
+    "RowHammerInjector",
+    "LaserBeamInjector",
+    "CampaignReport",
+    "FaultInjectionCampaign",
+]

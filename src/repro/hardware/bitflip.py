@@ -1,0 +1,119 @@
+"""Bit-flip planning.
+
+Given the original parameter words and the words encoding the attacked
+parameters, the *bit-flip plan* is the exact set of (word index, bit position)
+pairs whose logic value must change.  Its size is the hardware-level cost that
+the paper's ℓ0 objective is a proxy for; the injector models in
+:mod:`repro.hardware.injectors` consume the plan to estimate attack effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.memory import ParameterMemoryMap
+from repro.utils.errors import ShapeError
+
+__all__ = ["BitFlip", "BitFlipPlan", "plan_bit_flips"]
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """A single bit flip in the simulated parameter memory."""
+
+    word_index: int
+    bit: int
+    address: int
+    row: int
+
+    @property
+    def byte_offset(self) -> int:
+        """Byte within the word containing the flipped bit."""
+        return self.bit // 8
+
+
+@dataclass
+class BitFlipPlan:
+    """The full set of bit flips realising a parameter modification."""
+
+    flips: list[BitFlip] = field(default_factory=list)
+    num_words_touched: int = 0
+    num_words_total: int = 0
+
+    @property
+    def num_flips(self) -> int:
+        """Total number of individual bit flips."""
+        return len(self.flips)
+
+    @property
+    def rows_touched(self) -> list[int]:
+        """Sorted list of distinct DRAM rows containing at least one flip."""
+        return sorted({flip.row for flip in self.flips})
+
+    @property
+    def num_rows_touched(self) -> int:
+        return len({flip.row for flip in self.flips})
+
+    def flips_per_word(self) -> dict[int, int]:
+        """Histogram of flips per touched word."""
+        counts: dict[int, int] = {}
+        for flip in self.flips:
+            counts[flip.word_index] = counts.get(flip.word_index, 0) + 1
+        return counts
+
+    def flips_per_row(self) -> dict[int, int]:
+        """Histogram of flips per touched DRAM row."""
+        counts: dict[int, int] = {}
+        for flip in self.flips:
+            counts[flip.row] = counts.get(flip.row, 0) + 1
+        return counts
+
+    def summary(self) -> dict:
+        """Headline statistics used by reports and benchmarks."""
+        return {
+            "bit_flips": self.num_flips,
+            "words_touched": self.num_words_touched,
+            "words_total": self.num_words_total,
+            "rows_touched": self.num_rows_touched,
+            "mean_flips_per_touched_word": (
+                self.num_flips / self.num_words_touched if self.num_words_touched else 0.0
+            ),
+        }
+
+
+def plan_bit_flips(memory: ParameterMemoryMap, target_values: np.ndarray) -> BitFlipPlan:
+    """Plan the bit flips that turn the memory's current words into ``target_values``.
+
+    Parameters
+    ----------
+    memory:
+        The parameter memory holding the *current* (original) words.
+    target_values:
+        Desired float parameter values (``θ + δ``), flat vector aligned with
+        the memory's parameter view.  Values are first encoded in the memory's
+        storage format; the plan realises exactly that encoded value.
+    """
+    target_values = np.asarray(target_values, dtype=np.float64)
+    if target_values.shape != (memory.num_words,):
+        raise ShapeError(
+            f"target_values must have shape ({memory.num_words},), got {target_values.shape}"
+        )
+    original_words = memory.read_words()
+    target_words = memory.encode(target_values)
+    xor = np.bitwise_xor(original_words, target_words)
+    touched = np.flatnonzero(xor)
+
+    bits_per_value = memory.spec.bits_per_value
+    plan = BitFlipPlan(num_words_total=memory.num_words, num_words_touched=int(touched.size))
+    for word_index in touched:
+        word_xor = int(xor[word_index])
+        address = memory.address_of(int(word_index))
+        row = memory.layout.row_of(address)
+        for bit in range(bits_per_value):
+            if word_xor & (1 << bit):
+                plan.flips.append(
+                    BitFlip(word_index=int(word_index), bit=bit, address=address, row=row)
+                )
+    return plan

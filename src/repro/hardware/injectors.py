@@ -1,0 +1,150 @@
+"""Cost / feasibility models for executing a bit-flip plan.
+
+Two injection techniques from the paper's related-work discussion (§2.3) are
+modelled:
+
+* **Laser beam** (Selmke et al.) — precise, can flip any single SRAM bit, but
+  every flip requires re-aiming and tuning the beam, so the dominant cost is
+  proportional to the number of bit flips.
+* **Row hammer** (Kim et al.) — flips bits in DRAM by hammering adjacent
+  aggressor rows.  The dominant cost is per *victim row* hammered (finding and
+  hammering an aggressor pair), with a practical limit on how many controlled
+  flips can be realised within one row.
+
+Both models produce an :class:`InjectionCost`; they are deliberately simple —
+the point is to let benchmarks compare the *hardware effort* implied by ℓ0 vs
+ℓ2 attack variants, not to model any particular DRAM part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.bitflip import BitFlipPlan
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["InjectionCost", "Injector", "LaserBeamInjector", "RowHammerInjector"]
+
+
+@dataclass(frozen=True)
+class InjectionCost:
+    """Estimated effort of executing a bit-flip plan."""
+
+    technique: str
+    feasible: bool
+    time_seconds: float
+    operations: int
+    bit_flips: int
+    notes: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "technique": self.technique,
+            "feasible": self.feasible,
+            "time_seconds": self.time_seconds,
+            "operations": self.operations,
+            "bit_flips": self.bit_flips,
+            "notes": self.notes,
+        }
+
+
+class Injector:
+    """Base class for fault-injection cost models."""
+
+    technique = "abstract"
+
+    def cost(self, plan: BitFlipPlan) -> InjectionCost:
+        """Estimate the effort of executing ``plan``."""
+        raise NotImplementedError
+
+
+class LaserBeamInjector(Injector):
+    """Laser-beam fault injection: per-bit aiming cost.
+
+    Parameters
+    ----------
+    seconds_per_flip:
+        Time to position/tune the beam and flip one bit.
+    setup_seconds:
+        One-off preparation time (decapsulation, profiling the die).
+    max_flips:
+        Practical upper bound on flips per attack session; plans above it are
+        reported infeasible.
+    """
+
+    technique = "laser"
+
+    def __init__(
+        self,
+        *,
+        seconds_per_flip: float = 30.0,
+        setup_seconds: float = 3600.0,
+        max_flips: int = 100_000,
+    ):
+        if seconds_per_flip <= 0 or setup_seconds < 0 or max_flips <= 0:
+            raise ConfigurationError("laser injector parameters must be positive")
+        self.seconds_per_flip = float(seconds_per_flip)
+        self.setup_seconds = float(setup_seconds)
+        self.max_flips = int(max_flips)
+
+    def cost(self, plan: BitFlipPlan) -> InjectionCost:
+        feasible = plan.num_flips <= self.max_flips
+        time = self.setup_seconds + plan.num_flips * self.seconds_per_flip
+        return InjectionCost(
+            technique=self.technique,
+            feasible=feasible,
+            time_seconds=time,
+            operations=plan.num_flips,
+            bit_flips=plan.num_flips,
+            notes="" if feasible else f"exceeds {self.max_flips} flips per session",
+        )
+
+
+class RowHammerInjector(Injector):
+    """Row-hammer fault injection: per-victim-row hammering cost.
+
+    Parameters
+    ----------
+    seconds_per_row:
+        Time to locate suitable aggressor rows and hammer one victim row.
+    max_flips_per_row:
+        Maximum number of *controlled* flips achievable within a single row;
+        rows of the plan needing more are infeasible.
+    setup_seconds:
+        One-off memory-templating time.
+    """
+
+    technique = "rowhammer"
+
+    def __init__(
+        self,
+        *,
+        seconds_per_row: float = 120.0,
+        max_flips_per_row: int = 16,
+        setup_seconds: float = 1800.0,
+    ):
+        if seconds_per_row <= 0 or max_flips_per_row <= 0 or setup_seconds < 0:
+            raise ConfigurationError("rowhammer injector parameters must be positive")
+        self.seconds_per_row = float(seconds_per_row)
+        self.max_flips_per_row = int(max_flips_per_row)
+        self.setup_seconds = float(setup_seconds)
+
+    def cost(self, plan: BitFlipPlan) -> InjectionCost:
+        per_row = plan.flips_per_row()
+        overloaded = [row for row, count in per_row.items() if count > self.max_flips_per_row]
+        feasible = not overloaded
+        time = self.setup_seconds + len(per_row) * self.seconds_per_row
+        notes = ""
+        if overloaded:
+            notes = (
+                f"{len(overloaded)} rows need more than {self.max_flips_per_row} "
+                "controlled flips"
+            )
+        return InjectionCost(
+            technique=self.technique,
+            feasible=feasible,
+            time_seconds=time,
+            operations=len(per_row),
+            bit_flips=plan.num_flips,
+            notes=notes,
+        )

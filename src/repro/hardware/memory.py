@@ -1,0 +1,163 @@
+"""Simulated memory layout of DNN parameters.
+
+:class:`ParameterMemoryMap` assigns every attackable parameter (as selected by
+a :class:`~repro.attacks.parameter_view.ParameterView`) a byte address in a
+simulated memory, encodes values with a :class:`~repro.nn.quantization.QuantizationSpec`
+and supports reading/writing raw words.  This is the substrate on which bit
+flips are planned and executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.parameter_view import ParameterView
+from repro.nn.quantization import QuantizationSpec, dequantize, quantize
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["MemoryLayout", "ParameterMemoryMap"]
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Geometry of the simulated memory.
+
+    Parameters
+    ----------
+    base_address:
+        Byte address of the first parameter word.
+    row_bytes:
+        Bytes per DRAM row (row hammer flips bits within a victim row, so the
+        row size determines how flips group into hammering targets).
+    """
+
+    base_address: int = 0x1000_0000
+    row_bytes: int = 8192
+
+    def __post_init__(self):
+        if self.base_address < 0:
+            raise ConfigurationError("base_address must be non-negative")
+        if self.row_bytes <= 0:
+            raise ConfigurationError("row_bytes must be positive")
+
+    def row_of(self, address: int) -> int:
+        """Return the DRAM row index containing a byte address."""
+        return int(address // self.row_bytes)
+
+
+class ParameterMemoryMap:
+    """Maps attacked parameters to addresses in a simulated memory.
+
+    Parameters
+    ----------
+    view:
+        Parameter view defining which parameters live in this memory and in
+        what order.
+    spec:
+        Storage format of each parameter word.
+    layout:
+        Memory geometry (base address, row size).
+    """
+
+    def __init__(
+        self,
+        view: ParameterView,
+        *,
+        spec: QuantizationSpec | None = None,
+        layout: MemoryLayout | None = None,
+    ):
+        self.view = view
+        self.spec = spec or QuantizationSpec("float32")
+        self.layout = layout or MemoryLayout()
+        self.bytes_per_word = self.spec.bits_per_value // 8
+        self._words = quantize(view.gather(), self.spec)
+
+    # -- geometry -------------------------------------------------------------------
+    @property
+    def num_words(self) -> int:
+        """Number of parameter words stored in this memory."""
+        return int(self._words.size)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total simulated memory footprint of the attacked parameters."""
+        return self.num_words * self.bytes_per_word
+
+    def address_of(self, index: int) -> int:
+        """Byte address of the ``index``-th parameter word."""
+        if not 0 <= index < self.num_words:
+            raise IndexError(f"parameter index {index} out of range [0, {self.num_words})")
+        return self.layout.base_address + index * self.bytes_per_word
+
+    def index_of(self, address: int) -> int:
+        """Inverse of :meth:`address_of`."""
+        offset = address - self.layout.base_address
+        if offset < 0 or offset % self.bytes_per_word:
+            raise ValueError(f"address {address:#x} does not map to a parameter word")
+        index = offset // self.bytes_per_word
+        if index >= self.num_words:
+            raise ValueError(f"address {address:#x} is past the end of the parameter region")
+        return int(index)
+
+    def row_of_index(self, index: int) -> int:
+        """DRAM row containing the ``index``-th parameter word."""
+        return self.layout.row_of(self.address_of(index))
+
+    def parameter_at(self, index: int) -> tuple[str, str]:
+        """Return ``(layer_name, param_name)`` owning the ``index``-th word."""
+        for block in self.view.blocks:
+            if block.offset <= index < block.offset + block.size:
+                return block.layer_name, block.param_name
+        raise IndexError(f"parameter index {index} out of range")
+
+    # -- raw word access ---------------------------------------------------------------
+    def read_words(self) -> np.ndarray:
+        """Return a copy of all raw parameter words."""
+        return self._words.copy()
+
+    def write_words(self, words: np.ndarray) -> None:
+        """Overwrite all raw parameter words (shape must match)."""
+        words = np.asarray(words, dtype=self._words.dtype)
+        if words.shape != self._words.shape:
+            raise ConfigurationError(
+                f"expected {self._words.shape} words, got {words.shape}"
+            )
+        self._words = words.copy()
+
+    def read_word(self, index: int) -> int:
+        """Return one raw word."""
+        if not 0 <= index < self.num_words:
+            raise IndexError(f"parameter index {index} out of range")
+        return int(self._words[index])
+
+    def write_word(self, index: int, word: int) -> None:
+        """Overwrite one raw word."""
+        if not 0 <= index < self.num_words:
+            raise IndexError(f"parameter index {index} out of range")
+        self._words[index] = word
+
+    def flip_bit(self, index: int, bit: int) -> None:
+        """Flip a single bit of the ``index``-th word."""
+        bits = self.spec.bits_per_value
+        if not 0 <= bit < bits:
+            raise ValueError(f"bit must be in [0, {bits}), got {bit}")
+        self._words[index] = self._words[index] ^ self._words.dtype.type(1 << bit)
+
+    # -- value-level access ----------------------------------------------------------------
+    def decoded_values(self) -> np.ndarray:
+        """Return the float values currently represented by the memory."""
+        return dequantize(self._words, self.spec)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode float parameter values into raw words for this memory's format."""
+        return quantize(values, self.spec)
+
+    def representable(self, values: np.ndarray) -> np.ndarray:
+        """Return the values actually representable in the storage format."""
+        return dequantize(self.encode(values), self.spec)
+
+    def flush_to_model(self) -> None:
+        """Write the memory's current values back into the live model parameters."""
+        self.view.scatter(self.decoded_values())

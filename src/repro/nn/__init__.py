@@ -1,0 +1,85 @@
+"""A self-contained numpy neural-network library.
+
+This package is the DNN substrate used by the fault-sneaking attack
+reproduction: it provides forward inference, backpropagation, training and
+(de)serialisation for feed-forward convolutional networks, with the layer
+parameter access hooks the attack needs (named parameters, per-parameter
+gradients, logits before the softmax layer).
+"""
+
+from repro.nn.initializers import (
+    glorot_uniform,
+    he_normal,
+    he_uniform,
+    normal_init,
+    zeros_init,
+)
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.losses import CrossEntropyLoss, HingeLogitLoss, Loss, MSELoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSProp
+from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy, top_k_accuracy
+from repro.nn.serialization import load_model, save_model, model_to_arrays, model_from_arrays
+from repro.nn.quantization import QuantizationSpec, dequantize, quantize
+
+__all__ = [
+    # initializers
+    "glorot_uniform",
+    "he_normal",
+    "he_uniform",
+    "normal_init",
+    "zeros_init",
+    # layers
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "BatchNorm1D",
+    # losses
+    "Loss",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "HingeLogitLoss",
+    # model / optim
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    # metrics
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    # serialization
+    "save_model",
+    "load_model",
+    "model_to_arrays",
+    "model_from_arrays",
+    # quantization
+    "QuantizationSpec",
+    "quantize",
+    "dequantize",
+]

@@ -1,0 +1,110 @@
+"""im2col / col2im helpers for convolution and pooling layers.
+
+Images use the NHWC layout (batch, height, width, channels).  The im2col
+transform unrolls every receptive field into a row so that a convolution
+becomes a single matrix multiplication, which is the only way to get
+acceptable CPU performance out of pure numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ShapeError
+
+__all__ = ["conv_output_size", "im2col", "col2im", "pad_nhwc"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Return the spatial output size of a convolution/pooling dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output size is not positive: input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad_nhwc(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of an NHWC tensor."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
+
+
+def _window_indices(height: int, width: int, kernel: int, stride: int, out_h: int, out_w: int):
+    """Return (row, col) index grids selecting every receptive field."""
+    del height, width
+    i0 = np.repeat(np.arange(kernel), kernel)
+    j0 = np.tile(np.arange(kernel), kernel)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    rows = i0.reshape(1, -1) + i1.reshape(-1, 1)
+    cols = j0.reshape(1, -1) + j1.reshape(-1, 1)
+    return rows, cols
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unroll NHWC input patches into a 2-D matrix.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, H, W, C)``.
+    kernel, stride, padding:
+        Square kernel size, stride and symmetric zero padding.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N * out_h * out_w, kernel * kernel * C)``.  Each row
+        is one receptive field with channel-last ordering inside the patch.
+    (out_h, out_w):
+        Spatial output size.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects NHWC input, got shape {x.shape}")
+    n, h, w, c = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    x_padded = pad_nhwc(x, padding)
+
+    rows, cols_idx = _window_indices(h, w, kernel, stride, out_h, out_w)
+    # patches: (N, out_h*out_w, kernel*kernel, C)
+    patches = x_padded[:, rows, cols_idx, :]
+    cols = patches.reshape(n * out_h * out_w, kernel * kernel * c)
+    return cols, (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patch rows back into an image.
+
+    Overlapping regions accumulate, which is exactly the gradient of the
+    im2col gather operation.
+    """
+    n, h, w, c = input_shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    expected_rows = n * out_h * out_w
+    if cols.shape[0] != expected_rows:
+        raise ShapeError(
+            f"col2im received {cols.shape[0]} rows but expected {expected_rows}"
+        )
+
+    padded = np.zeros((n, h + 2 * padding, w + 2 * padding, c), dtype=cols.dtype)
+    patches = cols.reshape(n, out_h * out_w, kernel * kernel, c)
+    rows, cols_idx = _window_indices(h, w, kernel, stride, out_h, out_w)
+    # np.add.at performs unbuffered scatter-add over the repeated indices.
+    np.add.at(padded, (slice(None), rows, cols_idx, slice(None)), patches)
+    if padding == 0:
+        return padded
+    return padded[:, padding:-padding, padding:-padding, :]

@@ -1,0 +1,45 @@
+"""Weight initialisation schemes.
+
+Each initializer takes a shape, fan-in/fan-out information and a numpy
+Generator and returns a float64 array.  Dense and Conv2D layers pick a
+sensible default (He for ReLU-style networks) but accept any callable with
+the same signature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "he_uniform", "normal_init", "zeros_init"]
+
+
+def zeros_init(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    del fan_in, fan_out, rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+def normal_init(shape, fan_in: int, fan_out: int, rng: np.random.Generator, *, std: float = 0.05) -> np.ndarray:
+    """Gaussian initialisation with a fixed standard deviation."""
+    del fan_in, fan_out
+    return rng.normal(0.0, std, size=shape)
+
+
+def glorot_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation, suited to tanh/sigmoid layers."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialisation, suited to ReLU layers."""
+    del fan_out
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialisation, suited to ReLU layers."""
+    del fan_out
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)

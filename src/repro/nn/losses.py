@@ -1,0 +1,148 @@
+"""Loss functions.
+
+Each loss exposes ``value(outputs, targets)`` and
+``gradient(outputs, targets)`` where ``outputs`` are whatever the model's
+final layer produced (logits for :class:`CrossEntropyLoss` and
+:class:`HingeLogitLoss`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ShapeError
+
+__all__ = ["Loss", "CrossEntropyLoss", "MSELoss", "HingeLogitLoss", "softmax", "log_softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax along the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def _check_labels(outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    targets = np.asarray(targets)
+    if targets.ndim != 1 or targets.shape[0] != outputs.shape[0]:
+        raise ShapeError(
+            f"targets must be a 1-D label vector matching the batch size "
+            f"{outputs.shape[0]}, got shape {targets.shape}"
+        )
+    if targets.min() < 0 or targets.max() >= outputs.shape[1]:
+        raise ValueError(
+            f"label values must lie in [0, {outputs.shape[1] - 1}], "
+            f"got range [{targets.min()}, {targets.max()}]"
+        )
+    return targets.astype(np.int64)
+
+
+class Loss:
+    """Base class for losses operating on model outputs and integer labels."""
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        """Return the mean loss over the batch."""
+        raise NotImplementedError
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Return the gradient of the mean loss w.r.t. ``outputs``."""
+        raise NotImplementedError
+
+    def __call__(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        return self.value(outputs, targets)
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross entropy evaluated on logits with integer class labels."""
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        targets = _check_labels(outputs, targets)
+        log_probs = log_softmax(outputs)
+        picked = log_probs[np.arange(outputs.shape[0]), targets]
+        return float(-picked.mean())
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = _check_labels(outputs, targets)
+        probs = softmax(outputs)
+        grad = probs.copy()
+        grad[np.arange(outputs.shape[0]), targets] -= 1.0
+        return grad / outputs.shape[0]
+
+
+class MSELoss(Loss):
+    """Mean squared error against one-hot targets (or raw regression targets)."""
+
+    def _expand(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = np.asarray(targets)
+        if targets.ndim == 1 and outputs.ndim == 2:
+            one_hot = np.zeros_like(outputs)
+            labels = _check_labels(outputs, targets)
+            one_hot[np.arange(outputs.shape[0]), labels] = 1.0
+            return one_hot
+        if targets.shape != outputs.shape:
+            raise ShapeError(
+                f"MSE targets shape {targets.shape} does not match outputs {outputs.shape}"
+            )
+        return targets.astype(np.float64)
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        expanded = self._expand(outputs, targets)
+        return float(np.mean((outputs - expanded) ** 2))
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        expanded = self._expand(outputs, targets)
+        return 2.0 * (outputs - expanded) / outputs.size
+
+
+class HingeLogitLoss(Loss):
+    """Carlini–Wagner style margin loss on logits (paper eq. (3)).
+
+    ``value`` is the mean over the batch of
+    ``max(max_{j != t} Z_j - Z_t + kappa, 0)`` where ``t`` is the *desired*
+    label of each sample.  It reaches zero exactly when every sample is
+    classified as its desired label with margin at least ``kappa``.
+
+    This is the per-image objective used by the fault-sneaking attack; the
+    attack code in :mod:`repro.attacks.objective` builds on the same kernel
+    but with per-image weights and target/keep semantics.
+    """
+
+    def __init__(self, kappa: float = 0.0):
+        if kappa < 0:
+            raise ValueError(f"kappa must be non-negative, got {kappa}")
+        self.kappa = float(kappa)
+
+    def per_sample(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Return the un-reduced hinge value for every sample."""
+        targets = _check_labels(outputs, targets)
+        n = outputs.shape[0]
+        target_logit = outputs[np.arange(n), targets]
+        masked = outputs.copy()
+        masked[np.arange(n), targets] = -np.inf
+        best_other = masked.max(axis=1)
+        return np.maximum(best_other - target_logit + self.kappa, 0.0)
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        return float(self.per_sample(outputs, targets).mean())
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = _check_labels(outputs, targets)
+        n = outputs.shape[0]
+        target_logit = outputs[np.arange(n), targets]
+        masked = outputs.copy()
+        masked[np.arange(n), targets] = -np.inf
+        best_other_idx = masked.argmax(axis=1)
+        best_other = masked[np.arange(n), best_other_idx]
+        active = (best_other - target_logit + self.kappa) > 0
+
+        grad = np.zeros_like(outputs)
+        rows = np.arange(n)[active]
+        grad[rows, best_other_idx[active]] += 1.0
+        grad[rows, targets[active]] -= 1.0
+        return grad / n

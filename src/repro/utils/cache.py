@@ -1,0 +1,102 @@
+"""A small keyed disk cache used to avoid retraining models between runs.
+
+The cache stores numpy archives keyed by a stable hash of a configuration
+dictionary.  It is intentionally simple: no eviction, no locking beyond
+atomic rename, because entries are tiny (a few MB of float32 weights).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["DiskCache", "default_cache_dir", "stable_hash"]
+
+
+def default_cache_dir() -> Path:
+    """Return the default on-disk cache directory.
+
+    Respects ``REPRO_CACHE_DIR`` so tests and CI can redirect it.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-fault-sneaking"
+
+
+def stable_hash(config: dict) -> str:
+    """Return a stable hex digest of a JSON-serialisable configuration dict."""
+    encoded = json.dumps(config, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:24]
+
+
+class DiskCache:
+    """Store and retrieve dictionaries of numpy arrays keyed by config hashes.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created lazily on first write.  ``None`` uses
+        :func:`default_cache_dir`.
+    enabled:
+        When ``False`` every lookup misses and writes are dropped, which is
+        convenient for tests.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *, enabled: bool = True):
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.enabled = enabled
+
+    def _path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    def key_for(self, config: dict) -> str:
+        """Return the cache key for a configuration dictionary."""
+        return stable_hash(config)
+
+    def contains(self, key: str) -> bool:
+        """Return whether an entry exists for ``key``."""
+        return self.enabled and self._path_for(key).exists()
+
+    def load(self, key: str) -> dict[str, np.ndarray] | None:
+        """Load the arrays stored under ``key`` or ``None`` on a miss."""
+        if not self.contains(key):
+            return None
+        path = self._path_for(key)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (OSError, ValueError):
+            # Corrupt entry: treat as a miss and let the caller regenerate it.
+            return None
+
+    def store(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Atomically store a dictionary of arrays under ``key``."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path_for(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    def clear(self) -> int:
+        """Delete every cache entry; return the number of removed files."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for entry in self.directory.glob("*.npz"):
+            entry.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,25 @@
+"""Exception and warning types used across the library.
+
+A small, explicit hierarchy so that callers can either catch the broad
+:class:`ReproError` or a specific subclass.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent options."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class NotFittedError(ReproError):
+    """A component was used before it was trained / prepared."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped before meeting its convergence criterion."""

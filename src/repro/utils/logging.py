@@ -1,0 +1,63 @@
+"""Thin wrapper around :mod:`logging` with a library-wide namespace.
+
+All loggers live under the ``repro`` root logger so that
+``set_verbosity("debug")`` affects the whole library without touching the
+application's root logger configuration.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "set_verbosity"]
+
+_ROOT_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "silent": logging.CRITICAL + 10,
+}
+
+
+def _root_logger() -> logging.Logger:
+    logger = logging.getLogger(_ROOT_NAME)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(levelname)s %(name)s] %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.setLevel(logging.WARNING)
+        logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the library namespace, e.g. ``repro.attacks``."""
+    _root_logger()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: str | int) -> None:
+    """Set the verbosity of all library loggers.
+
+    Parameters
+    ----------
+    level:
+        One of ``"debug"``, ``"info"``, ``"warning"``, ``"error"``,
+        ``"silent"`` or a :mod:`logging` numeric level.
+    """
+    if isinstance(level, str):
+        try:
+            level = _LEVELS[level.lower()]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown verbosity {level!r}; expected one of {sorted(_LEVELS)}"
+            ) from exc
+    _root_logger().setLevel(level)

@@ -1,0 +1,54 @@
+"""Random-number utilities.
+
+Everything in this library is deterministic given a seed.  Components accept
+either an integer seed, ``None`` (fresh entropy) or an existing
+:class:`numpy.random.Generator`; :func:`RandomState` normalises all three.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = ["RandomState", "fork_rng", "seed_everything"]
+
+# Upper bound (exclusive) for child seeds produced by :func:`fork_rng`.
+_MAX_SEED = 2**31 - 1
+
+
+def RandomState(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for fresh OS entropy, an ``int`` for a reproducible stream,
+        or an existing generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def fork_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    The children are seeded from draws of the parent so that forking is itself
+    reproducible and the parent can continue to be used afterwards.
+    """
+    if n < 0:
+        raise ValueError(f"cannot fork a negative number of generators: {n}")
+    seeds = rng.integers(0, _MAX_SEED, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed both the stdlib and numpy global generators and return a Generator.
+
+    Library code never uses global random state, but user scripts and examples
+    may; this makes a whole run reproducible with one call.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+    return np.random.default_rng(seed)

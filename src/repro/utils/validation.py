@@ -1,0 +1,80 @@
+"""Argument validation helpers shared by the public API surface.
+
+They raise early with messages naming the offending argument so that failures
+surface at the call site rather than deep inside numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.utils.errors import ShapeError
+
+__all__ = ["check_array", "check_positive", "check_probability", "check_in_range"]
+
+
+def check_array(
+    value,
+    *,
+    name: str,
+    ndim: int | tuple[int, ...] | None = None,
+    dtype=np.float64,
+    allow_empty: bool = False,
+) -> np.ndarray:
+    """Coerce ``value`` to an ndarray and validate its dimensionality.
+
+    Parameters
+    ----------
+    value:
+        Array-like input.
+    name:
+        Argument name used in error messages.
+    ndim:
+        Required number of dimensions (or tuple of allowed values).
+    dtype:
+        Target dtype; ``None`` keeps the input dtype.
+    allow_empty:
+        Whether a zero-sized array is acceptable.
+    """
+    arr = np.asarray(value, dtype=dtype)
+    if ndim is not None:
+        allowed = (ndim,) if isinstance(ndim, int) else tuple(ndim)
+        if arr.ndim not in allowed:
+            raise ShapeError(
+                f"{name} must have ndim in {allowed}, got ndim={arr.ndim} "
+                f"with shape {arr.shape}"
+            )
+    if not allow_empty and arr.size == 0:
+        raise ShapeError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_positive(value, *, name: str, strict: bool = True) -> float:
+    """Validate that ``value`` is a positive (or non-negative) scalar."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value, *, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    return check_in_range(value, low=0.0, high=1.0, name=name)
+
+
+def check_in_range(value, *, low: float, high: float, name: str) -> float:
+    """Validate that a scalar lies in ``[low, high]``."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

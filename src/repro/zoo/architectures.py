@@ -1,0 +1,163 @@
+"""Reference network architectures.
+
+Naming convention
+-----------------
+Every architecture ends with three fully connected layers named ``fc1``,
+``fc2`` and ``fc_logits`` followed by a ``softmax`` layer.  The fault-
+sneaking experiments select attacked parameters by these names (the paper
+attacks "the first / second / last FC layer"), so keeping the names stable
+across architectures lets the same experiment driver run on any of them.
+
+* :func:`paper_cnn` is the exact C&W-style stack the paper uses (4 conv,
+  2 max-pool, FC-200, FC-200, FC-10): its last FC layer holds 2010
+  parameters, matching Table 1.
+* :func:`compact_cnn` is a scaled-down convolutional stack with the same
+  three-FC tail (the default hidden width 200 keeps the last FC layer at
+  2010 parameters) used for CPU-friendly experiments.
+* :func:`mlp` is a dense-only stack used in unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from repro.nn.model import Sequential
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["paper_cnn", "compact_cnn", "mlp", "build_architecture"]
+
+
+def _conv_output(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _fc_tail(in_features: int, hidden: tuple[int, int], num_classes: int, seed: int, *, dropout: float = 0.0) -> list:
+    """Build the shared fc1 / fc2 / fc_logits / softmax tail."""
+    layers: list = [
+        Dense(in_features, hidden[0], seed=seed + 101, name="fc1"),
+        ReLU(name="relu_fc1"),
+    ]
+    if dropout > 0:
+        layers.append(Dropout(dropout, seed=seed + 555, name="dropout_fc1"))
+    layers += [
+        Dense(hidden[0], hidden[1], seed=seed + 102, name="fc2"),
+        ReLU(name="relu_fc2"),
+        Dense(hidden[1], num_classes, seed=seed + 103, name="fc_logits"),
+        Softmax(name="softmax"),
+    ]
+    return layers
+
+
+def paper_cnn(
+    image_shape: tuple[int, int, int],
+    num_classes: int = 10,
+    *,
+    seed: int = 0,
+    hidden: tuple[int, int] = (200, 200),
+    dropout: float = 0.0,
+) -> Sequential:
+    """The Carlini&Wagner-style CNN used in the paper's experiments.
+
+    Four 3×3 convolutions (32, 32, 64, 64 filters) with two 2×2 max-pool
+    stages, followed by two hidden FC layers of width 200 and the logits
+    layer.  On a 28×28×1 input the flattened feature size is 1024, which
+    reproduces the paper's Table 1 parameter counts exactly
+    (205000 / 40200 / 2010).
+    """
+    height, width, channels = image_shape
+    layers: list = [
+        Conv2D(channels, 32, 3, seed=seed + 1, name="conv1"),
+        ReLU(name="relu1"),
+        Conv2D(32, 32, 3, seed=seed + 2, name="conv2"),
+        ReLU(name="relu2"),
+        MaxPool2D(2, name="pool1"),
+        Conv2D(32, 64, 3, seed=seed + 3, name="conv3"),
+        ReLU(name="relu3"),
+        Conv2D(64, 64, 3, seed=seed + 4, name="conv4"),
+        ReLU(name="relu4"),
+        MaxPool2D(2, name="pool2"),
+        Flatten(name="flatten"),
+    ]
+    spatial_h, spatial_w = height, width
+    for kernel, stride, padding in [(3, 1, 0), (3, 1, 0), (2, 2, 0), (3, 1, 0), (3, 1, 0), (2, 2, 0)]:
+        spatial_h = _conv_output(spatial_h, kernel, stride, padding)
+        spatial_w = _conv_output(spatial_w, kernel, stride, padding)
+    flat_features = spatial_h * spatial_w * 64
+    layers += _fc_tail(flat_features, hidden, num_classes, seed, dropout=dropout)
+    return Sequential(layers, name="paper_cnn")
+
+
+def compact_cnn(
+    image_shape: tuple[int, int, int],
+    num_classes: int = 10,
+    *,
+    seed: int = 0,
+    hidden: tuple[int, int] = (200, 200),
+    conv_channels: tuple[int, int] = (8, 16),
+    dropout: float = 0.0,
+) -> Sequential:
+    """A small strided CNN with the same three-FC tail as :func:`paper_cnn`.
+
+    Two stride-2 convolutions reduce the spatial size by 4× so the whole
+    model trains in seconds on a CPU while keeping the attack surface (the
+    FC tail) identical in structure to the paper's network.
+    """
+    height, width, channels = image_shape
+    layers: list = [
+        Conv2D(channels, conv_channels[0], 5, stride=2, padding=2, seed=seed + 1, name="conv1"),
+        ReLU(name="relu1"),
+        Conv2D(conv_channels[0], conv_channels[1], 3, stride=2, padding=1, seed=seed + 2, name="conv2"),
+        ReLU(name="relu2"),
+        Flatten(name="flatten"),
+    ]
+    spatial_h = _conv_output(_conv_output(height, 5, 2, 2), 3, 2, 1)
+    spatial_w = _conv_output(_conv_output(width, 5, 2, 2), 3, 2, 1)
+    flat_features = spatial_h * spatial_w * conv_channels[1]
+    layers += _fc_tail(flat_features, hidden, num_classes, seed, dropout=dropout)
+    return Sequential(layers, name="compact_cnn")
+
+
+def mlp(
+    image_shape: tuple[int, int, int],
+    num_classes: int = 10,
+    *,
+    seed: int = 0,
+    hidden: tuple[int, int] = (64, 32),
+) -> Sequential:
+    """A dense-only network (Flatten + the standard FC tail); used in tests."""
+    height, width, channels = image_shape
+    in_features = height * width * channels
+    layers = [Flatten(name="flatten")] + _fc_tail(in_features, hidden, num_classes, seed)
+    return Sequential(layers, name="mlp")
+
+
+_ARCHITECTURES = {
+    "paper_cnn": paper_cnn,
+    "compact_cnn": compact_cnn,
+    "mlp": mlp,
+}
+
+
+def build_architecture(
+    name: str,
+    image_shape: tuple[int, int, int],
+    num_classes: int = 10,
+    *,
+    seed: int = 0,
+    **kwargs,
+) -> Sequential:
+    """Build one of the registered architectures by name."""
+    try:
+        factory = _ARCHITECTURES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown architecture {name!r}; expected one of {sorted(_ARCHITECTURES)}"
+        ) from exc
+    return factory(image_shape, num_classes, seed=seed, **kwargs)

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (trained models) are session-scoped and deliberately
+tiny: a dense-only MLP on a low-resolution synthetic dataset trains in well
+under a second and is sufficient for exercising every attack code path.  The
+CI-scale CNN used by the experiment-driver tests is also session-scoped and
+cached on disk inside the pytest temporary directory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DataSplit
+from repro.data.synthetic import SyntheticImageConfig, SyntheticImageGenerator
+from repro.utils.cache import DiskCache
+from repro.zoo.architectures import mlp
+from repro.zoo.registry import ModelRegistry
+from repro.zoo.trainer import Trainer, TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A session-wide deterministic random generator for test data."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> SyntheticImageConfig:
+    """Configuration of the tiny synthetic dataset used across tests."""
+    return SyntheticImageConfig(
+        image_size=12,
+        channels=1,
+        num_classes=6,
+        modes_per_class=1,
+        strokes_per_prototype=3,
+        jitter=1,
+        noise_std=0.05,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_config) -> DataSplit:
+    """A small train/test split drawn from the tiny synthetic distribution."""
+    generator = SyntheticImageGenerator(tiny_config)
+    train = generator.sample(400, seed=1, name="tiny")
+    test = generator.sample(200, seed=2, name="tiny")
+    return DataSplit(train=train, test=test)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_split):
+    """A small trained MLP victim (dense-only, trains in < 1 s)."""
+    model = mlp(tiny_split.train.image_shape, tiny_split.num_classes, seed=3, hidden=(48, 32))
+    trainer = Trainer(TrainingConfig(epochs=6, batch_size=32, learning_rate=2e-3))
+    trainer.fit(model, tiny_split.train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_accuracy(tiny_model, tiny_split) -> float:
+    """Test accuracy of the tiny victim model."""
+    return tiny_model.evaluate(tiny_split.test.images, tiny_split.test.labels)
+
+
+@pytest.fixture(scope="session")
+def session_registry(tmp_path_factory) -> ModelRegistry:
+    """A model registry backed by a session-scoped temporary disk cache."""
+    cache_dir = tmp_path_factory.mktemp("model-cache")
+    return ModelRegistry(DiskCache(cache_dir))
+
+
+@pytest.fixture()
+def fresh_registry(tmp_path) -> ModelRegistry:
+    """A registry with its own empty cache (for cache-behaviour tests)."""
+    return ModelRegistry(DiskCache(tmp_path / "cache"))

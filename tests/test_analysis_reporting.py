@@ -1,0 +1,98 @@
+"""Tests for repro.analysis.reporting."""
+
+import pytest
+
+from repro.analysis.reporting import Table, format_float, render_csv, render_markdown, render_text
+
+
+class TestFormatFloat:
+    def test_integers_unchanged(self):
+        assert format_float(7) == "7"
+
+    def test_float_precision(self):
+        assert format_float(0.123456, digits=3) == "0.123"
+
+    def test_whole_float_renders_as_int(self):
+        assert format_float(5.0) == "5"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_strings_passthrough(self):
+        assert format_float("abc") == "abc"
+
+    def test_bool(self):
+        assert format_float(True) == "True"
+
+
+class TestTable:
+    def make(self):
+        table = Table(title="Demo", columns=["a", "b", "c"])
+        table.add_row(1, 0.5, "x")
+        table.add_row(2, 0.25, "y")
+        table.add_note("a footnote")
+        return table
+
+    def test_add_row_positional_length_check(self):
+        table = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_add_row_by_name(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_row(b=2, a=1)
+        assert table.rows == [[1, 2]]
+
+    def test_add_row_by_name_missing(self):
+        table = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(a=1)
+
+    def test_add_row_mixed_rejected(self):
+        table = Table(title="t", columns=["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, a=1)
+
+    def test_column_access(self):
+        table = self.make()
+        assert table.column("a") == [1, 2]
+        with pytest.raises(KeyError):
+            table.column("zzz")
+
+    def test_to_records(self):
+        records = self.make().to_records()
+        assert records[0] == {"a": 1, "b": 0.5, "c": "x"}
+
+    def test_render_text_contains_everything(self):
+        text = self.make().render("text")
+        assert "Demo" in text and "footnote" in text and "0.5" in text
+
+    def test_render_markdown_structure(self):
+        md = self.make().render("markdown")
+        assert md.count("|") >= 12
+        assert "---" in md
+
+    def test_render_csv(self):
+        csv = self.make().render("csv")
+        lines = csv.splitlines()
+        assert lines[0] == "a,b,c"
+        assert len(lines) == 3
+
+    def test_render_unknown_format(self):
+        with pytest.raises(ValueError):
+            self.make().render("html")
+
+    def test_save(self, tmp_path):
+        path = self.make().save(tmp_path / "out" / "table.csv", "csv")
+        assert path.exists()
+        assert path.read_text().startswith("a,b,c")
+
+    def test_render_functions_match_methods(self):
+        table = self.make()
+        assert render_text(table) == table.render("text")
+        assert render_markdown(table) == table.render("markdown")
+        assert render_csv(table, digits=6) == table.render("csv", digits=6)
+
+    def test_empty_table_renders(self):
+        table = Table(title="empty", columns=["x"])
+        assert "empty" in table.render("text")

@@ -1,0 +1,114 @@
+"""Tests for repro.analysis.tolerance and repro.analysis.sweeps."""
+
+import pytest
+
+from repro.analysis.sweeps import sweep_s_r_grid
+from repro.analysis.tolerance import ToleranceCurve, fault_tolerance_curve
+from repro.attacks.fault_sneaking import FaultSneakingConfig
+from repro.utils.errors import ConfigurationError
+
+FAST_CONFIG = FaultSneakingConfig(
+    norm="l0", iterations=50, warmup_iterations=200, refine_support_steps=20
+)
+
+
+class TestToleranceCurve:
+    def make(self):
+        curve = ToleranceCurve()
+        curve.add(1, 1.0, 1, 1.0, 10)
+        curve.add(4, 1.0, 4, 1.0, 30)
+        curve.add(8, 0.75, 6, 0.95, 60)
+        curve.add(16, 0.4, 6, 0.9, 80)
+        return curve
+
+    def test_tolerance_is_max_faults(self):
+        assert self.make().tolerance == 6
+
+    def test_saturation_s(self):
+        assert self.make().saturation_s() == 8
+
+    def test_saturation_none_when_all_succeed(self):
+        curve = ToleranceCurve()
+        curve.add(1, 1.0, 1, 1.0, 5)
+        assert curve.saturation_s() is None
+
+    def test_records(self):
+        records = self.make().as_records()
+        assert len(records) == 4
+        assert records[2]["successful_faults"] == 6
+
+    def test_empty_curve(self):
+        assert ToleranceCurve().tolerance == 0
+
+
+class TestFaultToleranceCurve:
+    def test_curve_shapes(self, tiny_model, tiny_split):
+        curve = fault_tolerance_curve(
+            tiny_model,
+            tiny_split.test,
+            s_values=[1, 3],
+            num_images=12,
+            config=FAST_CONFIG,
+            seed=0,
+        )
+        assert curve.s_values == [1, 3]
+        assert len(curve.success_rates) == 2
+        assert all(0.0 <= rate <= 1.0 for rate in curve.success_rates)
+        assert curve.successful_faults[0] <= 1
+        assert curve.successful_faults[1] <= 3
+
+    def test_small_s_succeeds(self, tiny_model, tiny_split):
+        curve = fault_tolerance_curve(
+            tiny_model, tiny_split.test, s_values=[1], num_images=10, config=FAST_CONFIG, seed=1
+        )
+        assert curve.success_rates[0] == 1.0
+
+    def test_invalid_s_values(self, tiny_model, tiny_split):
+        with pytest.raises(ConfigurationError):
+            fault_tolerance_curve(
+                tiny_model, tiny_split.test, s_values=[0], num_images=5, config=FAST_CONFIG
+            )
+        with pytest.raises(ConfigurationError):
+            fault_tolerance_curve(
+                tiny_model, tiny_split.test, s_values=[10], num_images=5, config=FAST_CONFIG
+            )
+
+
+class TestSweep:
+    def test_grid_records(self, tiny_model, tiny_split):
+        records = sweep_s_r_grid(
+            tiny_model,
+            tiny_split.test,
+            s_values=[1, 2],
+            r_values=[5, 10],
+            config=FAST_CONFIG,
+            seed=0,
+        )
+        assert len(records) == 4
+        keys = {(rec.num_targets, rec.num_images) for rec in records}
+        assert keys == {(1, 5), (2, 5), (1, 10), (2, 10)}
+
+    def test_s_greater_than_r_skipped(self, tiny_model, tiny_split):
+        records = sweep_s_r_grid(
+            tiny_model,
+            tiny_split.test,
+            s_values=[1, 8],
+            r_values=[4],
+            config=FAST_CONFIG,
+            seed=0,
+        )
+        assert len(records) == 1
+
+    def test_record_dict(self, tiny_model, tiny_split):
+        records = sweep_s_r_grid(
+            tiny_model, tiny_split.test, s_values=[1], r_values=[5], config=FAST_CONFIG, seed=0
+        )
+        record = records[0].as_dict()
+        assert record["dataset"] == tiny_split.test.name
+        assert record["S"] == 1 and record["R"] == 5
+
+    def test_empty_grid_rejected(self, tiny_model, tiny_split):
+        with pytest.raises(ConfigurationError):
+            sweep_s_r_grid(
+                tiny_model, tiny_split.test, s_values=[], r_values=[5], config=FAST_CONFIG
+            )

@@ -1,0 +1,195 @@
+"""Tests for repro.attacks.objective."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.objective import AttackObjective
+from repro.attacks.parameter_view import ParameterSelector, ParameterView
+from repro.attacks.targets import make_attack_plan
+from repro.utils.errors import ConfigurationError, ShapeError
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture()
+def setup(tiny_model, tiny_split):
+    plan = make_attack_plan(tiny_split.test, num_targets=3, num_images=12, seed=0)
+    view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+    objective = AttackObjective(
+        view, plan.images, plan.desired_labels, num_targets=plan.num_targets, kappa=0.5
+    )
+    return tiny_model, view, objective, plan
+
+
+class TestConstruction:
+    def test_num_classes_inferred(self, setup):
+        _, _, objective, _ = setup
+        assert objective.num_classes == 6
+
+    def test_mismatched_lengths(self, tiny_model, tiny_split):
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        with pytest.raises(ShapeError):
+            AttackObjective(view, tiny_split.test.images[:5], np.zeros(4, dtype=int))
+
+    def test_empty_images_rejected(self, tiny_model, tiny_split):
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        with pytest.raises(ConfigurationError):
+            AttackObjective(view, tiny_split.test.images[:0], np.zeros(0, dtype=int))
+
+    def test_bad_labels_rejected(self, tiny_model, tiny_split):
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        with pytest.raises(ValueError):
+            AttackObjective(view, tiny_split.test.images[:3], np.array([0, 1, 99]))
+
+    def test_bad_num_targets(self, tiny_model, tiny_split):
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        with pytest.raises(ConfigurationError):
+            AttackObjective(
+                view, tiny_split.test.images[:3], np.zeros(3, dtype=int), num_targets=5
+            )
+
+    def test_negative_weights_rejected(self, tiny_model, tiny_split):
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        with pytest.raises(ValueError):
+            AttackObjective(
+                view, tiny_split.test.images[:3], np.zeros(3, dtype=int), weights=-1.0
+            )
+
+    def test_kappa_vector_wrong_length(self, tiny_model, tiny_split):
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        with pytest.raises(ShapeError):
+            AttackObjective(
+                view, tiny_split.test.images[:3], np.zeros(3, dtype=int), kappa=np.ones(2)
+            )
+
+    def test_negative_kappa_rejected(self, tiny_model, tiny_split):
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        with pytest.raises(ConfigurationError):
+            AttackObjective(
+                view, tiny_split.test.images[:3], np.zeros(3, dtype=int), kappa=-1.0
+            )
+
+
+class TestValueSemantics:
+    def test_logits_match_model(self, setup):
+        model, _, objective, plan = setup
+        zero = np.zeros(objective.view.size)
+        np.testing.assert_allclose(objective.logits(zero), model.logits(plan.images))
+
+    def test_model_restored_after_calls(self, setup):
+        model, view, objective, _ = setup
+        before = view.gather()
+        objective.value(RNG.random(view.size))
+        objective.gradient(RNG.random(view.size))
+        np.testing.assert_array_equal(view.gather(), before)
+
+    def test_value_nonnegative(self, setup):
+        _, view, objective, _ = setup
+        assert objective.value(np.zeros(view.size)) >= 0.0
+        assert objective.value(RNG.random(view.size)) >= 0.0
+
+    def test_keep_terms_zero_at_clean_model(self, tiny_model, tiny_split):
+        """With kappa=0, correctly classified keep images contribute nothing."""
+        predictions = tiny_model.predict(tiny_split.test.images)
+        correct = predictions == tiny_split.test.labels
+        plan = make_attack_plan(
+            tiny_split.test, num_targets=0, num_images=10, only_correct=correct, seed=1
+        )
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        objective = AttackObjective(
+            view, plan.images, plan.desired_labels, num_targets=0, kappa=0.0
+        )
+        assert objective.value(np.zeros(view.size)) == pytest.approx(0.0)
+
+    def test_weights_scale_value(self, setup):
+        model, view, _, plan = setup
+        base = AttackObjective(
+            view, plan.images, plan.desired_labels, num_targets=plan.num_targets, kappa=0.5
+        )
+        doubled = AttackObjective(
+            view,
+            plan.images,
+            plan.desired_labels,
+            num_targets=plan.num_targets,
+            weights=2.0,
+            kappa=0.5,
+        )
+        zero = np.zeros(view.size)
+        assert doubled.value(zero) == pytest.approx(2.0 * base.value(zero))
+
+    def test_feature_cache_matches_uncached(self, setup):
+        model, view, cached, plan = setup
+        uncached = AttackObjective(
+            view,
+            plan.images,
+            plan.desired_labels,
+            num_targets=plan.num_targets,
+            kappa=0.5,
+            use_feature_cache=False,
+        )
+        delta = RNG.random(view.size) * 0.1
+        assert cached.value(delta) == pytest.approx(uncached.value(delta))
+        np.testing.assert_allclose(cached.gradient(delta), uncached.gradient(delta), atol=1e-10)
+
+
+class TestGradient:
+    def test_gradient_matches_numeric(self, setup):
+        _, view, objective, _ = setup
+        delta = RNG.random(view.size) * 0.05
+        analytic = objective.gradient(delta)
+        eps = 1e-6
+        numeric = np.zeros_like(delta)
+        for i in range(delta.size):
+            plus = delta.copy()
+            plus[i] += eps
+            minus = delta.copy()
+            minus[i] -= eps
+            numeric[i] = (objective.value(plus) - objective.value(minus)) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_value_and_gradient_consistent(self, setup):
+        _, view, objective, _ = setup
+        delta = RNG.random(view.size) * 0.05
+        value, grad = objective.value_and_gradient(delta)
+        assert value == pytest.approx(objective.value(delta))
+        np.testing.assert_allclose(grad, objective.gradient(delta))
+
+    def test_gradient_zero_when_all_satisfied(self, tiny_model, tiny_split):
+        """If every desired label is already predicted with margin, grad = 0."""
+        predictions = tiny_model.predict(tiny_split.test.images)
+        correct = predictions == tiny_split.test.labels
+        plan = make_attack_plan(
+            tiny_split.test, num_targets=0, num_images=8, only_correct=correct, seed=2
+        )
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        objective = AttackObjective(
+            view, plan.images, plan.desired_labels, num_targets=0, kappa=0.0
+        )
+        np.testing.assert_array_equal(objective.gradient(np.zeros(view.size)), 0.0)
+
+
+class TestBookkeeping:
+    def test_success_rate_zero_at_clean_model(self, setup):
+        _, view, objective, _ = setup
+        # targets are wrong labels, so the unmodified model cannot satisfy them
+        assert objective.success_rate(np.zeros(view.size)) <= 0.34
+
+    def test_keep_rate_high_at_clean_model(self, setup):
+        _, view, objective, _ = setup
+        assert objective.keep_rate(np.zeros(view.size)) >= 0.5
+
+    def test_masks_lengths(self, setup):
+        _, view, objective, plan = setup
+        zero = np.zeros(view.size)
+        assert objective.success_mask(zero).shape == (plan.num_targets,)
+        assert objective.keep_mask(zero).shape == (plan.num_keep,)
+
+    def test_predictions_shape(self, setup):
+        _, view, objective, plan = setup
+        assert objective.predictions(np.zeros(view.size)).shape == (plan.num_images,)
+
+    def test_empty_target_slice_gives_full_success(self, tiny_model, tiny_split):
+        view = ParameterView(tiny_model, ParameterSelector(layers=("fc_logits",)))
+        plan = make_attack_plan(tiny_split.test, num_targets=0, num_images=5, seed=3)
+        objective = AttackObjective(view, plan.images, plan.desired_labels, num_targets=0)
+        assert objective.success_rate(np.zeros(view.size)) == 1.0

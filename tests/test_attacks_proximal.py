@@ -1,0 +1,143 @@
+"""Tests for repro.attacks.proximal, including hypothesis property tests.
+
+The proximal operators are the closed-form solutions of the paper's z-step
+(eqs. (16) and (18)); the property tests verify that each operator really
+minimises its objective ``D(z) + (rho/2)||z - v||^2`` against random
+perturbations of the returned point.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.attacks.proximal import get_proximal_operator, prox_l0, prox_l1, prox_l2
+from repro.utils.errors import ConfigurationError
+
+VECTORS = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 40),
+    elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+)
+RHOS = st.floats(0.01, 1000.0, allow_nan=False, allow_infinity=False)
+
+
+def _objective(norm, z, v, rho):
+    if norm == "l0":
+        measure = np.count_nonzero(z)
+    elif norm == "l1":
+        measure = np.abs(z).sum()
+    else:
+        measure = np.linalg.norm(z)
+    return measure + rho / 2.0 * np.sum((z - v) ** 2)
+
+
+class TestL0:
+    def test_large_entries_kept(self):
+        v = np.array([3.0, -2.0, 0.001])
+        out = prox_l0(v, rho=1.0)
+        np.testing.assert_array_equal(out, [3.0, -2.0, 0.0])
+
+    def test_threshold_value(self):
+        rho = 8.0
+        threshold = np.sqrt(2.0 / rho)
+        v = np.array([threshold * 1.01, threshold * 0.99])
+        out = prox_l0(v, rho)
+        assert out[0] != 0.0 and out[1] == 0.0
+
+    def test_zero_input(self):
+        np.testing.assert_array_equal(prox_l0(np.zeros(5), 1.0), np.zeros(5))
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            prox_l0(np.ones(3), 0.0)
+
+    @given(v=VECTORS, rho=RHOS)
+    @settings(max_examples=60, deadline=None)
+    def test_output_is_subset_of_input(self, v, rho):
+        out = prox_l0(v, rho)
+        mask = out != 0
+        np.testing.assert_array_equal(out[mask], v[mask])
+
+    @given(v=VECTORS, rho=RHOS)
+    @settings(max_examples=60, deadline=None)
+    def test_minimises_objective_vs_extremes(self, v, rho):
+        out = prox_l0(v, rho)
+        best = _objective("l0", out, v, rho)
+        assert best <= _objective("l0", np.zeros_like(v), v, rho) + 1e-9
+        assert best <= _objective("l0", v, v, rho) + 1e-9
+
+
+class TestL2:
+    def test_shrinks_toward_zero(self):
+        v = np.array([3.0, 4.0])  # norm 5
+        out = prox_l2(v, rho=1.0)
+        np.testing.assert_allclose(out, v * (1 - 1 / 5))
+
+    def test_small_vector_becomes_zero(self):
+        v = np.array([0.1, 0.1])
+        np.testing.assert_array_equal(prox_l2(v, rho=1.0), np.zeros(2))
+
+    def test_direction_preserved(self):
+        v = np.array([1.0, 2.0, -2.0])
+        out = prox_l2(v, rho=5.0)
+        cosine = np.dot(out, v) / (np.linalg.norm(out) * np.linalg.norm(v))
+        assert cosine == pytest.approx(1.0)
+
+    @given(v=VECTORS, rho=RHOS)
+    @settings(max_examples=60, deadline=None)
+    def test_never_increases_norm(self, v, rho):
+        out = prox_l2(v, rho)
+        assert np.linalg.norm(out) <= np.linalg.norm(v) + 1e-12
+
+    @given(v=VECTORS, rho=RHOS)
+    @settings(max_examples=60, deadline=None)
+    def test_minimises_objective_vs_perturbations(self, v, rho):
+        out = prox_l2(v, rho)
+        best = _objective("l2", out, v, rho)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            candidate = out + rng.normal(0, 0.05, size=out.shape)
+            assert best <= _objective("l2", candidate, v, rho) + 1e-7
+
+
+class TestL1:
+    def test_soft_threshold_values(self):
+        v = np.array([2.0, -0.3, 0.8])
+        out = prox_l1(v, rho=2.0)  # threshold 0.5
+        np.testing.assert_allclose(out, [1.5, 0.0, 0.3])
+
+    def test_sign_preserved(self):
+        v = np.array([-3.0, 3.0])
+        out = prox_l1(v, rho=1.0)
+        assert out[0] < 0 < out[1]
+
+    @given(v=VECTORS, rho=RHOS)
+    @settings(max_examples=60, deadline=None)
+    def test_shrinkage_bounded_by_threshold(self, v, rho):
+        out = prox_l1(v, rho)
+        assert np.all(np.abs(out - v) <= 1.0 / rho + 1e-12)
+
+    @given(v=VECTORS, rho=RHOS)
+    @settings(max_examples=60, deadline=None)
+    def test_minimises_objective_vs_perturbations(self, v, rho):
+        out = prox_l1(v, rho)
+        best = _objective("l1", out, v, rho)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            candidate = out + rng.normal(0, 0.05, size=out.shape)
+            assert best <= _objective("l1", candidate, v, rho) + 1e-7
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,func", [("l0", prox_l0), ("l1", prox_l1), ("l2", prox_l2)])
+    def test_lookup(self, name, func):
+        assert get_proximal_operator(name) is func
+
+    def test_case_insensitive(self):
+        assert get_proximal_operator("L0") is prox_l0
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_proximal_operator("l3")

@@ -1,0 +1,150 @@
+"""Tests for repro.attacks.targets."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.targets import AttackPlan, make_attack_plan
+from repro.utils.errors import ConfigurationError, ShapeError
+
+
+class TestAttackPlan:
+    def make(self, s=2, r=5):
+        rng = np.random.default_rng(0)
+        return AttackPlan(
+            images=rng.random((r, 4, 4, 1)),
+            true_labels=np.arange(r) % 3,
+            target_labels=(np.arange(s) + 1) % 3,
+            num_targets=s,
+        )
+
+    def test_counts(self):
+        plan = self.make(2, 5)
+        assert plan.num_images == 5
+        assert plan.num_targets == 2
+        assert plan.num_keep == 3
+
+    def test_desired_labels(self):
+        plan = self.make(2, 5)
+        desired = plan.desired_labels
+        np.testing.assert_array_equal(desired[:2], plan.target_labels)
+        np.testing.assert_array_equal(desired[2:], plan.true_labels[2:])
+
+    def test_slices(self):
+        plan = self.make(2, 5)
+        assert plan.target_images.shape[0] == 2
+        assert plan.keep_images.shape[0] == 3
+        assert plan.keep_labels.shape[0] == 3
+
+    def test_describe(self):
+        assert self.make(2, 5).describe() == "S=2, R=5"
+
+    def test_target_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            AttackPlan(
+                images=np.zeros((3, 2, 2, 1)),
+                true_labels=np.zeros(3, dtype=int),
+                target_labels=np.zeros(2, dtype=int),
+                num_targets=1,
+            )
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            AttackPlan(
+                images=np.zeros((3, 2, 2, 1)),
+                true_labels=np.zeros(2, dtype=int),
+                target_labels=np.zeros(1, dtype=int),
+                num_targets=1,
+            )
+
+
+class TestMakeAttackPlan:
+    def test_basic(self, tiny_split):
+        plan = make_attack_plan(tiny_split.test, num_targets=3, num_images=10, seed=0)
+        assert plan.num_targets == 3
+        assert plan.num_images == 10
+        assert plan.images.shape[1:] == tiny_split.test.image_shape
+
+    def test_targets_differ_from_true_labels(self, tiny_split):
+        for strategy in ("random", "next", "fixed"):
+            plan = make_attack_plan(
+                tiny_split.test,
+                num_targets=5,
+                num_images=10,
+                target_strategy=strategy,
+                fixed_target=2,
+                seed=1,
+            )
+            assert np.all(plan.target_labels != plan.true_labels[:5])
+
+    def test_next_strategy(self, tiny_split):
+        plan = make_attack_plan(
+            tiny_split.test, num_targets=4, num_images=8, target_strategy="next", seed=2
+        )
+        expected = (plan.true_labels[:4] + 1) % tiny_split.test.num_classes
+        np.testing.assert_array_equal(plan.target_labels, expected)
+
+    def test_fixed_strategy(self, tiny_split):
+        plan = make_attack_plan(
+            tiny_split.test,
+            num_targets=6,
+            num_images=6,
+            target_strategy="fixed",
+            fixed_target=3,
+            seed=3,
+        )
+        # all targets are 3 except where the true label already was 3
+        for target, true in zip(plan.target_labels, plan.true_labels):
+            assert target == 3 or true == 3
+
+    def test_fixed_requires_target(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            make_attack_plan(
+                tiny_split.test, num_targets=1, num_images=2, target_strategy="fixed"
+            )
+
+    def test_unknown_strategy(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            make_attack_plan(
+                tiny_split.test, num_targets=1, num_images=2, target_strategy="weird"
+            )
+
+    def test_s_greater_than_r_rejected(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            make_attack_plan(tiny_split.test, num_targets=5, num_images=4)
+
+    def test_r_exceeding_pool_rejected(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            make_attack_plan(
+                tiny_split.test, num_targets=1, num_images=len(tiny_split.test) + 1
+            )
+
+    def test_deterministic(self, tiny_split):
+        a = make_attack_plan(tiny_split.test, num_targets=2, num_images=6, seed=5)
+        b = make_attack_plan(tiny_split.test, num_targets=2, num_images=6, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.target_labels, b.target_labels)
+
+    def test_images_are_unique(self, tiny_split):
+        plan = make_attack_plan(tiny_split.test, num_targets=2, num_images=20, seed=6)
+        flat = plan.images.reshape(20, -1)
+        assert len(np.unique(flat, axis=0)) == 20
+
+    def test_only_correct_mask(self, tiny_split, tiny_model):
+        predictions = tiny_model.predict(tiny_split.test.images)
+        correct = predictions == tiny_split.test.labels
+        plan = make_attack_plan(
+            tiny_split.test,
+            num_targets=2,
+            num_images=10,
+            only_correct=correct,
+            seed=7,
+        )
+        # every selected image must be one the clean model classifies correctly
+        preds = tiny_model.predict(plan.images)
+        np.testing.assert_array_equal(preds, plan.true_labels)
+
+    def test_only_correct_wrong_shape(self, tiny_split):
+        with pytest.raises(ShapeError):
+            make_attack_plan(
+                tiny_split.test, num_targets=1, num_images=4, only_correct=np.ones(3, bool)
+            )

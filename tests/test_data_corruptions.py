@@ -1,0 +1,79 @@
+"""Tests for repro.data.corruptions."""
+
+import numpy as np
+import pytest
+
+from repro.data.corruptions import add_gaussian_noise, add_label_noise, random_erase
+from repro.data.dataset import Dataset
+
+
+@pytest.fixture()
+def dataset():
+    rng = np.random.default_rng(0)
+    return Dataset(
+        images=rng.random((40, 10, 10, 1)) * 0.5 + 0.25,
+        labels=rng.integers(0, 4, 40),
+        num_classes=4,
+        name="toy",
+    )
+
+
+class TestGaussianNoise:
+    def test_changes_images_not_labels(self, dataset):
+        noisy = add_gaussian_noise(dataset, 0.1, seed=0)
+        assert not np.array_equal(noisy.images, dataset.images)
+        np.testing.assert_array_equal(noisy.labels, dataset.labels)
+
+    def test_zero_std_is_identity(self, dataset):
+        noisy = add_gaussian_noise(dataset, 0.0, seed=0)
+        np.testing.assert_array_equal(noisy.images, dataset.images)
+
+    def test_clipped_to_unit_range(self, dataset):
+        noisy = add_gaussian_noise(dataset, 5.0, seed=0)
+        assert noisy.images.min() >= 0.0 and noisy.images.max() <= 1.0
+
+    def test_negative_std_raises(self, dataset):
+        with pytest.raises(ValueError):
+            add_gaussian_noise(dataset, -0.1)
+
+    def test_original_untouched(self, dataset):
+        before = dataset.images.copy()
+        add_gaussian_noise(dataset, 0.3, seed=1)
+        np.testing.assert_array_equal(dataset.images, before)
+
+
+class TestLabelNoise:
+    def test_fraction_of_labels_changed(self, dataset):
+        noisy = add_label_noise(dataset, 0.5, seed=0)
+        changed = np.mean(noisy.labels != dataset.labels)
+        assert changed == pytest.approx(0.5, abs=0.05)
+
+    def test_zero_fraction_is_identity(self, dataset):
+        noisy = add_label_noise(dataset, 0.0)
+        np.testing.assert_array_equal(noisy.labels, dataset.labels)
+
+    def test_labels_stay_valid(self, dataset):
+        noisy = add_label_noise(dataset, 1.0, seed=0)
+        assert noisy.labels.min() >= 0 and noisy.labels.max() < dataset.num_classes
+        # every corrupted label must actually differ
+        assert np.all(noisy.labels != dataset.labels)
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            add_label_noise(dataset, 1.2)
+
+
+class TestRandomErase:
+    def test_erases_patches(self, dataset):
+        erased = random_erase(dataset, 4, seed=0)
+        # each image should contain a 4x4 zero block
+        has_zero = [(erased.images[i] == 0.0).sum() >= 16 for i in range(len(dataset))]
+        assert all(has_zero)
+
+    def test_probability_zero_is_identity(self, dataset):
+        erased = random_erase(dataset, 4, probability=0.0, seed=0)
+        np.testing.assert_array_equal(erased.images, dataset.images)
+
+    def test_invalid_patch_size(self, dataset):
+        with pytest.raises(ValueError):
+            random_erase(dataset, 0)

@@ -1,0 +1,130 @@
+"""Tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, train_test_split
+from repro.utils.errors import ShapeError
+
+
+def make_dataset(n=60, num_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    images = rng.random((n, 8, 8, 1))
+    labels = np.arange(n) % num_classes
+    return Dataset(images=images, labels=labels, num_classes=num_classes, name="toy")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = make_dataset()
+        assert len(ds) == 60
+        assert ds.image_shape == (8, 8, 1)
+        assert ds.num_classes == 4
+
+    def test_non_nhwc_rejected(self):
+        with pytest.raises(ShapeError):
+            Dataset(images=np.zeros((10, 8, 8)), labels=np.zeros(10), num_classes=2)
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            Dataset(images=np.zeros((10, 4, 4, 1)), labels=np.zeros(5), num_classes=2)
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            Dataset(images=np.zeros((3, 4, 4, 1)), labels=np.array([0, 1, 5]), num_classes=2)
+
+    def test_bad_num_classes(self):
+        with pytest.raises(ValueError):
+            Dataset(images=np.zeros((3, 4, 4, 1)), labels=np.zeros(3), num_classes=0)
+
+
+class TestSubsetting:
+    def test_subset(self):
+        ds = make_dataset()
+        sub = ds.subset([0, 5, 10])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 5, 10]])
+
+    def test_take(self):
+        assert len(make_dataset().take(7)) == 7
+
+    def test_take_more_than_available(self):
+        assert len(make_dataset(n=5).take(100)) == 5
+
+    def test_shuffled_preserves_pairs(self):
+        ds = make_dataset()
+        shuffled = ds.shuffled(seed=1)
+        assert len(shuffled) == len(ds)
+        # the (image, label) association must be preserved
+        for i in range(5):
+            j = int(np.flatnonzero((ds.images == shuffled.images[i]).all(axis=(1, 2, 3)))[0])
+            assert ds.labels[j] == shuffled.labels[i]
+
+    def test_class_counts(self):
+        counts = make_dataset(n=40, num_classes=4).class_counts()
+        np.testing.assert_array_equal(counts, [10, 10, 10, 10])
+
+    def test_flattened_images(self):
+        assert make_dataset().flattened_images().shape == (60, 64)
+
+
+class TestSampling:
+    def test_stratified_sample_balance(self):
+        ds = make_dataset(n=100, num_classes=4)
+        sample = ds.sample(20, seed=0)
+        counts = sample.class_counts()
+        assert counts.min() >= 4 and counts.max() <= 6
+
+    def test_unstratified_sample_size(self):
+        assert len(make_dataset().sample(15, seed=1, stratified=False)) == 15
+
+    def test_sample_too_large_raises(self):
+        with pytest.raises(ValueError):
+            make_dataset(n=10).sample(11)
+
+    def test_sample_deterministic(self):
+        ds = make_dataset()
+        a = ds.sample(10, seed=3)
+        b = ds.sample(10, seed=3)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestBatches:
+    def test_batch_sizes(self):
+        ds = make_dataset(n=50)
+        batches = list(ds.batches(16))
+        assert [b[0].shape[0] for b in batches] == [16, 16, 16, 2]
+
+    def test_shuffle_changes_order(self):
+        ds = make_dataset(n=50)
+        plain = np.concatenate([y for _, y in ds.batches(50)])
+        shuffled = np.concatenate([y for _, y in ds.batches(50, shuffle=True, seed=1)])
+        assert not np.array_equal(plain, shuffled)
+        np.testing.assert_array_equal(np.sort(plain), np.sort(shuffled))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(make_dataset().batches(0))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        ds = make_dataset(n=100)
+        split = train_test_split(ds, test_fraction=0.25, seed=0)
+        assert len(split.train) + len(split.test) == 100
+        assert len(split.test) == pytest.approx(25, abs=4)
+
+    def test_all_classes_in_both(self):
+        ds = make_dataset(n=40, num_classes=4)
+        split = train_test_split(ds, test_fraction=0.2, seed=0)
+        assert set(split.train.labels) == set(range(4))
+        assert set(split.test.labels) == set(range(4))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(), test_fraction=1.5)
+
+    def test_split_properties(self):
+        split = train_test_split(make_dataset(), test_fraction=0.2, seed=0)
+        assert split.num_classes == 4
+        assert split.name == "toy"

@@ -1,0 +1,166 @@
+"""Tests for the experiment drivers (smoke scale).
+
+These verify that every table/figure driver runs end to end, produces a table
+with the expected columns/rows, and that the headline qualitative properties
+(the "shapes" described in DESIGN.md) hold even at the smallest scale where
+they are meaningful.
+"""
+
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.experiments import (
+    EXPERIMENTS,
+    ablations,
+    baseline_comparison,
+    figure1,
+    figure3,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "figure1",
+            "figure2",
+            "figure3",
+            "baseline_comparison",
+            "ablations",
+            "extension_detection",
+        }
+        assert expected == set(EXPERIMENTS)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, session_registry):
+        return table1.run("smoke", registry=session_registry, seed=0)
+
+    def test_is_table(self, result):
+        assert isinstance(result, Table)
+        assert len(result.rows) == 3
+
+    def test_layers_ordered(self, result):
+        assert result.column("layer") == ["fc1", "fc2", "fc_logits"]
+
+    def test_last_layer_cheapest(self, result):
+        def numeric(cell):
+            return int(str(cell).rstrip("*"))
+
+        # use the first S column (index 2)
+        values = [numeric(row[2]) for row in result.rows]
+        assert values[2] < values[0]
+        assert values[2] < values[1]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, session_registry):
+        return table2.run("smoke", registry=session_registry, seed=0)
+
+    def test_rows(self, result):
+        assert [row[0] for row in result.rows] == ["weights", "weights", "biases", "biases"]
+
+    def test_weights_always_succeed(self, result):
+        success_row = result.rows[1]
+        assert all(v == 1.0 for v in success_row[2:])
+
+    def test_bias_l0_tiny_when_successful(self, result):
+        bias_l0_row = result.rows[2]
+        numeric = [v for v in bias_l0_row[2:] if v != "-"]
+        assert all(int(v) <= 10 for v in numeric)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, session_registry):
+        return table3.run("smoke", registry=session_registry, seed=0)
+
+    def test_l0_attack_sparser(self, result):
+        l0_row, l2_row = result.rows
+        # columns alternate l0, l2 per (S, R) setting
+        for col in range(1, len(result.columns), 2):
+            assert l0_row[col] < l2_row[col]
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self, session_registry):
+        return table4.run("smoke", registry=session_registry, seed=0, datasets=("mnist_like",))
+
+    def test_structure(self, result):
+        assert result.columns[0] == "dataset"
+        assert len(result.rows) == 2  # one per R value at smoke scale
+
+    def test_accuracies_in_range(self, result):
+        for row in result.rows:
+            for value in row[3:]:
+                if value != "-":
+                    assert 0.0 <= value <= 1.0
+
+
+class TestFigures:
+    def test_figure1_structure(self, session_registry):
+        result = figure1.run("smoke", registry=session_registry, seed=0)
+        assert result.columns[0] == "R"
+        assert len(result.rows) >= 1
+
+    def test_figure3_success_near_one_for_small_s(self, session_registry):
+        result = figure3.run(
+            "smoke", registry=session_registry, seed=0, datasets=("mnist_like",)
+        )
+        records = result.to_records()
+        small_s = [r for r in records if r["S"] == 1]
+        assert small_s and all(r["success rate"] == 1.0 for r in small_s)
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def result(self, session_registry):
+        return baseline_comparison.run(
+            "smoke", registry=session_registry, seed=0, datasets=("mnist_like",)
+        )
+
+    def test_three_attacks_reported(self, result):
+        attacks = result.column("attack")
+        assert len(attacks) == 3
+        assert any("fault sneaking" in a for a in attacks)
+        assert any("SBA" in a for a in attacks)
+        assert any("GDA" in a for a in attacks)
+
+    def test_sba_single_parameter(self, result):
+        records = result.to_records()
+        sba = next(r for r in records if "SBA" in r["attack"])
+        assert sba["l0"] == 1
+
+
+class TestAblations:
+    def test_rho_sweep(self, session_registry):
+        result = ablations.rho_sweep(
+            "smoke", registry=session_registry, seed=0, rhos=(200.0, 2000.0)
+        )
+        assert len(result.rows) == 2
+        # larger rho -> lower hard threshold -> at least as many modified params
+        assert result.rows[1][2] >= result.rows[0][2]
+
+    def test_warm_start_ablation(self, session_registry):
+        result = ablations.warm_start_ablation("smoke", registry=session_registry, seed=0)
+        records = result.to_records()
+        with_warm = next(r for r in records if r["warm start"] is True)
+        without = next(r for r in records if r["warm start"] is False)
+        assert with_warm["success rate"] >= without["success rate"]
+
+    def test_hardware_cost(self, session_registry):
+        result = ablations.hardware_cost("smoke", registry=session_registry, seed=0)
+        records = result.to_records()
+        l0_words = [r["words touched"] for r in records if r["attack"] == "l0 attack"]
+        l2_words = [r["words touched"] for r in records if r["attack"] == "l2 attack"]
+        assert min(l2_words) >= max(l0_words)

@@ -1,0 +1,40 @@
+"""Tests for the repro-experiments command-line runner."""
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "ci"
+        assert args.format == "text"
+        assert args.output_dir is None
+
+    def test_all_choice(self):
+        args = build_parser().parse_args(["all", "--scale", "paper"])
+        assert args.experiment == "all"
+        assert args.scale == "paper"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "galactic"])
+
+
+class TestMain:
+    def test_runs_single_experiment(self, capsys, tmp_path, monkeypatch):
+        # keep the run hermetic: models trained for the smoke scale land in tmp
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        exit_code = main(
+            ["table3", "--scale", "smoke", "--format", "markdown", "--output-dir", str(tmp_path)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table 3" in captured.out
+        assert (tmp_path / "table3_smoke.csv").exists()

@@ -1,0 +1,98 @@
+"""Tests for repro.hardware.bitflip."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.parameter_view import ParameterSelector, ParameterView
+from repro.hardware.bitflip import plan_bit_flips
+from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
+from repro.nn.quantization import QuantizationSpec
+from repro.utils.errors import ShapeError
+from repro.zoo.architectures import mlp
+
+
+@pytest.fixture()
+def memory():
+    model = mlp((6, 6, 1), 4, seed=0, hidden=(10, 8))
+    view = ParameterView(model, ParameterSelector(layers=("fc_logits",)))
+    return ParameterMemoryMap(view, layout=MemoryLayout(base_address=0, row_bytes=32))
+
+
+class TestPlanBitFlips:
+    def test_identity_plan_is_empty(self, memory):
+        plan = plan_bit_flips(memory, memory.view.gather())
+        assert plan.num_flips == 0
+        assert plan.num_words_touched == 0
+        assert plan.rows_touched == []
+
+    def test_single_word_change(self, memory):
+        target = memory.view.gather()
+        target[0] += 1.0
+        plan = plan_bit_flips(memory, target)
+        assert plan.num_words_touched == 1
+        assert all(flip.word_index == 0 for flip in plan.flips)
+        assert plan.num_flips >= 1
+
+    def test_flip_count_matches_xor_popcount(self, memory):
+        target = memory.view.gather()
+        target[:5] += np.linspace(0.1, 0.5, 5)
+        plan = plan_bit_flips(memory, target)
+        original = memory.read_words()
+        encoded = memory.encode(target)
+        expected = int(sum(bin(int(a) ^ int(b)).count("1") for a, b in zip(original, encoded)))
+        assert plan.num_flips == expected
+
+    def test_executing_plan_reaches_target(self, memory):
+        target = memory.view.gather()
+        target[3] -= 0.25
+        target[17] += 0.75
+        plan = plan_bit_flips(memory, target)
+        for flip in plan.flips:
+            memory.flip_bit(flip.word_index, flip.bit)
+        achieved = memory.decoded_values()
+        np.testing.assert_allclose(achieved, memory.representable(target), atol=1e-7)
+
+    def test_rows_touched(self, memory):
+        target = memory.view.gather()
+        # words 0 and 20 are 80 bytes apart -> different 32-byte rows
+        target[0] += 1.0
+        target[20] += 1.0
+        plan = plan_bit_flips(memory, target)
+        assert plan.num_rows_touched == 2
+
+    def test_histograms(self, memory):
+        target = memory.view.gather()
+        target[0] += 1.0
+        plan = plan_bit_flips(memory, target)
+        per_word = plan.flips_per_word()
+        assert list(per_word) == [0]
+        assert per_word[0] == plan.num_flips
+        assert sum(plan.flips_per_row().values()) == plan.num_flips
+
+    def test_summary_keys(self, memory):
+        plan = plan_bit_flips(memory, memory.view.gather())
+        summary = plan.summary()
+        assert summary["bit_flips"] == 0
+        assert summary["words_total"] == memory.num_words
+        assert summary["mean_flips_per_touched_word"] == 0.0
+
+    def test_shape_mismatch(self, memory):
+        with pytest.raises(ShapeError):
+            plan_bit_flips(memory, np.zeros(3))
+
+    def test_float16_plan_differs(self):
+        model = mlp((6, 6, 1), 4, seed=0, hidden=(10, 8))
+        view = ParameterView(model, ParameterSelector(layers=("fc_logits",)))
+        target = view.gather()
+        target[:10] += 0.3
+        plan32 = plan_bit_flips(ParameterMemoryMap(view, spec=QuantizationSpec("float32")), target)
+        plan16 = plan_bit_flips(ParameterMemoryMap(view, spec=QuantizationSpec("float16")), target)
+        assert plan32.num_words_touched == plan16.num_words_touched == 10
+        assert plan16.num_flips < plan32.num_flips
+
+    def test_byte_offset(self, memory):
+        target = memory.view.gather()
+        target[0] += 1.0
+        plan = plan_bit_flips(memory, target)
+        for flip in plan.flips:
+            assert flip.byte_offset == flip.bit // 8

@@ -1,0 +1,64 @@
+"""Tests for repro.hardware.campaign — end-to-end memory-level injection."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fault_sneaking import FaultSneakingAttack, FaultSneakingConfig
+from repro.attacks.targets import make_attack_plan
+from repro.hardware.campaign import FaultInjectionCampaign
+from repro.hardware.injectors import LaserBeamInjector, RowHammerInjector
+from repro.nn.quantization import QuantizationSpec
+
+FAST = dict(iterations=60, warmup_iterations=250, refine_support_steps=30)
+
+
+@pytest.fixture(scope="module")
+def attack_result(tiny_model, tiny_split):
+    plan = make_attack_plan(tiny_split.test, num_targets=2, num_images=15, seed=0)
+    config = FaultSneakingConfig(norm="l0", **FAST)
+    return FaultSneakingAttack(tiny_model, config).attack(plan)
+
+
+class TestCampaign:
+    def test_float32_preserves_attack(self, attack_result):
+        report = FaultInjectionCampaign(injector=LaserBeamInjector()).run(attack_result)
+        assert report.success_rate == attack_result.success_rate
+        assert report.keep_rate >= attack_result.keep_rate - 0.1
+        assert report.quantization_error < 1e-6
+
+    def test_float16_attack_still_lands(self, attack_result):
+        campaign = FaultInjectionCampaign(
+            injector=LaserBeamInjector(), spec=QuantizationSpec("float16")
+        )
+        report = campaign.run(attack_result)
+        # float16 has ~3 decimal digits of precision; modifications are O(0.1)
+        assert report.quantization_error < 0.01
+        assert report.success_rate >= 0.5
+
+    def test_plan_consistent_with_l0(self, attack_result):
+        report = FaultInjectionCampaign(injector=RowHammerInjector()).run(attack_result)
+        assert report.plan.num_words_touched == attack_result.l0_norm
+
+    def test_victim_model_untouched(self, attack_result, tiny_model):
+        before = tiny_model.snapshot()
+        FaultInjectionCampaign().run(attack_result)
+        after = tiny_model.snapshot()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_attacked_model_is_new_object(self, attack_result, tiny_model):
+        report = FaultInjectionCampaign().run(attack_result)
+        assert report.attacked_model is not tiny_model
+
+    def test_report_as_dict(self, attack_result):
+        report = FaultInjectionCampaign().run(attack_result)
+        record = report.as_dict()
+        assert "bit_flips" in record
+        assert "cost_technique" in record
+        assert record["success_rate"] == report.success_rate
+
+    def test_cost_injector_used(self, attack_result):
+        laser = FaultInjectionCampaign(injector=LaserBeamInjector()).run(attack_result)
+        hammer = FaultInjectionCampaign(injector=RowHammerInjector()).run(attack_result)
+        assert laser.cost.technique == "laser"
+        assert hammer.cost.technique == "rowhammer"

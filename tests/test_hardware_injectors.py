@@ -1,0 +1,72 @@
+"""Tests for repro.hardware.injectors."""
+
+import pytest
+
+from repro.hardware.bitflip import BitFlip, BitFlipPlan
+from repro.hardware.injectors import LaserBeamInjector, RowHammerInjector
+from repro.utils.errors import ConfigurationError
+
+
+def make_plan(flips_spec):
+    """Build a BitFlipPlan from a list of (word_index, bit, row) tuples."""
+    plan = BitFlipPlan(num_words_total=100)
+    for word, bit, row in flips_spec:
+        plan.flips.append(BitFlip(word_index=word, bit=bit, address=word * 4, row=row))
+    plan.num_words_touched = len({w for w, _, _ in flips_spec})
+    return plan
+
+
+class TestLaserBeam:
+    def test_cost_scales_with_flips(self):
+        injector = LaserBeamInjector(seconds_per_flip=10.0, setup_seconds=100.0)
+        small = injector.cost(make_plan([(0, 1, 0)]))
+        large = injector.cost(make_plan([(i, 1, 0) for i in range(10)]))
+        assert small.time_seconds == pytest.approx(110.0)
+        assert large.time_seconds == pytest.approx(200.0)
+        assert large.operations == 10
+
+    def test_feasibility_limit(self):
+        injector = LaserBeamInjector(max_flips=3)
+        ok = injector.cost(make_plan([(i, 0, 0) for i in range(3)]))
+        bad = injector.cost(make_plan([(i, 0, 0) for i in range(4)]))
+        assert ok.feasible and not bad.feasible
+        assert "exceeds" in bad.notes
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            LaserBeamInjector(seconds_per_flip=0.0)
+
+    def test_as_dict(self):
+        cost = LaserBeamInjector().cost(make_plan([(0, 0, 0)]))
+        record = cost.as_dict()
+        assert record["technique"] == "laser"
+        assert record["bit_flips"] == 1
+
+
+class TestRowHammer:
+    def test_cost_scales_with_rows_not_flips(self):
+        injector = RowHammerInjector(seconds_per_row=100.0, setup_seconds=0.0, max_flips_per_row=64)
+        one_row = injector.cost(make_plan([(i, i % 8, 0) for i in range(10)]))
+        two_rows = injector.cost(make_plan([(0, 0, 0), (1, 0, 5)]))
+        assert one_row.time_seconds == pytest.approx(100.0)
+        assert two_rows.time_seconds == pytest.approx(200.0)
+        assert one_row.operations == 1
+        assert two_rows.operations == 2
+
+    def test_per_row_limit(self):
+        injector = RowHammerInjector(max_flips_per_row=2)
+        ok = injector.cost(make_plan([(0, 0, 0), (0, 1, 0)]))
+        bad = injector.cost(make_plan([(0, 0, 0), (0, 1, 0), (0, 2, 0)]))
+        assert ok.feasible and not bad.feasible
+        assert "rows need more" in bad.notes
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            RowHammerInjector(max_flips_per_row=0)
+
+    def test_empty_plan_costs_only_setup(self):
+        injector = RowHammerInjector(setup_seconds=42.0)
+        cost = injector.cost(BitFlipPlan(num_words_total=10))
+        assert cost.feasible
+        assert cost.time_seconds == pytest.approx(42.0)
+        assert cost.bit_flips == 0

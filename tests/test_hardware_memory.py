@@ -1,0 +1,112 @@
+"""Tests for repro.hardware.memory."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.parameter_view import ParameterSelector, ParameterView
+from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
+from repro.nn.quantization import QuantizationSpec
+from repro.utils.errors import ConfigurationError
+from repro.zoo.architectures import mlp
+
+
+@pytest.fixture()
+def view():
+    model = mlp((6, 6, 1), 4, seed=0, hidden=(10, 8))
+    return ParameterView(model, ParameterSelector(layers=("fc_logits",)))
+
+
+class TestMemoryLayout:
+    def test_defaults(self):
+        layout = MemoryLayout()
+        assert layout.row_bytes == 8192
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLayout(row_bytes=0)
+        with pytest.raises(ConfigurationError):
+            MemoryLayout(base_address=-1)
+
+    def test_row_of(self):
+        layout = MemoryLayout(base_address=0, row_bytes=64)
+        assert layout.row_of(0) == 0
+        assert layout.row_of(63) == 0
+        assert layout.row_of(64) == 1
+
+
+class TestParameterMemoryMap:
+    def test_word_count_and_bytes(self, view):
+        memory = ParameterMemoryMap(view)
+        assert memory.num_words == view.size
+        assert memory.total_bytes == view.size * 4
+
+    def test_float16_bytes(self, view):
+        memory = ParameterMemoryMap(view, spec=QuantizationSpec("float16"))
+        assert memory.bytes_per_word == 2
+
+    def test_address_roundtrip(self, view):
+        memory = ParameterMemoryMap(view)
+        for index in (0, 5, memory.num_words - 1):
+            assert memory.index_of(memory.address_of(index)) == index
+
+    def test_address_out_of_range(self, view):
+        memory = ParameterMemoryMap(view)
+        with pytest.raises(IndexError):
+            memory.address_of(memory.num_words)
+        with pytest.raises(ValueError):
+            memory.index_of(memory.layout.base_address - 4)
+        with pytest.raises(ValueError):
+            memory.index_of(memory.layout.base_address + 2)  # misaligned
+
+    def test_parameter_at(self, view):
+        memory = ParameterMemoryMap(view)
+        layer, param = memory.parameter_at(0)
+        assert layer == "fc_logits" and param == "W"
+        layer, param = memory.parameter_at(memory.num_words - 1)
+        assert param == "b"
+        with pytest.raises(IndexError):
+            memory.parameter_at(memory.num_words)
+
+    def test_decoded_values_match_model(self, view):
+        memory = ParameterMemoryMap(view)
+        np.testing.assert_allclose(memory.decoded_values(), view.gather(), atol=1e-6)
+
+    def test_read_write_word(self, view):
+        memory = ParameterMemoryMap(view)
+        memory.write_word(3, 0xDEADBEEF)
+        assert memory.read_word(3) == 0xDEADBEEF
+        with pytest.raises(IndexError):
+            memory.read_word(10**6)
+
+    def test_write_words_shape_check(self, view):
+        memory = ParameterMemoryMap(view)
+        with pytest.raises(ConfigurationError):
+            memory.write_words(np.zeros(3, dtype=np.uint32))
+
+    def test_flip_bit_involution(self, view):
+        memory = ParameterMemoryMap(view)
+        original = memory.read_word(7)
+        memory.flip_bit(7, 31)
+        assert memory.read_word(7) != original
+        memory.flip_bit(7, 31)
+        assert memory.read_word(7) == original
+
+    def test_flip_bit_out_of_range(self, view):
+        memory = ParameterMemoryMap(view)
+        with pytest.raises(ValueError):
+            memory.flip_bit(0, 32)
+
+    def test_flush_to_model(self, view):
+        memory = ParameterMemoryMap(view)
+        target = view.gather() + 0.5
+        memory.write_words(memory.encode(target))
+        memory.flush_to_model()
+        np.testing.assert_allclose(view.gather(), target, atol=1e-6)
+        view.restore()
+
+    def test_representable_is_idempotent(self, view):
+        memory = ParameterMemoryMap(view, spec=QuantizationSpec("float16"))
+        values = view.gather()
+        once = memory.representable(values)
+        twice = memory.representable(once)
+        np.testing.assert_array_equal(once, twice)

@@ -1,0 +1,113 @@
+"""Tests for repro.nn.im2col."""
+
+import numpy as np
+import pytest
+
+from repro.nn.im2col import col2im, conv_output_size, im2col, pad_nhwc
+from repro.utils.errors import ShapeError
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [
+            (28, 3, 1, 0, 26),
+            (28, 3, 1, 1, 28),
+            (28, 5, 2, 2, 14),
+            (32, 2, 2, 0, 16),
+            (8, 8, 1, 0, 1),
+        ],
+    )
+    def test_known_values(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestPad:
+    def test_zero_padding_is_identity(self):
+        x = np.random.default_rng(0).random((2, 4, 4, 3))
+        assert pad_nhwc(x, 0) is x
+
+    def test_padding_shape(self):
+        x = np.ones((1, 4, 5, 2))
+        out = pad_nhwc(x, 2)
+        assert out.shape == (1, 8, 9, 2)
+        assert out[0, 0, 0, 0] == 0.0
+        assert out[0, 2, 2, 0] == 1.0
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        x = np.random.default_rng(0).random((3, 6, 6, 2))
+        cols, (oh, ow) = im2col(x, kernel=3, stride=1, padding=0)
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (3 * 16, 3 * 3 * 2)
+
+    def test_single_pixel_kernel_is_reshape(self):
+        x = np.random.default_rng(1).random((2, 3, 3, 4))
+        cols, (oh, ow) = im2col(x, kernel=1)
+        assert (oh, ow) == (3, 3)
+        np.testing.assert_allclose(cols, x.reshape(-1, 4))
+
+    def test_manual_patch_values(self):
+        # a 1-channel 3x3 image with known values
+        x = np.arange(9, dtype=float).reshape(1, 3, 3, 1)
+        cols, (oh, ow) = im2col(x, kernel=2, stride=1, padding=0)
+        assert (oh, ow) == (2, 2)
+        # first patch is the top-left 2x2 block
+        np.testing.assert_allclose(cols[0], [0, 1, 3, 4])
+        # last patch is the bottom-right 2x2 block
+        np.testing.assert_allclose(cols[-1], [4, 5, 7, 8])
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((2, 5, 5, 3))
+        w = rng.random((3, 3, 3, 4))
+        cols, (oh, ow) = im2col(x, kernel=3, stride=1, padding=1)
+        fast = (cols @ w.reshape(-1, 4)).reshape(2, oh, ow, 4)
+
+        padded = np.pad(x, ((0, 0), (1, 1), (1, 1), (0, 0)))
+        naive = np.zeros_like(fast)
+        for n in range(2):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = padded[n, i : i + 3, j : j + 3, :]
+                    for c in range(4):
+                        naive[n, i, j, c] = np.sum(patch * w[:, :, :, c])
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_requires_nhwc(self):
+        with pytest.raises(ShapeError):
+            im2col(np.ones((4, 4)), kernel=2)
+
+
+class TestCol2Im:
+    def test_adjoint_of_im2col(self):
+        """col2im must be the exact adjoint (transpose) of im2col.
+
+        For linear operators A (im2col) and A^T (col2im):
+        <A x, y> == <x, A^T y> for all x, y.
+        """
+        rng = np.random.default_rng(5)
+        x = rng.random((2, 6, 6, 3))
+        cols, (oh, ow) = im2col(x, kernel=3, stride=2, padding=1)
+        y = rng.random(cols.shape)
+        back = col2im(y, x.shape, kernel=3, stride=2, padding=1)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * back))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_non_overlapping_roundtrip(self):
+        """With stride == kernel, col2im(im2col(x)) reconstructs x exactly."""
+        rng = np.random.default_rng(6)
+        x = rng.random((1, 4, 4, 2))
+        cols, _ = im2col(x, kernel=2, stride=2, padding=0)
+        back = col2im(cols, x.shape, kernel=2, stride=2, padding=0)
+        np.testing.assert_allclose(back, x)
+
+    def test_wrong_row_count_raises(self):
+        with pytest.raises(ShapeError):
+            col2im(np.ones((5, 4)), (1, 4, 4, 1), kernel=2, stride=2)

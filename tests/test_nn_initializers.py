@@ -1,0 +1,64 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers
+
+RNG = np.random.default_rng(0)
+
+
+class TestZeros:
+    def test_all_zero(self):
+        out = initializers.zeros_init((3, 4), 3, 4, RNG)
+        assert out.shape == (3, 4)
+        assert np.all(out == 0)
+
+
+class TestNormal:
+    def test_std_controls_scale(self):
+        small = initializers.normal_init((2000,), 1, 1, np.random.default_rng(0), std=0.01)
+        large = initializers.normal_init((2000,), 1, 1, np.random.default_rng(0), std=1.0)
+        assert small.std() < large.std()
+
+    def test_roughly_zero_mean(self):
+        out = initializers.normal_init((5000,), 1, 1, np.random.default_rng(1))
+        assert abs(out.mean()) < 0.01
+
+
+@pytest.mark.parametrize(
+    "init", [initializers.glorot_uniform, initializers.he_uniform, initializers.he_normal]
+)
+class TestFanScaled:
+    def test_shape(self, init):
+        out = init((6, 8), 6, 8, np.random.default_rng(0))
+        assert out.shape == (6, 8)
+
+    def test_deterministic_given_rng(self, init):
+        a = init((5, 5), 5, 5, np.random.default_rng(7))
+        b = init((5, 5), 5, 5, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_scale_shrinks_with_fan_in(self, init):
+        small_fan = init((4000,), 10, 10, np.random.default_rng(0))
+        large_fan = init((4000,), 1000, 1000, np.random.default_rng(0))
+        assert large_fan.std() < small_fan.std()
+
+
+class TestBounds:
+    def test_glorot_uniform_bounds(self):
+        fan_in, fan_out = 30, 50
+        out = initializers.glorot_uniform((fan_in, fan_out), fan_in, fan_out, RNG)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.all(np.abs(out) <= limit)
+
+    def test_he_uniform_bounds(self):
+        fan_in = 40
+        out = initializers.he_uniform((fan_in, 10), fan_in, 10, RNG)
+        limit = np.sqrt(6.0 / fan_in)
+        assert np.all(np.abs(out) <= limit)
+
+    def test_he_normal_std(self):
+        fan_in = 100
+        out = initializers.he_normal((fan_in, 200), fan_in, 200, np.random.default_rng(3))
+        assert out.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.1)

@@ -1,0 +1,371 @@
+"""Tests for repro.nn.layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    layer_from_config,
+)
+from repro.utils.errors import ConfigurationError, ShapeError
+
+RNG = np.random.default_rng(0)
+
+
+def numerical_input_gradient(layer, x, grad_output, eps=1e-6):
+    """Central-difference gradient of sum(output * grad_output) w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = np.sum(layer.forward(x) * grad_output)
+        flat[i] = original - eps
+        minus = np.sum(layer.forward(x) * grad_output)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def numerical_param_gradient(layer, x, grad_output, param_name, eps=1e-6):
+    """Central-difference gradient w.r.t. one parameter tensor."""
+    param = layer.params[param_name]
+    grad = np.zeros_like(param)
+    flat = param.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = np.sum(layer.forward(x) * grad_output)
+        flat[i] = original - eps
+        minus = np.sum(layer.forward(x) * grad_output)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(layer, x, check_params=True, atol=1e-6):
+    """Compare analytic backward() gradients against numerical ones."""
+    out = layer.forward(x)
+    grad_output = np.random.default_rng(99).standard_normal(out.shape)
+    layer.forward(x)  # refresh the cache used by backward
+    grad_input = layer.backward(grad_output)
+
+    expected_input = numerical_input_gradient(layer, x, grad_output)
+    np.testing.assert_allclose(grad_input, expected_input, atol=atol)
+
+    if check_params:
+        # Re-run forward/backward so parameter gradients match the same state.
+        layer.forward(x)
+        layer.backward(grad_output)
+        for name in layer.params:
+            expected = numerical_param_gradient(layer, x, grad_output, name)
+            np.testing.assert_allclose(layer.grads[name], expected, atol=atol)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(5, 3, seed=0)
+        out = layer.forward(RNG.random((4, 5)))
+        assert out.shape == (4, 3)
+
+    def test_forward_is_affine(self):
+        layer = Dense(4, 2, seed=0)
+        x = RNG.random((3, 4))
+        expected = x @ layer.params["W"] + layer.params["b"]
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_no_bias(self):
+        layer = Dense(4, 2, use_bias=False, seed=0)
+        assert "b" not in layer.params
+        assert layer.n_params == 8
+
+    def test_gradients(self):
+        layer = Dense(6, 4, seed=1)
+        check_gradients(layer, RNG.random((3, 6)))
+
+    def test_wrong_input_shape_raises(self):
+        layer = Dense(6, 4)
+        with pytest.raises(ShapeError):
+            layer.forward(RNG.random((3, 5)))
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(3, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            Dense(0, 3)
+
+    def test_unknown_init_raises(self):
+        with pytest.raises(ConfigurationError):
+            Dense(3, 3, weight_init="magic")
+
+    def test_deterministic_init(self):
+        a = Dense(5, 5, seed=3).params["W"]
+        b = Dense(5, 5, seed=3).params["W"]
+        np.testing.assert_array_equal(a, b)
+
+    def test_config_roundtrip(self):
+        layer = Dense(7, 2, use_bias=False, seed=5, name="mydense")
+        rebuilt = layer_from_config(layer.get_config())
+        assert isinstance(rebuilt, Dense)
+        assert rebuilt.in_features == 7
+        assert rebuilt.out_features == 2
+        assert rebuilt.use_bias is False
+        assert rebuilt.name == "mydense"
+
+
+class TestConv2D:
+    def test_forward_shape(self):
+        layer = Conv2D(3, 8, 3, stride=1, padding=1, seed=0)
+        out = layer.forward(RNG.random((2, 8, 8, 3)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_strided_shape(self):
+        layer = Conv2D(1, 4, 5, stride=2, padding=2, seed=0)
+        out = layer.forward(RNG.random((1, 12, 12, 1)))
+        assert out.shape == (1, 6, 6, 4)
+
+    def test_gradients(self):
+        layer = Conv2D(2, 3, 3, stride=1, padding=1, seed=2)
+        check_gradients(layer, RNG.random((2, 5, 5, 2)), atol=1e-5)
+
+    def test_gradients_strided_no_bias(self):
+        layer = Conv2D(1, 2, 3, stride=2, padding=0, use_bias=False, seed=2)
+        check_gradients(layer, RNG.random((1, 7, 7, 1)), atol=1e-5)
+
+    def test_identity_kernel(self):
+        layer = Conv2D(1, 1, 1, use_bias=False, seed=0)
+        layer.params["W"][...] = 1.0
+        x = RNG.random((1, 4, 4, 1))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_wrong_channels_raises(self):
+        layer = Conv2D(3, 4, 3)
+        with pytest.raises(ShapeError):
+            layer.forward(RNG.random((1, 6, 6, 1)))
+
+    def test_config_roundtrip(self):
+        layer = Conv2D(3, 16, 5, stride=2, padding=2, seed=1)
+        rebuilt = layer_from_config(layer.get_config())
+        assert rebuilt.params["W"].shape == (5, 5, 3, 16)
+        assert rebuilt.stride == 2
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = MaxPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_maxpool_gradients(self):
+        layer = MaxPool2D(2)
+        # distinct values avoid ties in argmax, which would break the numeric check
+        x = RNG.permutation(np.arange(2 * 6 * 6 * 2, dtype=float)).reshape(2, 6, 6, 2)
+        check_gradients(layer, x, check_params=False)
+
+    def test_avgpool_gradients(self):
+        layer = AvgPool2D(2)
+        check_gradients(layer, RNG.random((2, 6, 6, 3)), check_params=False)
+
+    def test_maxpool_channels_independent(self):
+        x = np.zeros((1, 2, 2, 2))
+        x[0, :, :, 0] = [[1, 2], [3, 4]]
+        x[0, :, :, 1] = [[8, 7], [6, 5]]
+        out = MaxPool2D(2).forward(x)
+        assert out[0, 0, 0, 0] == 4
+        assert out[0, 0, 0, 1] == 8
+
+    def test_pool_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            MaxPool2D(0)
+
+    def test_pool_requires_nhwc(self):
+        with pytest.raises(ShapeError):
+            MaxPool2D(2).forward(np.ones((4, 4)))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh, Softmax])
+    def test_shape_preserved(self, layer_cls):
+        x = RNG.standard_normal((3, 7))
+        assert layer_cls().forward(x).shape == x.shape
+
+    def test_relu_values(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_values(self):
+        out = LeakyReLU(0.1).forward(np.array([[-2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 3.0]])
+
+    def test_leaky_relu_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            LeakyReLU(-0.5)
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-50, 50, 11).reshape(1, -1)
+        out = Sigmoid().forward(x)
+        assert np.all(out >= 0) and np.all(out <= 1)
+        np.testing.assert_allclose(out + out[:, ::-1], 1.0, atol=1e-12)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Softmax().forward(RNG.standard_normal((5, 9)) * 50)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+        assert np.all(out > 0)
+
+    def test_softmax_shift_invariance(self):
+        x = RNG.standard_normal((2, 4))
+        a = Softmax().forward(x)
+        b = Softmax().forward(x + 100.0)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "layer", [ReLU(), LeakyReLU(0.2), Sigmoid(), Tanh(), Softmax()]
+    )
+    def test_gradients(self, layer):
+        # offset avoids the ReLU kink at exactly zero
+        x = RNG.standard_normal((3, 5)) + 0.05
+        check_gradients(layer, x, check_params=False)
+
+
+class TestFlatten:
+    def test_forward_shape(self):
+        out = Flatten().forward(RNG.random((4, 3, 3, 2)))
+        assert out.shape == (4, 18)
+
+    def test_backward_restores_shape(self):
+        layer = Flatten()
+        x = RNG.random((2, 3, 4, 5))
+        layer.forward(x)
+        grad = layer.backward(np.ones((2, 60)))
+        assert grad.shape == x.shape
+
+
+class TestDropout:
+    def test_inference_is_identity(self):
+        x = RNG.random((5, 10))
+        np.testing.assert_array_equal(Dropout(0.5, seed=0).forward(x, training=False), x)
+
+    def test_training_zeroes_and_scales(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((200, 50))
+        out = layer.forward(x, training=True)
+        dropped = np.mean(out == 0.0)
+        assert 0.3 < dropped < 0.7
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_zero_rate_is_identity_in_training(self):
+        x = RNG.random((3, 4))
+        np.testing.assert_array_equal(Dropout(0.0).forward(x, training=True), x)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=1)
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_training_normalises(self):
+        layer = BatchNorm1D(4)
+        x = RNG.standard_normal((64, 4)) * 3 + 2
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self):
+        layer = BatchNorm1D(3, momentum=0.0)
+        x = RNG.standard_normal((32, 3)) + 5.0
+        layer.forward(x, training=True)
+        np.testing.assert_allclose(layer.running_mean, x.mean(axis=0))
+
+    def test_inference_uses_running_stats(self):
+        layer = BatchNorm1D(3)
+        x = RNG.standard_normal((16, 3))
+        out = layer.forward(x, training=False)
+        np.testing.assert_allclose(out, x / np.sqrt(1 + layer.eps), atol=1e-6)
+
+    def test_gradients(self):
+        layer = BatchNorm1D(3)
+        x = RNG.standard_normal((8, 3))
+        # gradient check in training mode
+        out = layer.forward(x, training=True)
+        grad_output = np.random.default_rng(4).standard_normal(out.shape)
+        layer.forward(x, training=True)
+        analytic = layer.backward(grad_output)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in range(x.size):
+            flat = x.reshape(-1)
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = np.sum(layer.forward(x, training=True) * grad_output)
+            flat[i] = orig - eps
+            minus = np.sum(layer.forward(x, training=True) * grad_output)
+            flat[i] = orig
+            numeric.reshape(-1)[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_wrong_features_raises(self):
+        with pytest.raises(ShapeError):
+            BatchNorm1D(4).forward(np.ones((2, 5)))
+
+
+class TestLayerRegistry:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            layer_from_config({"kind": "NotALayer"})
+
+    @pytest.mark.parametrize(
+        "layer",
+        [
+            ReLU(name="r"),
+            LeakyReLU(0.3),
+            Flatten(),
+            MaxPool2D(3, stride=2),
+            AvgPool2D(2),
+            Dropout(0.25, seed=9),
+            BatchNorm1D(6),
+            Softmax(),
+            Sigmoid(),
+            Tanh(),
+        ],
+    )
+    def test_roundtrip_preserves_type(self, layer):
+        rebuilt = layer_from_config(layer.get_config())
+        assert type(rebuilt) is type(layer)
+
+    def test_zero_grads(self):
+        layer = Dense(3, 2, seed=0)
+        layer.forward(RNG.random((4, 3)))
+        layer.backward(RNG.random((4, 2)))
+        assert np.any(layer.grads["W"] != 0)
+        layer.zero_grads()
+        assert np.all(layer.grads["W"] == 0)

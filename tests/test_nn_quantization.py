@@ -1,0 +1,89 @@
+"""Tests for repro.nn.quantization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.quantization import QuantizationSpec, dequantize, quantize
+from repro.utils.errors import ConfigurationError
+
+
+class TestSpecValidation:
+    def test_default_is_float32(self):
+        spec = QuantizationSpec()
+        assert spec.kind == "float32"
+        assert spec.bits_per_value == 32
+
+    def test_float16_bits(self):
+        assert QuantizationSpec("float16").bits_per_value == 16
+
+    def test_fixed_bits(self):
+        assert QuantizationSpec("fixed", total_bits=16, frac_bits=8).bits_per_value == 16
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationSpec("bfloat16")
+
+    def test_bad_fixed_width(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationSpec("fixed", total_bits=12)
+
+    def test_bad_frac_bits(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationSpec("fixed", total_bits=16, frac_bits=16)
+
+    def test_scale_only_for_fixed(self):
+        with pytest.raises(ConfigurationError):
+            _ = QuantizationSpec("float32").scale
+
+    def test_storage_dtypes(self):
+        assert QuantizationSpec("float32").storage_dtype() == np.dtype(np.uint32)
+        assert QuantizationSpec("float16").storage_dtype() == np.dtype(np.uint16)
+        assert QuantizationSpec("fixed", total_bits=8, frac_bits=4).storage_dtype() == np.dtype(np.uint8)
+
+
+class TestFloatRoundtrip:
+    def test_float32_exact_for_float32_values(self):
+        values = np.array([0.0, 1.5, -2.25, 1e-3], dtype=np.float32).astype(np.float64)
+        spec = QuantizationSpec("float32")
+        np.testing.assert_array_equal(dequantize(quantize(values, spec), spec), values)
+
+    def test_float16_close(self):
+        values = np.array([0.1, -0.5, 3.0])
+        spec = QuantizationSpec("float16")
+        recovered = dequantize(quantize(values, spec), spec)
+        np.testing.assert_allclose(recovered, values, rtol=1e-3)
+
+    def test_zero_encodes_to_zero_word(self):
+        spec = QuantizationSpec("float32")
+        assert quantize(np.array([0.0]), spec)[0] == 0
+
+
+class TestFixedPoint:
+    def test_roundtrip_within_resolution(self):
+        spec = QuantizationSpec("fixed", total_bits=16, frac_bits=8)
+        values = np.array([0.0, 1.0, -1.0, 12.344, -7.512])
+        recovered = dequantize(quantize(values, spec), spec)
+        np.testing.assert_allclose(recovered, values, atol=1.0 / spec.scale)
+
+    def test_clipping_at_range(self):
+        spec = QuantizationSpec("fixed", total_bits=8, frac_bits=4)
+        low, high = spec.value_range()
+        recovered = dequantize(quantize(np.array([1e6, -1e6]), spec), spec)
+        assert recovered[0] == pytest.approx(high)
+        assert recovered[1] == pytest.approx(low)
+
+    def test_negative_values_two_complement(self):
+        spec = QuantizationSpec("fixed", total_bits=16, frac_bits=8)
+        words = quantize(np.array([-1.0]), spec)
+        # -1.0 * 256 = -256 -> two's complement in 16 bits
+        assert int(words[0]) == 2**16 - 256
+
+    def test_value_range_fixed(self):
+        spec = QuantizationSpec("fixed", total_bits=8, frac_bits=0)
+        assert spec.value_range() == (-128.0, 127.0)
+
+
+class TestRange:
+    def test_float_range_is_symmetric(self):
+        low, high = QuantizationSpec("float16").value_range()
+        assert low == -high

@@ -1,0 +1,86 @@
+"""Tests for repro.nn.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm1D, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Softmax
+from repro.nn.model import Sequential
+from repro.nn.serialization import load_model, model_from_arrays, model_to_arrays, save_model
+from repro.utils.errors import ConfigurationError
+
+RNG = np.random.default_rng(0)
+
+
+def build_model(seed=0):
+    return Sequential(
+        [
+            Conv2D(1, 4, 3, padding=1, seed=seed, name="conv1"),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(4 * 3 * 3, 10, seed=seed + 1, name="fc1"),
+            ReLU(),
+            Dense(10, 3, seed=seed + 2, name="fc_logits"),
+            Softmax(),
+        ],
+        name="serialization-test",
+    )
+
+
+class TestArraysRoundtrip:
+    def test_predictions_preserved(self):
+        model = build_model()
+        x = RNG.random((5, 6, 6, 1))
+        expected = model.forward(x)
+        rebuilt = model_from_arrays(model_to_arrays(model))
+        np.testing.assert_allclose(rebuilt.forward(x), expected)
+
+    def test_missing_architecture_raises(self):
+        with pytest.raises(ConfigurationError):
+            model_from_arrays({"param/fc1/W": np.zeros((2, 2))})
+
+    def test_missing_parameter_raises(self):
+        arrays = model_to_arrays(build_model())
+        del arrays["param/fc1/W"]
+        with pytest.raises(ConfigurationError):
+            model_from_arrays(arrays)
+
+    def test_shape_mismatch_raises(self):
+        arrays = model_to_arrays(build_model())
+        arrays["param/fc1/W"] = np.zeros((2, 2))
+        with pytest.raises(ConfigurationError):
+            model_from_arrays(arrays)
+
+    def test_batchnorm_running_stats_roundtrip(self):
+        model = Sequential(
+            [Flatten(), Dense(4, 4, seed=0, name="fc1"), BatchNorm1D(4, name="bn"),
+             Dense(4, 2, seed=1, name="fc_logits"), Softmax()]
+        )
+        bn = model.get_layer("bn")
+        bn.running_mean[...] = 3.0
+        bn.running_var[...] = 2.0
+        rebuilt = model_from_arrays(model_to_arrays(model))
+        np.testing.assert_allclose(rebuilt.get_layer("bn").running_mean, 3.0)
+        np.testing.assert_allclose(rebuilt.get_layer("bn").running_var, 2.0)
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, tmp_path):
+        model = build_model()
+        x = RNG.random((3, 6, 6, 1))
+        path = save_model(model, tmp_path / "model.npz")
+        assert path.exists()
+        loaded = load_model(path)
+        np.testing.assert_allclose(loaded.forward(x), model.forward(x))
+
+    def test_extension_added(self, tmp_path):
+        model = build_model()
+        path = save_model(model, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        loaded = load_model(tmp_path / "weights")
+        assert loaded.n_params == model.n_params
+
+    def test_nested_directory_created(self, tmp_path):
+        model = build_model()
+        path = save_model(model, tmp_path / "deep" / "dir" / "model.npz")
+        assert path.exists()

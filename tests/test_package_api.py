@@ -1,0 +1,32 @@
+"""Tests for the top-level package API (repro.__init__)."""
+
+import numpy as np
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_classes_exported(self):
+        assert repro.FaultSneakingAttack is not None
+        assert repro.FaultSneakingConfig is not None
+        assert repro.make_attack_plan is not None
+
+
+class TestQuickstart:
+    def test_quickstart_attack(self, session_registry, monkeypatch, tmp_path):
+        # route the registry used inside quickstart_attack to a hermetic cache
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        result, evaluation = repro.quickstart_attack(
+            num_targets=1, num_images=20, scale="smoke", seed=0
+        )
+        assert result.num_targets == 1
+        assert 0.0 <= evaluation.success_rate <= 1.0
+        assert evaluation.l0_norm == result.l0_norm
+        assert np.isfinite(evaluation.attacked_test_accuracy)

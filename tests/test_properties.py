@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These complement the per-module unit tests by checking algebraic properties on
+randomly generated inputs:
+
+* softmax / hinge-loss invariances,
+* quantisation round-trips,
+* im2col/col2im adjointness for random geometries,
+* parameter-view gather/scatter consistency,
+* bit-flip planning exactness,
+* ADMM z-step optimality on random vectors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.attacks.parameter_view import ParameterSelector, ParameterView
+from repro.attacks.proximal import prox_l0, prox_l1, prox_l2
+from repro.hardware.bitflip import plan_bit_flips
+from repro.hardware.memory import ParameterMemoryMap
+from repro.nn.im2col import col2im, im2col
+from repro.nn.losses import HingeLogitLoss, softmax
+from repro.nn.metrics import accuracy, confusion_matrix
+from repro.nn.quantization import QuantizationSpec, dequantize, quantize
+from repro.zoo.architectures import mlp
+
+# -- strategies ---------------------------------------------------------------------
+
+logit_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 6), st.integers(2, 8)),
+    elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+)
+
+float_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 64),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestSoftmaxProperties:
+    @given(logits=logit_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_simplex(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(logits=logit_arrays, shift=st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_invariance(self, logits, shift):
+        np.testing.assert_allclose(softmax(logits), softmax(logits + shift), atol=1e-9)
+
+    @given(logits=logit_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_argmax_preserved(self, logits):
+        # Compare probabilities rather than argmax indices so that exact or
+        # floating-point ties between logits do not produce false failures.
+        probs = softmax(logits)
+        rows = np.arange(logits.shape[0])
+        at_logit_argmax = probs[rows, np.argmax(logits, axis=-1)]
+        np.testing.assert_allclose(at_logit_argmax, probs.max(axis=-1), rtol=1e-9)
+
+
+class TestHingeProperties:
+    @given(logits=logit_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_and_zero_iff_satisfied(self, logits):
+        loss = HingeLogitLoss()
+        targets = np.argmax(logits, axis=-1)
+        per_sample = loss.per_sample(logits, targets)
+        assert np.all(per_sample >= 0)
+        # the argmax labels are satisfied by definition (ties give 0 margin)
+        assert np.all(per_sample <= 1e-12)
+
+    @given(logits=logit_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_violated_when_target_not_argmax(self, logits):
+        loss = HingeLogitLoss()
+        argmax = np.argmax(logits, axis=-1)
+        targets = (argmax + 1) % logits.shape[1]
+        per_sample = loss.per_sample(logits, targets)
+        margins = logits[np.arange(len(logits)), argmax] - logits[
+            np.arange(len(logits)), targets
+        ]
+        np.testing.assert_allclose(per_sample, np.maximum(margins, 0.0), atol=1e-9)
+
+
+class TestQuantizationProperties:
+    @given(values=float_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_float32_roundtrip_idempotent(self, values):
+        spec = QuantizationSpec("float32")
+        once = dequantize(quantize(values, spec), spec)
+        twice = dequantize(quantize(once, spec), spec)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(values=float_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_point_error_bounded(self, values):
+        spec = QuantizationSpec("fixed", total_bits=16, frac_bits=6)
+        low, high = spec.value_range()
+        clipped = np.clip(values, low, high)
+        recovered = dequantize(quantize(clipped, spec), spec)
+        assert np.max(np.abs(recovered - clipped)) <= 0.5 / spec.scale + 1e-12
+
+    @given(values=float_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_point_idempotent(self, values):
+        spec = QuantizationSpec("fixed", total_bits=16, frac_bits=8)
+        once = dequantize(quantize(values, spec), spec)
+        twice = dequantize(quantize(once, spec), spec)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestIm2ColProperties:
+    @given(
+        batch=st.integers(1, 3),
+        size=st.integers(4, 9),
+        channels=st.integers(1, 3),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adjointness(self, batch, size, channels, kernel, stride, padding, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random((batch, size, size, channels))
+        cols, _ = im2col(x, kernel, stride, padding)
+        y = rng.random(cols.shape)
+        back = col2im(y, x.shape, kernel, stride, padding)
+        assert np.sum(cols * y) == pytest.approx(np.sum(x * back), rel=1e-9)
+
+
+class TestProximalProperties:
+    @given(v=float_vectors, rho=st.floats(0.01, 100, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_l0_never_denser_than_input(self, v, rho):
+        assert np.count_nonzero(prox_l0(v, rho)) <= np.count_nonzero(v)
+
+    @given(v=float_vectors, rho=st.floats(0.01, 100, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_l1_never_increases_any_magnitude(self, v, rho):
+        out = prox_l1(v, rho)
+        assert np.all(np.abs(out) <= np.abs(v) + 1e-12)
+
+    @given(v=float_vectors, rho=st.floats(0.01, 100, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_all_operators_fix_zero(self, v, rho):
+        del v
+        zero = np.zeros(7)
+        for prox in (prox_l0, prox_l1, prox_l2):
+            np.testing.assert_array_equal(prox(zero, rho), zero)
+
+
+class TestMetricsProperties:
+    @given(
+        labels=hnp.arrays(dtype=np.int64, shape=st.integers(1, 50), elements=st.integers(0, 5)),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_bounds_and_confusion_consistency(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        predictions = rng.integers(0, 6, size=labels.shape[0])
+        acc = accuracy(labels, predictions)
+        assert 0.0 <= acc <= 1.0
+        matrix = confusion_matrix(labels, predictions, num_classes=6)
+        assert matrix.sum() == labels.shape[0]
+        assert np.trace(matrix) == pytest.approx(acc * labels.shape[0])
+
+
+class TestParameterViewProperties:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_gather_scatter_roundtrip(self, seed):
+        model = mlp((5, 5, 1), 3, seed=0, hidden=(8, 6))
+        view = ParameterView(model, ParameterSelector(layers=None))
+        values = np.random.default_rng(seed).standard_normal(view.size)
+        view.scatter(values)
+        np.testing.assert_allclose(view.gather(), values)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_apply_restore_is_identity(self, seed):
+        model = mlp((5, 5, 1), 3, seed=1, hidden=(8, 6))
+        view = ParameterView(model, ParameterSelector(layers=("fc_logits",)))
+        before = view.gather()
+        delta = np.random.default_rng(seed).standard_normal(view.size)
+        view.apply_delta(delta)
+        view.restore()
+        np.testing.assert_allclose(view.gather(), before)
+
+
+class TestBitFlipProperties:
+    @given(seed=st.integers(0, 300), scale=st.floats(0.01, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_plan_execution_reaches_encoded_target(self, seed, scale):
+        model = mlp((5, 5, 1), 3, seed=2, hidden=(8, 6))
+        view = ParameterView(model, ParameterSelector(layers=("fc_logits",)))
+        memory = ParameterMemoryMap(view)
+        rng = np.random.default_rng(seed)
+        target = view.gather() + rng.standard_normal(view.size) * scale
+        plan = plan_bit_flips(memory, target)
+        for flip in plan.flips:
+            memory.flip_bit(flip.word_index, flip.bit)
+        np.testing.assert_array_equal(
+            memory.read_words(), memory.encode(target)
+        )

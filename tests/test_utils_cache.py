@@ -1,0 +1,85 @@
+"""Tests for repro.utils.cache."""
+
+import numpy as np
+import pytest
+
+from repro.utils.cache import DiskCache, default_cache_dir, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_different_configs_differ(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_handles_non_json_values(self):
+        # default=str handles tuples/paths etc. without raising
+        assert isinstance(stable_hash({"a": (1, 2)}), str)
+
+    def test_length(self):
+        assert len(stable_hash({})) == 24
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert "repro-fault-sneaking" in str(default_cache_dir())
+
+
+class TestDiskCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.load("nope") is None
+
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = cache.key_for({"model": "test"})
+        arrays = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        cache.store(key, arrays)
+        loaded = cache.load(key)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded["w"], arrays["w"])
+        np.testing.assert_array_equal(loaded["b"], arrays["b"])
+
+    def test_contains(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = cache.key_for({"x": 1})
+        assert not cache.contains(key)
+        cache.store(key, {"a": np.ones(2)})
+        assert cache.contains(key)
+
+    def test_disabled_cache_never_hits(self, tmp_path):
+        cache = DiskCache(tmp_path, enabled=False)
+        key = cache.key_for({"x": 1})
+        cache.store(key, {"a": np.ones(2)})
+        assert not cache.contains(key)
+        assert cache.load(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for i in range(3):
+            cache.store(f"key{i}", {"a": np.ones(1)})
+        assert cache.clear() == 3
+        assert not cache.contains("key0")
+
+    def test_clear_missing_directory(self, tmp_path):
+        cache = DiskCache(tmp_path / "does-not-exist")
+        assert cache.clear() == 0
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "corrupt"
+        cache.store(key, {"a": np.ones(1)})
+        (tmp_path / f"{key}.npz").write_bytes(b"not a real npz")
+        assert cache.load(key) is None
+
+    def test_store_creates_directory(self, tmp_path):
+        nested = tmp_path / "deep" / "nested"
+        cache = DiskCache(nested)
+        cache.store("k", {"a": np.ones(1)})
+        assert nested.exists()

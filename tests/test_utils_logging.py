@@ -1,0 +1,49 @@
+"""Tests for repro.utils.logging."""
+
+import logging
+
+import pytest
+
+from repro.utils.logging import get_logger, set_verbosity
+
+
+class TestGetLogger:
+    def test_namespaced(self):
+        logger = get_logger("attacks")
+        assert logger.name == "repro.attacks"
+
+    def test_already_namespaced(self):
+        logger = get_logger("repro.zoo")
+        assert logger.name == "repro.zoo"
+
+    def test_root_has_handler(self):
+        get_logger("anything")
+        root = logging.getLogger("repro")
+        assert root.handlers
+
+
+class TestSetVerbosity:
+    def teardown_method(self):
+        set_verbosity("warning")
+
+    @pytest.mark.parametrize("level,expected", [
+        ("debug", logging.DEBUG),
+        ("info", logging.INFO),
+        ("warning", logging.WARNING),
+        ("error", logging.ERROR),
+    ])
+    def test_string_levels(self, level, expected):
+        set_verbosity(level)
+        assert logging.getLogger("repro").level == expected
+
+    def test_numeric_level(self):
+        set_verbosity(15)
+        assert logging.getLogger("repro").level == 15
+
+    def test_silent(self):
+        set_verbosity("silent")
+        assert logging.getLogger("repro").level > logging.CRITICAL
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown verbosity"):
+            set_verbosity("chatty")

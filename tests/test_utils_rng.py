@@ -1,0 +1,71 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomState, fork_rng, seed_everything
+
+
+class TestRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(RandomState(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = RandomState(42).random(5)
+        b = RandomState(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomState(1).random(10)
+        b = RandomState(2).random(10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert RandomState(gen) is gen
+
+
+class TestForkRng:
+    def test_fork_count(self):
+        children = fork_rng(RandomState(0), 5)
+        assert len(children) == 5
+
+    def test_fork_zero(self):
+        assert fork_rng(RandomState(0), 0) == []
+
+    def test_fork_negative_raises(self):
+        with pytest.raises(ValueError):
+            fork_rng(RandomState(0), -1)
+
+    def test_children_are_independent(self):
+        children = fork_rng(RandomState(0), 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_fork_is_reproducible(self):
+        a = [g.random(3) for g in fork_rng(RandomState(9), 3)]
+        b = [g.random(3) for g in fork_rng(RandomState(9), 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestSeedEverything:
+    def test_returns_generator(self):
+        assert isinstance(seed_everything(7), np.random.Generator)
+
+    def test_numpy_global_seeded(self):
+        seed_everything(7)
+        a = np.random.random(4)
+        seed_everything(7)
+        b = np.random.random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stdlib_seeded(self):
+        import random
+
+        seed_everything(11)
+        a = random.random()
+        seed_everything(11)
+        b = random.random()
+        assert a == b

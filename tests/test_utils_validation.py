@@ -1,0 +1,91 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ShapeError
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckArray:
+    def test_returns_ndarray(self):
+        out = check_array([1.0, 2.0], name="x")
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ShapeError, match="ndim"):
+            check_array([[1.0]], name="x", ndim=1)
+
+    def test_ndim_tuple_allows_multiple(self):
+        check_array([[1.0]], name="x", ndim=(1, 2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError, match="empty"):
+            check_array([], name="x")
+
+    def test_empty_allowed_when_requested(self):
+        out = check_array([], name="x", allow_empty=True)
+        assert out.size == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([1.0, np.nan], name="x")
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_array([np.inf], name="x")
+
+    def test_keeps_dtype_when_none(self):
+        out = check_array(np.array([1, 2], dtype=np.int32), name="x", dtype=None)
+        assert out.dtype == np.int32
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, name="x") == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, name="x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, name="x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, name="x", strict=False)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, name="x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("3", name="x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, name="p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, name="p")
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range(3, low=3, high=5, name="x") == 3.0
+        assert check_in_range(5, low=3, high=5, name="x") == 5.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="x must be in"):
+            check_in_range(6, low=3, high=5, name="x")

@@ -1,0 +1,76 @@
+"""Tests for repro.zoo.trainer."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.zoo.architectures import mlp
+from repro.zoo.trainer import Trainer, TrainingConfig
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        TrainingConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"optimizer": "lbfgs"},
+            {"learning_rate": 0.0},
+            {"lr_decay": 0.0},
+            {"early_stopping_patience": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(**kwargs)
+
+    def test_to_dict_roundtrip_keys(self):
+        d = TrainingConfig(epochs=3).to_dict()
+        assert d["epochs"] == 3
+        assert "optimizer" in d and "learning_rate" in d
+
+
+class TestTrainer:
+    def test_learns_tiny_dataset(self, tiny_split):
+        model = mlp(tiny_split.train.image_shape, tiny_split.num_classes, seed=0, hidden=(32, 16))
+        trainer = Trainer(TrainingConfig(epochs=5, batch_size=32, learning_rate=2e-3))
+        history = trainer.fit(model, tiny_split.train, validation=tiny_split.test)
+        assert history.epochs_run == 5
+        assert history.final_train_accuracy > 0.8
+        assert history.final_val_accuracy > 0.7
+        assert len(history.val_accuracy) == 5
+
+    def test_loss_decreases(self, tiny_split):
+        model = mlp(tiny_split.train.image_shape, tiny_split.num_classes, seed=1, hidden=(32, 16))
+        history = Trainer(TrainingConfig(epochs=4, batch_size=32)).fit(model, tiny_split.train)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_no_validation_history_empty(self, tiny_split):
+        model = mlp(tiny_split.train.image_shape, tiny_split.num_classes, seed=2, hidden=(16, 8))
+        history = Trainer(TrainingConfig(epochs=2)).fit(model, tiny_split.train)
+        assert history.val_accuracy == []
+        assert np.isnan(history.final_val_accuracy)
+
+    def test_sgd_optimizer_works(self, tiny_split):
+        model = mlp(tiny_split.train.image_shape, tiny_split.num_classes, seed=3, hidden=(32, 16))
+        config = TrainingConfig(epochs=3, optimizer="sgd", learning_rate=0.1, momentum=0.9)
+        history = Trainer(config).fit(model, tiny_split.train)
+        assert history.final_train_accuracy > 0.5
+
+    def test_early_stopping(self, tiny_split):
+        model = mlp(tiny_split.train.image_shape, tiny_split.num_classes, seed=4, hidden=(32, 16))
+        config = TrainingConfig(epochs=30, early_stopping_patience=2, learning_rate=2e-3)
+        history = Trainer(config).fit(model, tiny_split.train, validation=tiny_split.test)
+        assert history.epochs_run < 30
+        assert history.stopped_early
+
+    def test_training_is_reproducible(self, tiny_split):
+        def run():
+            model = mlp(tiny_split.train.image_shape, tiny_split.num_classes, seed=7, hidden=(16, 8))
+            Trainer(TrainingConfig(epochs=2, shuffle_seed=11)).fit(model, tiny_split.train)
+            return model.get_layer("fc1").params["W"].copy()
+
+        np.testing.assert_allclose(run(), run())
