@@ -6,8 +6,9 @@ from repro.experiments import table2
 def bench_table2(benchmark, scale, registry, run_once):
     table = run_once(benchmark, table2.run, scale=scale, registry=registry, seed=0)
     records = table.to_records()
-    weights_success = [r for r in records if r["parameter type"] == "weights" and r["metric"] == "success rate"][0]
-    bias_success = [r for r in records if r["parameter type"] == "biases" and r["metric"] == "success rate"][0]
+    success = [r for r in records if r["metric"] == "success rate"]
+    weights_success = [r for r in success if r["parameter type"] == "weights"][0]
+    bias_success = [r for r in success if r["parameter type"] == "biases"][0]
     s_columns = [c for c in table.columns if c.startswith("S=")]
     # weights-only attacks succeed everywhere; bias-only attacks cannot keep up
     # as S grows (the paper's argument against the single-bias attack).

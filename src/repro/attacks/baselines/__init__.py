@@ -9,7 +9,11 @@ These are the comparison points the paper measures itself against:
   zeroing the smallest modifications while the attack still succeeds).
 """
 
-from repro.attacks.baselines.single_bias import SingleBiasAttack, SingleBiasAttackConfig, SingleBiasResult
+from repro.attacks.baselines.single_bias import (
+    SingleBiasAttack,
+    SingleBiasAttackConfig,
+    SingleBiasResult,
+)
 from repro.attacks.baselines.gradient_descent import (
     GradientDescentAttack,
     GradientDescentAttackConfig,

@@ -1,8 +1,12 @@
 """Experiment drivers reproducing every table and figure of the paper.
 
-Each module exposes a ``run(scale=..., registry=..., seed=...)`` function that
-returns a :class:`repro.analysis.reporting.Table` with the same rows/series
-the paper reports:
+Each module declares its grid as a *campaign* of independent attack jobs
+(``build_campaign``), which the engine in :mod:`repro.experiments.campaign`
+executes serially or across worker processes, memoizing each cell in a
+content-addressed artifact store; ``assemble`` turns the per-cell metrics
+back into the paper's table.  The ``run(scale=..., registry=..., seed=...)``
+convenience wrapper on every module builds, executes and assembles in one
+call and returns a :class:`repro.analysis.reporting.Table`:
 
 ========================  =====================================================
 Module                    Paper artefact
@@ -24,6 +28,13 @@ benchmark suite), ``"paper"`` (the paper's S/R grids on the compact CNN) and
 ``"full"`` (the paper's grids on the paper's CNN architecture).
 """
 
+from repro.experiments.campaign import (
+    ArtifactStore,
+    Campaign,
+    CampaignResult,
+    JobSpec,
+    run_campaign,
+)
 from repro.experiments.common import (
     ExperimentSetting,
     attack_config_for,
@@ -56,8 +67,29 @@ EXPERIMENTS = {
     "extension_detection": extension_detection.run,
 }
 
+# Grid builders and assemblers, used by the CLI runner so it can execute the
+# campaign itself (shared artifact store across experiments, JSON manifests).
+CAMPAIGNS = {
+    "table1": (table1.build_campaign, table1.assemble),
+    "table2": (table2.build_campaign, table2.assemble),
+    "table3": (table3.build_campaign, table3.assemble),
+    "table4": (table4.build_campaign, table4.assemble),
+    "figure1": (figure1.build_campaign, figure1.assemble),
+    "figure2": (figure2.build_campaign, figure2.assemble),
+    "figure3": (figure3.build_campaign, figure3.assemble),
+    "baseline_comparison": (baseline_comparison.build_campaign, baseline_comparison.assemble),
+    "ablations": (ablations.build_campaign, ablations.assemble),
+    "extension_detection": (extension_detection.build_campaign, extension_detection.assemble),
+}
+
 __all__ = [
     "EXPERIMENTS",
+    "CAMPAIGNS",
+    "ArtifactStore",
+    "Campaign",
+    "CampaignResult",
+    "JobSpec",
+    "run_campaign",
     "ExperimentSetting",
     "get_setting",
     "get_trained_model",

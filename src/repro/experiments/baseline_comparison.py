@@ -10,38 +10,109 @@ attack success and the accuracy drop.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.evaluation import evaluate_attack_result
 from repro.analysis.reporting import Table
-from repro.attacks.baselines import (
-    GradientDescentAttack,
-    GradientDescentAttackConfig,
-    SingleBiasAttack,
-    SingleBiasAttackConfig,
-)
-from repro.attacks.fault_sneaking import FaultSneakingAttack
 from repro.attacks.targets import make_attack_plan
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    JobSpec,
+    format_cell_int,
+    register_job,
+    run_experiment,
+)
 from repro.experiments.common import (
+    S1_BASELINE_ATTACKS,
     anchor_and_eval_split,
-    attack_config_for,
     get_setting,
     get_trained_model,
+    run_s1_attack,
+    s1_num_images,
 )
 from repro.zoo.registry import ModelRegistry
 
-__all__ = ["run"]
+__all__ = ["run", "build_campaign", "assemble"]
 
 
-def run(
-    scale: str = "ci",
+def _cell(dataset: str, scale: str, seed: int, attack: str, num_images: int) -> JobSpec:
+    return JobSpec.make(
+        "baseline-attack",
+        dataset=dataset,
+        scale=scale,
+        seed=int(seed),
+        attack=attack,
+        num_images=int(num_images),
+        plan_seed=int(seed + 17),
+    )
+
+
+@register_job("baseline-attack")
+def _baseline_attack_job(
     *,
     registry: ModelRegistry | None = None,
+    dataset: str,
+    scale: str,
+    seed: int,
+    attack: str,
+    num_images: int,
+    plan_seed: int,
+) -> dict:
+    """Run one of the three S = 1 attacks and evaluate accuracy retention."""
+    trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+    model = trained.model
+    anchor_pool, test_set = anchor_and_eval_split(trained)
+    clean_accuracy = model.evaluate(test_set.images, test_set.labels)
+    plan = make_attack_plan(anchor_pool, num_targets=1, num_images=num_images, seed=plan_seed)
+    result, success = run_s1_attack(attack, model, plan, scale)
+
+    if attack == "fault_sneaking":
+        # The paper's method is scored through the full evaluation pipeline
+        # (shared zero tolerance for the l0 count).
+        evaluation = evaluate_attack_result(
+            result, test_set, clean_model=model, clean_accuracy=clean_accuracy
+        )
+        l0, l2 = evaluation.l0_norm, evaluation.l2_norm
+        success = evaluation.success_rate
+        attacked = evaluation.attacked_test_accuracy
+    else:
+        l0, l2 = result.l0_norm, result.l2_norm
+        attacked = result.modified_model().evaluate(test_set.images, test_set.labels)
+    return {
+        "l0": l0,
+        "l2": l2,
+        "success": success,
+        "clean_accuracy": clean_accuracy,
+        "attacked_accuracy": attacked,
+    }
+
+
+def build_campaign(
+    scale: str = "ci",
+    *,
     seed: int = 0,
     datasets: tuple[str, ...] = ("mnist_like", "cifar_like"),
-) -> Table:
-    """Reproduce the §5.4 accuracy-loss comparison."""
+) -> Campaign:
+    """Declare one job per (dataset, attack) cell of the §5.4 comparison."""
     setting = get_setting(scale)
+    num_images = s1_num_images(setting)
+    jobs = [
+        _cell(dataset, scale, seed, attack, num_images)
+        for dataset in datasets
+        for attack, _ in S1_BASELINE_ATTACKS
+    ]
+    return Campaign(
+        name="baseline_comparison",
+        scale=scale,
+        seed=seed,
+        jobs=tuple(jobs),
+        metadata={"datasets": tuple(datasets)},
+    )
+
+
+def assemble(campaign: Campaign, results: CampaignResult) -> Table:
+    """Turn the per-attack metrics into the §5.4 comparison table."""
+    setting = get_setting(campaign.scale)
+    num_images = s1_num_images(setting)
     table = Table(
         title="Baseline comparison: accuracy loss when misclassifying one image (S=1)",
         columns=[
@@ -56,65 +127,21 @@ def run(
         ],
     )
 
-    for dataset in datasets:
-        trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
-        model = trained.model
-        anchor_pool, test_set = anchor_and_eval_split(trained)
-        clean_accuracy = model.evaluate(test_set.images, test_set.labels)
-        num_images = min(setting.baseline_r, len(anchor_pool))
-        plan = make_attack_plan(
-            anchor_pool, num_targets=1, num_images=num_images, seed=seed + 17
-        )
-        target_image = plan.target_images[0]
-        target_label = int(plan.target_labels[0])
-
-        # Fault sneaking attack (the paper's method).
-        fs_result = FaultSneakingAttack(model, attack_config_for(scale, norm="l0")).attack(plan)
-        fs_eval = evaluate_attack_result(
-            fs_result, test_set, clean_model=model, clean_accuracy=clean_accuracy
-        )
-        table.add_row(
-            dataset,
-            "fault sneaking (l0)",
-            fs_eval.l0_norm,
-            fs_eval.l2_norm,
-            fs_eval.success_rate,
-            clean_accuracy,
-            fs_eval.attacked_test_accuracy,
-            fs_eval.accuracy_drop_percent,
-        )
-
-        # GDA baseline: gradient descent + modification compression, no keep images.
-        gda_config = GradientDescentAttackConfig(iterations=setting.attack_iterations)
-        gda_result = GradientDescentAttack(model, gda_config).attack(plan)
-        gda_model = gda_result.modified_model()
-        gda_accuracy = gda_model.evaluate(test_set.images, test_set.labels)
-        table.add_row(
-            dataset,
-            "GDA (Liu et al.)",
-            gda_result.l0_norm,
-            gda_result.l2_norm,
-            gda_result.success_rate,
-            clean_accuracy,
-            gda_accuracy,
-            100.0 * (clean_accuracy - gda_accuracy),
-        )
-
-        # SBA baseline: a single bias modification.
-        sba = SingleBiasAttack(model, SingleBiasAttackConfig())
-        sba_result = sba.attack(target_image, target_label)
-        sba_model = sba_result.modified_model()
-        sba_accuracy = sba_model.evaluate(test_set.images, test_set.labels)
-        table.add_row(
-            dataset,
-            "SBA (Liu et al.)",
-            sba_result.l0_norm,
-            sba_result.l2_norm,
-            float(sba_result.success),
-            clean_accuracy,
-            sba_accuracy,
-            100.0 * (clean_accuracy - sba_accuracy),
-        )
+    for dataset in campaign.metadata["datasets"]:
+        for attack, label in S1_BASELINE_ATTACKS:
+            metrics = results.metrics_for(
+                _cell(dataset, campaign.scale, campaign.seed, attack, num_images)
+            )
+            table.add_row(
+                dataset,
+                label,
+                format_cell_int(metrics["l0"]),
+                metrics["l2"],
+                metrics["success"],
+                metrics["clean_accuracy"],
+                metrics["attacked_accuracy"],
+                100.0 * (metrics["clean_accuracy"] - metrics["attacked_accuracy"]),
+            )
 
     table.add_note(
         "Paper reference: fault sneaking loses 0.8 pts (MNIST) / 1.0 pts (CIFAR); "
@@ -124,3 +151,27 @@ def run(
         "Expected shape: the fault sneaking attack retains more accuracy than both baselines."
     )
     return table
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("mnist_like", "cifar_like"),
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
+) -> Table:
+    """Reproduce the §5.4 accuracy-loss comparison."""
+    return run_experiment(
+        build_campaign,
+        assemble,
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+        datasets=datasets,
+    )

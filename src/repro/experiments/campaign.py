@@ -1,0 +1,622 @@
+"""Campaign orchestration: declarative grids of independent attack jobs.
+
+Every table and figure of the paper is a grid of *independent* attack
+instances (one ADMM solve per cell), yet the seed implementation ran each
+grid as a hand-rolled serial loop inside its experiment driver.  This module
+turns the grids into first-class data so they can be executed, parallelised,
+memoized and resumed uniformly:
+
+* :class:`JobSpec` — one grid cell, described entirely by a registered job
+  *kind* plus JSON-serialisable parameters.  The spec's content hash is both
+  its identity inside a campaign and its key in the artifact store, so two
+  experiments that share a cell (Table 4 and Figure 1 run the same (S, R)
+  sweeps) compute it once.
+* :func:`register_job` — experiment modules register the function that
+  executes one cell of their grid; workers look the function up by kind, so
+  a spec is cheap to ship to another process.
+* :class:`ArtifactStore` — content-hash-keyed on-disk memoization of job
+  results built on :class:`repro.utils.cache.DiskCache`; re-runs and resumed
+  campaigns skip completed cells.
+* Executors — serial in-process execution, a ``multiprocessing.Pool``
+  backend and a ``concurrent.futures.ProcessPoolExecutor`` backend, selected
+  by :func:`make_executor` from the runner's ``--jobs`` / ``--executor``
+  flags.
+* :func:`run_campaign` — dedupe, artifact lookup, victim-model warm-up,
+  dispatch, incremental artifact writes and a structured manifest.
+
+Determinism: each job derives its own seed from its spec via
+:func:`repro.utils.rng.derive_seed` before executing, and every random
+decision of a cell (plan seed, model seed) is part of its spec, so serial
+and parallel runs produce identical tables cell for cell.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import random
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+import numpy as np
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.utils.cache import DiskCache, default_cache_dir, stable_hash
+from repro.utils.errors import ConfigurationError
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed, seed_everything
+from repro.zoo.registry import ModelRegistry
+
+__all__ = [
+    "JobSpec",
+    "JobResult",
+    "register_job",
+    "job_kinds",
+    "execute_job",
+    "ArtifactStore",
+    "Campaign",
+    "CampaignStats",
+    "CampaignResult",
+    "SerialExecutor",
+    "MultiprocessingExecutor",
+    "FuturesExecutor",
+    "make_executor",
+    "run_campaign",
+    "run_experiment",
+    "EXECUTOR_BACKENDS",
+]
+
+_LOGGER = get_logger("experiments.campaign")
+
+EXECUTOR_BACKENDS = ("serial", "multiprocessing", "process-pool")
+
+
+# -- job specs and results -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent cell of an experiment grid.
+
+    A spec is pure data: a registered job ``kind`` plus a sorted tuple of
+    JSON-serialisable ``(name, value)`` parameters.  Everything a cell needs
+    — dataset, scale, S, R, plan seed — lives in the parameters, so the spec
+    can be hashed for memoization and pickled to a worker process.
+    """
+
+    kind: str
+    params: tuple[tuple[str, Any], ...]
+
+    @staticmethod
+    def make(kind: str, **params) -> "JobSpec":
+        """Build a spec with canonically ordered parameters."""
+        return JobSpec(kind=kind, params=tuple(sorted(params.items())))
+
+    def param_dict(self) -> dict[str, Any]:
+        """Return the parameters as a plain dictionary."""
+        return dict(self.params)
+
+    @property
+    def key(self) -> str:
+        """Content-hash identity of this cell (artifact-store key)."""
+        return stable_hash({"kind": self.kind, "params": self.param_dict()})
+
+    def as_dict(self) -> dict:
+        """Manifest form of the spec."""
+        return {"kind": self.kind, "key": self.key, "params": self.param_dict()}
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Scalar metrics produced by one executed (or memoized) job."""
+
+    key: str
+    kind: str
+    metrics: dict[str, float]
+    elapsed: float = 0.0
+    cached: bool = False
+
+
+# -- job-kind registry ---------------------------------------------------------------
+
+_JOB_KINDS: dict[str, Callable[..., dict]] = {}
+
+
+def register_job(kind: str):
+    """Class decorator registering the executor function for a job kind.
+
+    The decorated function receives the spec parameters as keyword arguments
+    plus a ``registry`` keyword (the model registry to train/load victim
+    models through; ``None`` means the worker default) and must return a flat
+    ``{metric name: number}`` dictionary.
+    """
+
+    def decorator(fn: Callable[..., dict]) -> Callable[..., dict]:
+        existing = _JOB_KINDS.get(kind)
+        if existing is not None and existing is not fn:
+            raise ConfigurationError(f"job kind {kind!r} is already registered")
+        _JOB_KINDS[kind] = fn
+        return fn
+
+    return decorator
+
+
+def job_kinds() -> tuple[str, ...]:
+    """Return the names of all registered job kinds."""
+    _ensure_registrations()
+    return tuple(sorted(_JOB_KINDS))
+
+
+def _ensure_registrations() -> None:
+    # Importing the experiments package imports every driver module, each of
+    # which registers its job kinds at import time.  Workers started with a
+    # "spawn" context arrive with a fresh interpreter, so the lookup must not
+    # rely on the parent having imported anything.
+    import repro.experiments  # noqa: F401  (import triggers registration)
+
+
+def execute_job(spec: JobSpec, *, registry: ModelRegistry | None = None) -> JobResult:
+    """Execute one job in the current process and return its metrics.
+
+    The job's own seed is derived from its spec through
+    :func:`repro.utils.rng.derive_seed`, so any code path that touches global
+    random state behaves identically under every executor.
+    """
+    _ensure_registrations()
+    try:
+        fn = _JOB_KINDS[spec.kind]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown job kind {spec.kind!r}; registered kinds: {sorted(_JOB_KINDS)}"
+        ) from exc
+    if registry is None:
+        registry = _WORKER_REGISTRY
+    # Seed the global generators per job so any stray global-RNG use behaves
+    # identically under every executor — but restore the caller's state
+    # afterwards so serial in-process execution stays side-effect free.
+    stdlib_state = random.getstate()
+    numpy_state = np.random.get_state()
+    try:
+        seed_everything(derive_seed(spec.kind, spec.params))
+        started = time.perf_counter()
+        metrics = fn(registry=registry, **spec.param_dict())
+        elapsed = time.perf_counter() - started
+    finally:
+        random.setstate(stdlib_state)
+        np.random.set_state(numpy_state)
+    clean = {name: float(value) for name, value in metrics.items()}
+    return JobResult(key=spec.key, kind=spec.kind, metrics=clean, elapsed=elapsed)
+
+
+# -- artifact store ------------------------------------------------------------------
+
+
+class ArtifactStore:
+    """Content-hash-keyed on-disk memoization of job results.
+
+    Entries are JSON payloads inside a :class:`~repro.utils.cache.DiskCache`
+    directory, keyed by the job spec's content hash: two campaigns (or two
+    runs of the same campaign) that contain an identical cell share one
+    artifact.  Loading verifies the stored kind against the requesting spec,
+    so a (astronomically unlikely) hash collision degrades to a cache miss
+    rather than a wrong table cell.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *, enabled: bool = True):
+        base = Path(directory) if directory is not None else default_artifact_dir()
+        self.cache = DiskCache(base, enabled=enabled)
+
+    @property
+    def directory(self) -> Path:
+        """Root directory of the store."""
+        return self.cache.directory
+
+    @property
+    def enabled(self) -> bool:
+        """Whether lookups and writes are active."""
+        return self.cache.enabled
+
+    def load(self, spec: JobSpec) -> JobResult | None:
+        """Return the memoized result for ``spec`` or ``None`` on a miss."""
+        payload = self.cache.load_json(spec.key)
+        if payload is None or payload.get("kind") != spec.kind:
+            return None
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            return None
+        return JobResult(
+            key=spec.key,
+            kind=spec.kind,
+            # Metric values are floats by construction, so a stored null can
+            # only be the NaN sentinel (see store()).
+            metrics={
+                name: float("nan") if value is None else float(value)
+                for name, value in metrics.items()
+            },
+            elapsed=float(payload.get("elapsed", 0.0)),
+            cached=True,
+        )
+
+    def store(self, result: JobResult) -> None:
+        """Persist one job result (atomic write, strict JSON).
+
+        NaN metrics (e.g. "undetectable" sentinels) are stored as ``null``
+        so the artifacts stay readable by strict JSON tooling.
+        """
+        metrics = {
+            name: None if math.isnan(value) else value
+            for name, value in result.metrics.items()
+        }
+        self.cache.store_json(
+            result.key,
+            {"kind": result.kind, "metrics": metrics, "elapsed": result.elapsed},
+        )
+
+
+def default_artifact_dir() -> Path:
+    """Default artifact-store location (used by the runner's ``--resume``)."""
+    return default_cache_dir() / "campaigns"
+
+
+# -- executors -----------------------------------------------------------------------
+
+# Registry used by jobs running inside a pool worker.  It is configured once
+# per worker by :func:`_init_worker` so that every worker shares the parent's
+# on-disk model cache (warmed up before dispatch) instead of retraining.
+_WORKER_REGISTRY: ModelRegistry | None = None
+
+
+def _worker_registry_config(registry: ModelRegistry | None) -> tuple[str | None, bool]:
+    """Return ``(cache_dir, cache_disabled)`` for worker-side registries.
+
+    A caller registry with its disk cache *disabled* must stay disabled in
+    the workers too (forced retraining is a deliberate isolation choice, and
+    falling back to the process-default cache directory would leak state in
+    and out of it).
+    """
+    if registry is None:
+        return None, False
+    if not registry.disk_cache.enabled:
+        return None, True
+    return str(registry.disk_cache.directory), False
+
+
+def _init_worker(cache_dir: str | None, cache_disabled: bool = False) -> None:
+    global _WORKER_REGISTRY
+    _ensure_registrations()
+    if cache_disabled:
+        _WORKER_REGISTRY = ModelRegistry(DiskCache(enabled=False))
+    elif cache_dir is not None:
+        _WORKER_REGISTRY = ModelRegistry(DiskCache(cache_dir))
+
+
+def _execute_spec(spec: JobSpec) -> JobResult:
+    # Top-level so it pickles for pool.imap / executor.submit.
+    return execute_job(spec, registry=_WORKER_REGISTRY)
+
+
+class SerialExecutor:
+    """Run every job in the current process, in submission order."""
+
+    name = "serial"
+    parallel = False
+
+    def __init__(self, jobs: int = 1, cache_dir: str | None = None):
+        self.jobs = 1
+
+    def run(
+        self, specs: Iterable[JobSpec], *, registry: ModelRegistry | None = None
+    ) -> Iterator[JobResult]:
+        """Yield one result per spec as it completes."""
+        for spec in specs:
+            yield execute_job(spec, registry=registry)
+
+
+class MultiprocessingExecutor:
+    """Fan jobs out to a ``multiprocessing.Pool`` of worker processes."""
+
+    name = "multiprocessing"
+    parallel = True
+
+    def __init__(self, jobs: int, cache_dir: str | None = None):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+
+    def run(
+        self, specs: Iterable[JobSpec], *, registry: ModelRegistry | None = None
+    ) -> Iterator[JobResult]:
+        """Yield results as workers complete them (unordered)."""
+        specs = list(specs)
+        with multiprocessing.Pool(
+            processes=min(self.jobs, max(len(specs), 1)),
+            initializer=_init_worker,
+            initargs=self._initargs(registry),
+        ) as pool:
+            # Unordered: results are keyed by spec hash, so arrival order is
+            # irrelevant and the parent can persist each artifact immediately.
+            yield from pool.imap_unordered(_execute_spec, specs)
+
+    def _initargs(self, registry: ModelRegistry | None) -> tuple[str | None, bool]:
+        cache_dir, cache_disabled = _worker_registry_config(registry)
+        return (self.cache_dir or cache_dir, cache_disabled)
+
+
+class FuturesExecutor:
+    """Fan jobs out through ``concurrent.futures.ProcessPoolExecutor``."""
+
+    name = "process-pool"
+    parallel = True
+
+    def __init__(self, jobs: int, cache_dir: str | None = None):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+
+    def run(
+        self, specs: Iterable[JobSpec], *, registry: ModelRegistry | None = None
+    ) -> Iterator[JobResult]:
+        """Yield results as workers complete them (unordered)."""
+        specs = list(specs)
+        cache_dir, cache_disabled = _worker_registry_config(registry)
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, max(len(specs), 1)),
+            initializer=_init_worker,
+            initargs=(self.cache_dir or cache_dir, cache_disabled),
+        ) as executor:
+            pending = {executor.submit(_execute_spec, spec) for spec in specs}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+
+
+def make_executor(jobs: int = 1, backend: str | None = None, cache_dir: str | None = None):
+    """Build an executor from the runner's ``--jobs`` / ``--executor`` flags.
+
+    ``backend=None`` selects serial execution for ``jobs <= 1`` and the
+    ``concurrent.futures`` process pool otherwise.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if backend is None:
+        backend = "serial" if jobs <= 1 else "process-pool"
+    if backend == "serial":
+        return SerialExecutor(jobs, cache_dir)
+    if backend == "multiprocessing":
+        return MultiprocessingExecutor(jobs, cache_dir)
+    if backend == "process-pool":
+        return FuturesExecutor(jobs, cache_dir)
+    raise ConfigurationError(
+        f"unknown executor backend {backend!r}; expected one of {EXECUTOR_BACKENDS}"
+    )
+
+
+# -- campaigns -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named grid of independent jobs plus the context to assemble tables."""
+
+    name: str
+    scale: str
+    seed: int
+    jobs: tuple[JobSpec, ...]
+    metadata: dict = field(default_factory=dict)
+
+    def unique_jobs(self) -> list[JobSpec]:
+        """Jobs deduplicated by content hash, first occurrence wins."""
+        seen: set[str] = set()
+        unique: list[JobSpec] = []
+        for spec in self.jobs:
+            if spec.key not in seen:
+                seen.add(spec.key)
+                unique.append(spec)
+        return unique
+
+    def model_requirements(self) -> list[tuple[str, str, int]]:
+        """Distinct ``(dataset, scale, seed)`` victim models the jobs need."""
+        seen: set[tuple[str, str, int]] = set()
+        ordered: list[tuple[str, str, int]] = []
+        for spec in self.jobs:
+            params = spec.param_dict()
+            dataset = params.get("dataset")
+            if dataset is None:
+                continue
+            requirement = (
+                str(dataset),
+                str(params.get("scale", self.scale)),
+                int(params.get("seed", self.seed)),
+            )
+            if requirement not in seen:
+                seen.add(requirement)
+                ordered.append(requirement)
+        return ordered
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Execution summary of one campaign run."""
+
+    total: int
+    executed: int
+    cache_hits: int
+    elapsed_seconds: float
+    executor: str
+    jobs: int
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Results of a campaign run, keyed by job content hash."""
+
+    campaign: Campaign
+    results: dict[str, JobResult]
+    stats: CampaignStats
+
+    def result_for(self, spec: JobSpec) -> JobResult:
+        """Return the result of one cell (raises if the cell never ran)."""
+        try:
+            return self.results[spec.key]
+        except KeyError as exc:
+            raise KeyError(
+                f"campaign {self.campaign.name!r} has no result for job "
+                f"{spec.kind!r} with params {spec.param_dict()}"
+            ) from exc
+
+    def metrics_for(self, spec: JobSpec) -> dict[str, float]:
+        """Return the metric dictionary of one cell."""
+        return self.result_for(spec).metrics
+
+    def manifest(self) -> dict:
+        """Structured JSON-serialisable record of the run."""
+        by_key = {spec.key: spec for spec in self.campaign.jobs}
+        jobs_detail = []
+        for key, spec in by_key.items():
+            result = self.results.get(key)
+            detail = spec.as_dict()
+            detail["status"] = "missing" if result is None else "completed"
+            if result is not None:
+                detail["cached"] = result.cached
+                detail["elapsed_seconds"] = round(result.elapsed, 6)
+            jobs_detail.append(detail)
+        return {
+            "campaign": self.campaign.name,
+            "scale": self.campaign.scale,
+            "seed": self.campaign.seed,
+            "stats": {
+                "total_jobs": self.stats.total,
+                "executed": self.stats.executed,
+                "cache_hits": self.stats.cache_hits,
+                "elapsed_seconds": round(self.stats.elapsed_seconds, 6),
+                "executor": self.stats.executor,
+                "jobs": self.stats.jobs,
+            },
+            "jobs": jobs_detail,
+        }
+
+
+def _warm_model_caches(campaign: Campaign, pending, registry: ModelRegistry | None) -> None:
+    """Train every victim model the pending jobs need before fanning out.
+
+    Training happens at most once per (dataset, scale, seed) in the parent
+    and lands in the registry's disk cache; workers then load weights instead
+    of each paying the training cost (or worse, racing to train).
+    """
+    from repro.experiments.common import get_trained_model
+
+    needed = Campaign(
+        name=campaign.name,
+        scale=campaign.scale,
+        seed=campaign.seed,
+        jobs=tuple(pending),
+    ).model_requirements()
+    for dataset, scale, seed in needed:
+        get_trained_model(dataset, scale, registry=registry, seed=seed)
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    registry: ModelRegistry | None = None,
+    jobs: int = 1,
+    executor=None,
+    store: ArtifactStore | None = None,
+) -> CampaignResult:
+    """Execute a campaign and return its results and statistics.
+
+    Parameters
+    ----------
+    campaign:
+        The grid to execute.
+    registry:
+        Model registry for victim models.  Serial execution uses it directly;
+        parallel executors give each worker a registry sharing its disk cache.
+    jobs, executor:
+        Parallelism degree and backend.  ``executor`` may be a backend name
+        (see :data:`EXECUTOR_BACKENDS`), an executor instance, or ``None`` to
+        choose from ``jobs``.
+    store:
+        Optional artifact store.  Completed cells found in the store are not
+        re-executed; freshly executed cells are persisted one by one, so an
+        interrupted campaign resumes where it stopped.
+    """
+    started = time.perf_counter()
+    store = store if store is not None else ArtifactStore(enabled=False)
+    if executor is None or isinstance(executor, str):
+        executor = make_executor(jobs=jobs, backend=executor)
+
+    unique = campaign.unique_jobs()
+    results: dict[str, JobResult] = {}
+    pending: list[JobSpec] = []
+    for spec in unique:
+        cached = store.load(spec)
+        if cached is not None:
+            results[spec.key] = cached
+        else:
+            pending.append(spec)
+    cache_hits = len(results)
+    _LOGGER.info(
+        "campaign %s: %d jobs (%d cached, %d to run) via %s",
+        campaign.name,
+        len(unique),
+        cache_hits,
+        len(pending),
+        executor.name,
+    )
+
+    # Warm-up only helps when workers can actually read what the parent
+    # trains; a deliberately disabled disk cache means each worker retrains.
+    warmup_reaches_workers = registry is None or registry.disk_cache.enabled
+    if pending and executor.parallel and warmup_reaches_workers:
+        _warm_model_caches(campaign, pending, registry)
+    for result in executor.run(pending, registry=registry):
+        store.store(result)
+        results[result.key] = result
+
+    stats = CampaignStats(
+        total=len(unique),
+        executed=len(pending),
+        cache_hits=cache_hits,
+        elapsed_seconds=time.perf_counter() - started,
+        executor=executor.name,
+        jobs=executor.jobs,
+    )
+    return CampaignResult(campaign=campaign, results=results, stats=stats)
+
+
+def run_experiment(
+    build_campaign: Callable[..., Campaign],
+    assemble: Callable[[Campaign, CampaignResult], Any],
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+    executor=None,
+    artifact_dir: str | Path | None = None,
+    **kwargs,
+):
+    """Build, run and assemble one experiment campaign (driver entry point).
+
+    This is the shared implementation behind every driver's ``run``: the
+    module's grid builder declares the cells, the engine executes them, and
+    the module's ``assemble`` turns the per-cell metrics into the paper's
+    table.
+    """
+    campaign = build_campaign(scale, seed=seed, **kwargs)
+    store = ArtifactStore(artifact_dir) if artifact_dir is not None else None
+    result = run_campaign(campaign, registry=registry, jobs=jobs, executor=executor, store=store)
+    return assemble(campaign, result)
+
+
+def format_cell_int(value: float) -> int:
+    """Convert a stored metric back to the integer the table reports."""
+    if math.isnan(value):
+        raise ValueError("cannot render NaN as an integer table cell")
+    return int(round(value))

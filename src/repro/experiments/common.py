@@ -8,14 +8,26 @@ module centralises:
   iteration counts) so that the full suite can run either as a quick CI pass
   or at the paper's scale;
 * trained-model acquisition through the :mod:`repro.zoo.registry` so that a
-  model is trained at most once per process / cache directory.
+  model is trained at most once per process / cache directory;
+* the ``sweep-cell`` campaign job shared by Table 4 and Figures 1–2 (one
+  fault-sneaking attack at a single (S, R) grid point, evaluated against the
+  anchor/evaluation split).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.attacks.fault_sneaking import FaultSneakingConfig
+from repro.analysis.evaluation import evaluate_attack_result
+from repro.attacks.baselines import (
+    GradientDescentAttack,
+    GradientDescentAttackConfig,
+    SingleBiasAttack,
+    SingleBiasAttackConfig,
+)
+from repro.attacks.fault_sneaking import FaultSneakingAttack, FaultSneakingConfig
+from repro.attacks.targets import make_attack_plan
+from repro.experiments.campaign import JobSpec, register_job
 from repro.utils.errors import ConfigurationError
 from repro.zoo.registry import ModelRegistry, ModelSpec, TrainedModel, default_registry
 
@@ -26,6 +38,12 @@ __all__ = [
     "get_trained_model",
     "attack_config_for",
     "anchor_and_eval_split",
+    "anchor_pool_size",
+    "usable_r_values",
+    "sweep_cell_spec",
+    "S1_BASELINE_ATTACKS",
+    "s1_num_images",
+    "run_s1_attack",
 ]
 
 
@@ -232,3 +250,125 @@ def attack_config_for(
         refine_support_steps=setting.refine_steps,
     )
     return replace(base, **overrides) if overrides else base
+
+
+def anchor_pool_size(setting: ExperimentSetting) -> int:
+    """Size of the anchor pool produced by :func:`anchor_and_eval_split`.
+
+    The pool is the even-indexed half of the ``n_test`` held-out samples, so
+    its size is known without training the model — grid builders use this to
+    drop ``R`` values that exceed the pool without touching the registry.
+    """
+    return (setting.n_test + 1) // 2
+
+
+def usable_r_values(setting: ExperimentSetting) -> list[int]:
+    """The R grid restricted to values the anchor pool can supply."""
+    limit = anchor_pool_size(setting)
+    return [int(r) for r in setting.r_values if r <= limit]
+
+
+def sweep_cell_spec(
+    *,
+    dataset: str,
+    scale: str,
+    seed: int,
+    s: int,
+    r: int,
+    norm: str = "l0",
+    target_strategy: str = "random",
+    plan_seed: int | None = None,
+) -> JobSpec:
+    """Declare one (S, R) grid point of the shared fault-sneaking sweep.
+
+    Table 4 and Figures 1–2 all build their grids from this spec, so when a
+    campaign (or the artifact store) sees the same cell twice it is attacked
+    only once.  ``plan_seed`` defaults to ``seed``, mirroring the paper's
+    protocol of reusing one plan seed across the whole grid.
+    """
+    return JobSpec.make(
+        "sweep-cell",
+        dataset=dataset,
+        scale=scale,
+        seed=int(seed),
+        s=int(s),
+        r=int(r),
+        norm=norm,
+        target_strategy=target_strategy,
+        plan_seed=int(seed if plan_seed is None else plan_seed),
+    )
+
+
+# (attack parameter value, table row label), in the paper's reporting order.
+# Shared by the §5.4 baseline comparison and the detectability extension,
+# which run the same three attacks under the same S = 1 requirement.
+S1_BASELINE_ATTACKS = (
+    ("fault_sneaking", "fault sneaking (l0)"),
+    ("gda", "GDA (Liu et al.)"),
+    ("sba", "SBA (Liu et al.)"),
+)
+
+
+def s1_num_images(setting: ExperimentSetting) -> int:
+    """The R used by the S = 1 baseline/detectability experiments."""
+    return min(setting.baseline_r, anchor_pool_size(setting))
+
+
+def run_s1_attack(attack: str, model, plan, scale: str):
+    """Run one of the three S = 1 attacks and return ``(result, success)``.
+
+    ``result`` exposes ``modified_model()``, ``l0_norm`` and ``l2_norm`` for
+    all three attacks; ``success`` normalises SBA's boolean ``success``
+    against the others' ``success_rate``.
+    """
+    if attack == "fault_sneaking":
+        result = FaultSneakingAttack(model, attack_config_for(scale, norm="l0")).attack(plan)
+        return result, float(result.success_rate)
+    if attack == "gda":
+        config = GradientDescentAttackConfig(iterations=get_setting(scale).attack_iterations)
+        result = GradientDescentAttack(model, config).attack(plan)
+        return result, float(result.success_rate)
+    if attack == "sba":
+        sba = SingleBiasAttack(model, SingleBiasAttackConfig())
+        result = sba.attack(plan.target_images[0], int(plan.target_labels[0]))
+        return result, float(result.success)
+    raise ConfigurationError(
+        f"unknown S=1 attack {attack!r}; expected one of "
+        f"{[name for name, _ in S1_BASELINE_ATTACKS]}"
+    )
+
+
+@register_job("sweep-cell")
+def _sweep_cell_job(
+    *,
+    registry: ModelRegistry | None = None,
+    dataset: str,
+    scale: str,
+    seed: int,
+    s: int,
+    r: int,
+    norm: str = "l0",
+    target_strategy: str = "random",
+    plan_seed: int = 0,
+) -> dict:
+    """Attack one (S, R) grid point and return the full evaluation metrics."""
+    trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+    anchor_pool, eval_set = anchor_and_eval_split(trained)
+    config = attack_config_for(scale, norm=norm)
+    clean_accuracy = trained.model.evaluate(eval_set.images, eval_set.labels)
+    plan = make_attack_plan(
+        anchor_pool,
+        num_targets=s,
+        num_images=r,
+        target_strategy=target_strategy,
+        seed=plan_seed,
+    )
+    result = FaultSneakingAttack(trained.model, config).attack(plan)
+    evaluation = evaluate_attack_result(
+        result,
+        eval_set,
+        clean_model=trained.model,
+        clean_accuracy=clean_accuracy,
+        zero_tolerance=config.zero_tolerance,
+    )
+    return evaluation.as_dict()

@@ -17,43 +17,108 @@ the same S = 1 misclassification requirement.
 
 from __future__ import annotations
 
+import math
+
 from repro.analysis.detection import detection_report
 from repro.analysis.reporting import Table
-from repro.attacks.baselines import (
-    GradientDescentAttack,
-    GradientDescentAttackConfig,
-    SingleBiasAttack,
-    SingleBiasAttackConfig,
-)
-from repro.attacks.fault_sneaking import FaultSneakingAttack
 from repro.attacks.parameter_view import ParameterSelector, ParameterView
 from repro.attacks.targets import make_attack_plan
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    JobSpec,
+    format_cell_int,
+    register_job,
+    run_experiment,
+)
 from repro.experiments.common import (
+    S1_BASELINE_ATTACKS,
     anchor_and_eval_split,
-    attack_config_for,
     get_setting,
     get_trained_model,
+    run_s1_attack,
+    s1_num_images,
 )
 from repro.zoo.registry import ModelRegistry
 
-__all__ = ["run"]
+__all__ = ["run", "build_campaign", "assemble"]
 
 
-def run(
-    scale: str = "ci",
+def _cell(dataset: str, scale: str, seed: int, attack: str, num_images: int) -> JobSpec:
+    return JobSpec.make(
+        "detection-attack",
+        dataset=dataset,
+        scale=scale,
+        seed=int(seed),
+        attack=attack,
+        num_images=int(num_images),
+        plan_seed=int(seed + 17),
+    )
+
+
+@register_job("detection-attack")
+def _detection_attack_job(
     *,
     registry: ModelRegistry | None = None,
-    seed: int = 0,
-    dataset: str = "mnist_like",
-) -> Table:
-    """Run the detectability extension experiment and return its table."""
-    setting = get_setting(scale)
+    dataset: str,
+    scale: str,
+    seed: int,
+    attack: str,
+    num_images: int,
+    plan_seed: int,
+) -> dict:
+    """Run one S = 1 attack and score it against the probing/auditing defenders."""
     trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
     model = trained.model
     anchor_pool, eval_set = anchor_and_eval_split(trained)
-    num_images = min(setting.baseline_r, len(anchor_pool))
-    plan = make_attack_plan(anchor_pool, num_targets=1, num_images=num_images, seed=seed + 17)
+    plan = make_attack_plan(anchor_pool, num_targets=1, num_images=num_images, seed=plan_seed)
     layer_size = ParameterView(model, ParameterSelector(layers=("fc_logits",))).size
+
+    result, _ = run_s1_attack(attack, model, plan, scale)
+    attacked_model, l0_norm = result.modified_model(), result.l0_norm
+
+    report = detection_report(
+        model,
+        attacked_model,
+        eval_set,
+        num_modified_parameters=l0_norm,
+        attacked_parameter_count=layer_size,
+    )
+    return {
+        "l0": l0_norm,
+        "attacked_accuracy": report.attacked_accuracy,
+        "probe_detection_at_100": report.probe_detection_at_100,
+        "probe_detection_at_1000": report.probe_detection_at_1000,
+        # NaN encodes "undetectable at any probe size" in the numeric store.
+        "probes_needed_95": (
+            float("nan") if report.probes_needed_95 is None else report.probes_needed_95
+        ),
+        "audit_detection_at_1_percent": report.audit_detection_at_1_percent,
+        "audit_detection_at_10_percent": report.audit_detection_at_10_percent,
+    }
+
+
+def build_campaign(
+    scale: str = "ci", *, seed: int = 0, dataset: str = "mnist_like"
+) -> Campaign:
+    """Declare one job per attack of the detectability comparison."""
+    setting = get_setting(scale)
+    num_images = s1_num_images(setting)
+    jobs = [_cell(dataset, scale, seed, attack, num_images) for attack, _ in S1_BASELINE_ATTACKS]
+    return Campaign(
+        name="extension_detection",
+        scale=scale,
+        seed=seed,
+        jobs=tuple(jobs),
+        metadata={"dataset": dataset},
+    )
+
+
+def assemble(campaign: Campaign, results: CampaignResult) -> Table:
+    """Turn the per-attack metrics into the detectability table."""
+    setting = get_setting(campaign.scale)
+    dataset = campaign.metadata["dataset"]
+    num_images = s1_num_images(setting)
 
     table = Table(
         title=f"Extension: detectability of the S=1 attacks ({dataset})",
@@ -68,38 +133,21 @@ def run(
             "audit detection @10%",
         ],
     )
-
-    def add_row(name, attacked_model, l0_norm):
-        report = detection_report(
-            model,
-            attacked_model,
-            eval_set,
-            num_modified_parameters=l0_norm,
-            attacked_parameter_count=layer_size,
+    for attack, label in S1_BASELINE_ATTACKS:
+        metrics = results.metrics_for(
+            _cell(dataset, campaign.scale, campaign.seed, attack, num_images)
         )
+        probes_needed = metrics["probes_needed_95"]
         table.add_row(
-            name,
-            l0_norm,
-            report.attacked_accuracy,
-            report.probe_detection_at_100,
-            report.probe_detection_at_1000,
-            report.probes_needed_95 if report.probes_needed_95 is not None else "undetectable",
-            report.audit_detection_at_1_percent,
-            report.audit_detection_at_10_percent,
+            label,
+            format_cell_int(metrics["l0"]),
+            metrics["attacked_accuracy"],
+            metrics["probe_detection_at_100"],
+            metrics["probe_detection_at_1000"],
+            "undetectable" if math.isnan(probes_needed) else format_cell_int(probes_needed),
+            metrics["audit_detection_at_1_percent"],
+            metrics["audit_detection_at_10_percent"],
         )
-
-    fs_result = FaultSneakingAttack(model, attack_config_for(scale, norm="l0")).attack(plan)
-    add_row("fault sneaking (l0)", fs_result.modified_model(), fs_result.l0_norm)
-
-    gda_result = GradientDescentAttack(
-        model, GradientDescentAttackConfig(iterations=setting.attack_iterations)
-    ).attack(plan)
-    add_row("GDA (Liu et al.)", gda_result.modified_model(), gda_result.l0_norm)
-
-    sba_result = SingleBiasAttack(model, SingleBiasAttackConfig()).attack(
-        plan.target_images[0], int(plan.target_labels[0])
-    )
-    add_row("SBA (Liu et al.)", sba_result.modified_model(), sba_result.l0_norm)
 
     table.add_note(
         "Accuracy probing models a defender that re-measures accuracy on n held-out "
@@ -113,3 +161,27 @@ def run(
         "(they modify very few parameters)."
     )
     return table
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    dataset: str = "mnist_like",
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
+) -> Table:
+    """Run the detectability extension experiment and return its table."""
+    return run_experiment(
+        build_campaign,
+        assemble,
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+        dataset=dataset,
+    )

@@ -10,44 +10,55 @@ from __future__ import annotations
 
 from repro.analysis.plotting import ascii_line_chart
 from repro.analysis.reporting import Table
-from repro.analysis.sweeps import sweep_s_r_grid
-from repro.experiments.common import (
-    anchor_and_eval_split,
-    attack_config_for,
-    get_setting,
-    get_trained_model,
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    format_cell_int,
+    run_experiment,
 )
+from repro.experiments.common import get_setting, sweep_cell_spec, usable_r_values
 from repro.zoo.registry import ModelRegistry
 
-__all__ = ["run", "run_for_dataset"]
+__all__ = ["run", "run_for_dataset", "build_campaign", "assemble"]
 
 
-def run_for_dataset(
-    dataset: str,
-    figure_name: str,
-    scale: str = "ci",
-    *,
-    registry: ModelRegistry | None = None,
-    seed: int = 0,
-) -> Table:
-    """Shared implementation for Figures 1 and 2 (they differ only in dataset)."""
+def _cell(dataset: str, scale: str, seed: int, s: int, r: int):
+    return sweep_cell_spec(dataset=dataset, scale=scale, seed=seed, s=s, r=r, norm="l0")
+
+
+def build_campaign_for_dataset(
+    dataset: str, figure_name: str, scale: str = "ci", *, seed: int = 0
+) -> Campaign:
+    """Declare the shared Figure 1/2 sweep grid for one dataset."""
     setting = get_setting(scale)
-    trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
-    anchor_pool, eval_set = anchor_and_eval_split(trained)
-    s_values = setting.s_values
-    r_values = [r for r in setting.r_values if r <= len(anchor_pool)]
-
-    config = attack_config_for(scale, norm="l0")
-    records = sweep_s_r_grid(
-        trained.model,
-        anchor_pool,
-        s_values=s_values,
-        r_values=r_values,
-        config=config,
-        test_set=eval_set,
+    jobs = [
+        _cell(dataset, scale, seed, s, r)
+        for r in usable_r_values(setting)
+        for s in setting.s_values
+        if s <= r
+    ]
+    return Campaign(
+        name=figure_name.lower().replace(" ", ""),
+        scale=scale,
         seed=seed,
+        jobs=tuple(jobs),
+        metadata={"dataset": dataset, "figure_name": figure_name},
     )
-    by_key = {(rec.num_targets, rec.num_images): rec for rec in records}
+
+
+def assemble(campaign: Campaign, results: CampaignResult) -> Table:
+    """Turn the per-cell metrics into the figure's l0-vs-S series."""
+    setting = get_setting(campaign.scale)
+    dataset = campaign.metadata["dataset"]
+    figure_name = campaign.metadata["figure_name"]
+    s_values = setting.s_values
+    r_values = usable_r_values(setting)
+
+    def cell_l0(s: int, r: int):
+        if s > r:
+            return None
+        metrics = results.metrics_for(_cell(dataset, campaign.scale, campaign.seed, s, r))
+        return format_cell_int(metrics["l0"])
 
     columns = ["R"] + [f"l0 (S={s})" for s in s_values]
     table = Table(
@@ -57,23 +68,54 @@ def run_for_dataset(
     for r in r_values:
         row = [r]
         for s in s_values:
-            rec = by_key.get((s, r))
-            row.append(rec.evaluation.l0_norm if rec else "-")
+            l0 = cell_l0(s, r)
+            row.append(l0 if l0 is not None else "-")
         table.add_row(*row)
     table.add_note(
         "Expected shape: for fixed R the l0 norm increases with S; for small S the "
         "norm tends to shrink as R grows (a more constrained model needs fewer changes)."
     )
-    series = {
-        f"R={r}": [
-            by_key[(s, r)].evaluation.l0_norm if (s, r) in by_key else None for s in s_values
-        ]
-        for r in r_values
-    }
+    series = {f"R={r}": [cell_l0(s, r) for s in s_values] for r in r_values}
     table.add_note(
-        "\n" + ascii_line_chart(list(s_values), series, title=f"{figure_name}: l0 vs S", y_label="l0")
+        "\n"
+        + ascii_line_chart(
+            list(s_values), series, title=f"{figure_name}: l0 vs S", y_label="l0"
+        )
     )
     return table
+
+
+def run_for_dataset(
+    dataset: str,
+    figure_name: str,
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
+) -> Table:
+    """Shared implementation for Figures 1 and 2 (they differ only in dataset)."""
+
+    def build(scale, *, seed):
+        return build_campaign_for_dataset(dataset, figure_name, scale, seed=seed)
+
+    return run_experiment(
+        build,
+        assemble,
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+    )
+
+
+def build_campaign(scale: str = "ci", *, seed: int = 0) -> Campaign:
+    """Declare the Figure 1 (MNIST-like) campaign."""
+    return build_campaign_for_dataset("mnist_like", "Figure 1", scale, seed=seed)
 
 
 def run(
@@ -81,6 +123,18 @@ def run(
     *,
     registry: ModelRegistry | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
 ) -> Table:
     """Reproduce Figure 1 (MNIST-like dataset)."""
-    return run_for_dataset("mnist_like", "Figure 1", scale, registry=registry, seed=seed)
+    return run_for_dataset(
+        "mnist_like",
+        "Figure 1",
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+    )

@@ -10,59 +10,125 @@ from __future__ import annotations
 
 from repro.analysis.plotting import ascii_line_chart
 from repro.analysis.reporting import Table
-from repro.analysis.tolerance import fault_tolerance_curve
+from repro.attacks.fault_sneaking import FaultSneakingAttack
+from repro.attacks.targets import make_attack_plan
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    JobSpec,
+    format_cell_int,
+    register_job,
+    run_experiment,
+)
 from repro.experiments.common import (
     anchor_and_eval_split,
+    anchor_pool_size,
     attack_config_for,
     get_setting,
     get_trained_model,
 )
 from repro.zoo.registry import ModelRegistry
 
-__all__ = ["run"]
+__all__ = ["run", "build_campaign", "assemble"]
 
 
-def run(
-    scale: str = "ci",
+def _num_images(setting) -> int:
+    requested = max(setting.tolerance_r, max(setting.tolerance_s_values))
+    return min(requested, anchor_pool_size(setting))
+
+
+def _cell(dataset: str, scale: str, seed: int, s: int, num_images: int) -> JobSpec:
+    return JobSpec.make(
+        "tolerance-cell",
+        dataset=dataset,
+        scale=scale,
+        seed=int(seed),
+        s=int(s),
+        num_images=int(num_images),
+        plan_seed=int(seed),
+    )
+
+
+@register_job("tolerance-cell")
+def _tolerance_cell_job(
     *,
     registry: ModelRegistry | None = None,
+    dataset: str,
+    scale: str,
+    seed: int,
+    s: int,
+    num_images: int,
+    plan_seed: int,
+) -> dict:
+    """One point of the fault-tolerance curve: attack S targets at fixed R."""
+    trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+    anchor_pool, _ = anchor_and_eval_split(trained)
+    config = attack_config_for(scale, norm="l0")
+    plan = make_attack_plan(anchor_pool, num_targets=s, num_images=num_images, seed=plan_seed)
+    result = FaultSneakingAttack(trained.model, config).attack(plan)
+    return {
+        "success_rate": result.success_rate,
+        "successful_faults": result.num_successful_faults,
+        "keep_rate": result.keep_rate,
+        "l0": result.l0_norm,
+    }
+
+
+def build_campaign(
+    scale: str = "ci",
+    *,
     seed: int = 0,
     datasets: tuple[str, ...] = ("mnist_like", "cifar_like"),
-) -> Table:
-    """Reproduce Figure 3 and return it as a :class:`Table`."""
+) -> Campaign:
+    """Declare one job per (dataset, S) point of the tolerance curve."""
     setting = get_setting(scale)
+    num_images = _num_images(setting)
+    jobs = [
+        _cell(dataset, scale, seed, s, num_images)
+        for dataset in datasets
+        for s in setting.tolerance_s_values
+    ]
+    return Campaign(
+        name="figure3",
+        scale=scale,
+        seed=seed,
+        jobs=tuple(jobs),
+        metadata={"datasets": tuple(datasets)},
+    )
+
+
+def assemble(campaign: Campaign, results: CampaignResult) -> Table:
+    """Turn the per-point metrics into the Figure 3 table and chart."""
+    setting = get_setting(campaign.scale)
     s_values = list(setting.tolerance_s_values)
-    num_images = max(setting.tolerance_r, max(s_values))
+    num_images = _num_images(setting)
 
     table = Table(
         title="Figure 3: fault sneaking attack success rate vs S",
         columns=["dataset", "S", "success rate", "successful faults", "keep rate", "l0"],
     )
-    config = attack_config_for(scale, norm="l0")
     success_series: dict[str, list[float]] = {}
-    for dataset in datasets:
-        trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
-        anchor_pool, _ = anchor_and_eval_split(trained)
-        curve = fault_tolerance_curve(
-            trained.model,
-            anchor_pool,
-            s_values=s_values,
-            num_images=min(num_images, len(anchor_pool)),
-            config=config,
-            seed=seed,
-        )
-        success_series[dataset] = list(curve.success_rates)
-        for record in curve.as_records():
+    for dataset in campaign.metadata["datasets"]:
+        rates = []
+        faults = []
+        for s in s_values:
+            metrics = results.metrics_for(
+                _cell(dataset, campaign.scale, campaign.seed, s, num_images)
+            )
+            rates.append(metrics["success_rate"])
+            faults.append(format_cell_int(metrics["successful_faults"]))
             table.add_row(
                 dataset,
-                record["S"],
-                record["success_rate"],
-                record["successful_faults"],
-                record["keep_rate"],
-                record["l0"],
+                s,
+                metrics["success_rate"],
+                format_cell_int(metrics["successful_faults"]),
+                metrics["keep_rate"],
+                format_cell_int(metrics["l0"]),
             )
+        success_series[dataset] = rates
+        tolerance = max(faults) if faults else 0
         table.add_note(
-            f"{dataset}: observed fault tolerance (max successful faults) = {curve.tolerance}"
+            f"{dataset}: observed fault tolerance (max successful faults) = {tolerance}"
         )
     table.add_note(
         "Paper reference: success rate stays ~100% for S < 10 and drops beyond; the "
@@ -78,3 +144,27 @@ def run(
         )
     )
     return table
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("mnist_like", "cifar_like"),
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
+) -> Table:
+    """Reproduce Figure 3 and return it as a :class:`Table`."""
+    return run_experiment(
+        build_campaign,
+        assemble,
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+        datasets=datasets,
+    )

@@ -6,22 +6,41 @@ Run one experiment at CI scale and print the table::
 
     repro-experiments table4 --scale ci
 
-Run everything the paper reports at paper scale and save CSVs::
+Run everything the paper reports at paper scale, four attacks at a time,
+memoizing each grid cell so an interrupted run can be resumed::
 
-    repro-experiments all --scale paper --output-dir results/
+    repro-experiments all --scale paper --jobs 4 --artifact-dir artifacts/ \
+        --output-dir results/
+
+Resume an interrupted campaign (reuses the default artifact store)::
+
+    repro-experiments all --scale paper --jobs 4 --resume
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
-from repro.experiments import EXPERIMENTS
+from repro.experiments import CAMPAIGNS
+from repro.experiments.campaign import (
+    EXECUTOR_BACKENDS,
+    ArtifactStore,
+    run_campaign,
+)
 from repro.utils.logging import set_verbosity
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text!r}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=sorted(CAMPAIGNS) + ["all"],
         help="which experiment to run ('all' runs every table and figure)",
     )
     parser.add_argument(
@@ -43,6 +62,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed (default: 0)")
     parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the attack grid (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=list(EXECUTOR_BACKENDS),
+        help="executor backend (default: serial for --jobs 1, process-pool otherwise)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        type=Path,
+        default=None,
+        help="memoize each grid cell in this directory; re-runs skip completed cells",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from previously stored cells (uses the default artifact "
+        "store when --artifact-dir is not given)",
+    )
+    parser.add_argument(
         "--format",
         default="text",
         choices=["text", "markdown", "csv"],
@@ -52,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir",
         type=Path,
         default=None,
-        help="also save each table as CSV into this directory",
+        help="also save each table as CSV (plus a JSON run manifest) into this directory",
     )
     parser.add_argument(
         "--verbose", action="store_true", help="log per-attack progress to stderr"
@@ -65,18 +108,48 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     set_verbosity("info" if args.verbose else "warning")
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    store = None
+    if args.artifact_dir is not None or args.resume:
+        # --artifact-dir names the store explicitly; --resume alone falls back
+        # to the default store so a rerun finds the previous run's cells.
+        store = ArtifactStore(args.artifact_dir)
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    names = sorted(CAMPAIGNS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
-        table = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        build_campaign, assemble = CAMPAIGNS[name]
+        campaign = build_campaign(args.scale, seed=args.seed)
+        result = run_campaign(campaign, jobs=args.jobs, executor=args.executor, store=store)
+        table = assemble(campaign, result)
         elapsed = time.time() - started
+        stats = result.stats
         print(table.render(args.format))
-        print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
+        print(
+            f"[{name} completed in {elapsed:.1f}s at scale={args.scale}: "
+            f"{stats.total} jobs, {stats.cache_hits} cached, "
+            f"executor={stats.executor} x{stats.jobs}]"
+        )
         print()
         if args.output_dir is not None:
             path = args.output_dir / f"{name}_{args.scale}.csv"
             table.save(path, "csv")
+            manifest = result.manifest()
+            manifest["command"] = {
+                "experiment": name,
+                "scale": args.scale,
+                "seed": args.seed,
+                "jobs": args.jobs,
+                "executor": stats.executor,
+                "artifact_dir": str(store.directory) if store is not None else None,
+            }
+            manifest_path = args.output_dir / f"{name}_{args.scale}_manifest.json"
+            manifest_path.write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
             print(f"[saved {path}]", file=sys.stderr)
+            print(f"[saved {manifest_path}]", file=sys.stderr)
     return 0
 
 

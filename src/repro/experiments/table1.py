@@ -13,28 +13,83 @@ from repro.analysis.reporting import Table
 from repro.attacks.fault_sneaking import FaultSneakingAttack
 from repro.attacks.parameter_view import ParameterSelector, ParameterView
 from repro.attacks.targets import make_attack_plan
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    JobSpec,
+    format_cell_int,
+    register_job,
+    run_experiment,
+)
 from repro.experiments.common import attack_config_for, get_setting, get_trained_model
 from repro.zoo.registry import ModelRegistry
 
-__all__ = ["run", "ATTACKED_LAYERS"]
+__all__ = ["run", "build_campaign", "assemble", "ATTACKED_LAYERS"]
 
 # The three FC layers of the benchmark architectures, first to last.
 ATTACKED_LAYERS = ("fc1", "fc2", "fc_logits")
 
 
-def run(
-    scale: str = "ci",
+def _cell(dataset: str, scale: str, seed: int, layer: str, s: int) -> JobSpec:
+    return JobSpec.make(
+        "layer-attack",
+        dataset=dataset,
+        scale=scale,
+        seed=int(seed),
+        layer=layer,
+        s=int(s),
+        plan_seed=int(seed + s),
+    )
+
+
+@register_job("layer-attack")
+def _layer_attack_job(
     *,
     registry: ModelRegistry | None = None,
-    seed: int = 0,
-    dataset: str = "mnist_like",
-) -> Table:
-    """Reproduce Table 1 and return it as a :class:`Table`."""
-    setting = get_setting(scale)
+    dataset: str,
+    scale: str,
+    seed: int,
+    layer: str,
+    s: int,
+    plan_seed: int,
+) -> dict:
+    """Attack a single FC layer with S = R targets and report the l0 norm."""
     trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
     model = trained.model
-    test_set = trained.data.test
+    total_params = ParameterView(model, ParameterSelector(layers=(layer,))).size
+    config = attack_config_for(scale, norm="l0", layers=(layer,))
+    plan = make_attack_plan(trained.data.test, num_targets=s, num_images=s, seed=plan_seed)
+    result = FaultSneakingAttack(model, config).attack(plan)
+    return {
+        "l0": result.l0_norm,
+        "success_rate": result.success_rate,
+        "total_params": total_params,
+    }
 
+
+def build_campaign(
+    scale: str = "ci", *, seed: int = 0, dataset: str = "mnist_like"
+) -> Campaign:
+    """Declare one job per (layer, S) cell of Table 1."""
+    setting = get_setting(scale)
+    jobs = [
+        _cell(dataset, scale, seed, layer, s)
+        for layer in ATTACKED_LAYERS
+        for s in setting.layer_s_values
+    ]
+    return Campaign(
+        name="table1",
+        scale=scale,
+        seed=seed,
+        jobs=tuple(jobs),
+        metadata={"dataset": dataset},
+    )
+
+
+def assemble(campaign: Campaign, results: CampaignResult) -> Table:
+    """Turn the per-cell metrics into the paper's Table 1."""
+    setting = get_setting(campaign.scale)
+    dataset = campaign.metadata["dataset"]
     s_values = setting.layer_s_values
     columns = ["layer", "total_params"] + [f"l0 (S=R={s})" for s in s_values]
     table = Table(
@@ -42,18 +97,17 @@ def run(
         columns=columns,
     )
 
-    for layer_name in ATTACKED_LAYERS:
-        selector = ParameterSelector(layers=(layer_name,))
-        total_params = ParameterView(model, selector).size
-        row = [layer_name, total_params]
+    for layer in ATTACKED_LAYERS:
+        row = [layer]
+        cells = []
+        total_params = 0
         for s in s_values:
-            config = attack_config_for(scale, norm="l0", layers=(layer_name,))
-            plan = make_attack_plan(
-                test_set, num_targets=s, num_images=s, seed=seed + s
-            )
-            result = FaultSneakingAttack(model, config).attack(plan)
-            cell = result.l0_norm if result.success_rate >= 1.0 else f"{result.l0_norm}*"
-            row.append(cell)
+            metrics = results.metrics_for(_cell(dataset, campaign.scale, campaign.seed, layer, s))
+            total_params = format_cell_int(metrics["total_params"])
+            l0 = format_cell_int(metrics["l0"])
+            cells.append(l0 if metrics["success_rate"] >= 1.0 else f"{l0}*")
+        row.append(total_params)
+        row.extend(cells)
         table.add_row(*row)
 
     table.add_note(
@@ -66,3 +120,27 @@ def run(
     )
     table.add_note("Entries marked with '*' did not reach 100% attack success.")
     return table
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    dataset: str = "mnist_like",
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
+) -> Table:
+    """Reproduce Table 1 and return it as a :class:`Table`."""
+    return run_experiment(
+        build_campaign,
+        assemble,
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+        dataset=dataset,
+    )

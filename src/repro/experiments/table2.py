@@ -13,26 +13,97 @@ from __future__ import annotations
 from repro.analysis.reporting import Table
 from repro.attacks.fault_sneaking import FaultSneakingAttack
 from repro.attacks.targets import make_attack_plan
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    JobSpec,
+    format_cell_int,
+    register_job,
+    run_experiment,
+)
 from repro.experiments.common import attack_config_for, get_setting, get_trained_model
 from repro.zoo.registry import ModelRegistry
 
-__all__ = ["run"]
+__all__ = ["run", "build_campaign", "assemble"]
+
+# (row label, parameter-view restriction) for the two halves of the table.
+_CASES = (
+    ("weights", True, False),
+    ("biases", False, True),
+)
 
 
-def run(
-    scale: str = "ci",
+def _cell(
+    dataset: str, scale: str, seed: int, layer: str, s: int, weights: bool, biases: bool
+) -> JobSpec:
+    return JobSpec.make(
+        "param-type-attack",
+        dataset=dataset,
+        scale=scale,
+        seed=int(seed),
+        layer=layer,
+        s=int(s),
+        include_weights=weights,
+        include_biases=biases,
+        plan_seed=int(seed + s),
+    )
+
+
+@register_job("param-type-attack")
+def _param_type_job(
     *,
     registry: ModelRegistry | None = None,
+    dataset: str,
+    scale: str,
+    seed: int,
+    layer: str,
+    s: int,
+    include_weights: bool,
+    include_biases: bool,
+    plan_seed: int,
+) -> dict:
+    """Attack only the weights or only the biases of one layer."""
+    trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+    config = attack_config_for(
+        scale,
+        norm="l0",
+        layers=(layer,),
+        include_weights=include_weights,
+        include_biases=include_biases,
+    )
+    plan = make_attack_plan(trained.data.test, num_targets=s, num_images=s, seed=plan_seed)
+    result = FaultSneakingAttack(trained.model, config).attack(plan)
+    return {"l0": result.l0_norm, "success_rate": result.success_rate}
+
+
+def build_campaign(
+    scale: str = "ci",
+    *,
     seed: int = 0,
     dataset: str = "mnist_like",
     layer: str = "fc_logits",
-) -> Table:
-    """Reproduce Table 2 and return it as a :class:`Table`."""
+) -> Campaign:
+    """Declare one job per (parameter type, S) cell of Table 2."""
     setting = get_setting(scale)
-    trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
-    model = trained.model
-    test_set = trained.data.test
+    jobs = [
+        _cell(dataset, scale, seed, layer, s, weights, biases)
+        for _, weights, biases in _CASES
+        for s in setting.type_s_values
+    ]
+    return Campaign(
+        name="table2",
+        scale=scale,
+        seed=seed,
+        jobs=tuple(jobs),
+        metadata={"dataset": dataset, "layer": layer},
+    )
 
+
+def assemble(campaign: Campaign, results: CampaignResult) -> Table:
+    """Turn the per-cell metrics into the paper's Table 2."""
+    setting = get_setting(campaign.scale)
+    dataset = campaign.metadata["dataset"]
+    layer = campaign.metadata["layer"]
     s_values = setting.type_s_values
     columns = ["parameter type", "metric"] + [f"S=R={s}" for s in s_values]
     table = Table(
@@ -40,22 +111,16 @@ def run(
         columns=columns,
     )
 
-    cases = [
-        ("weights", {"include_weights": True, "include_biases": False}),
-        ("biases", {"include_weights": False, "include_biases": True}),
-    ]
-    for label, kind in cases:
+    for label, weights, biases in _CASES:
         l0_row = [label, "l0 norm"]
         success_row = [label, "success rate"]
         for s in s_values:
-            config = attack_config_for(scale, norm="l0", layers=(layer,), **kind)
-            plan = make_attack_plan(
-                test_set, num_targets=s, num_images=s, seed=seed + s
+            metrics = results.metrics_for(
+                _cell(dataset, campaign.scale, campaign.seed, layer, s, weights, biases)
             )
-            result = FaultSneakingAttack(model, config).attack(plan)
-            succeeded = result.success_rate >= 1.0
-            l0_row.append(result.l0_norm if succeeded else "-")
-            success_row.append(result.success_rate)
+            succeeded = metrics["success_rate"] >= 1.0
+            l0_row.append(format_cell_int(metrics["l0"]) if succeeded else "-")
+            success_row.append(metrics["success_rate"])
         table.add_row(*l0_row)
         table.add_row(*success_row)
 
@@ -65,3 +130,29 @@ def run(
     )
     table.add_note("'-' marks configurations where the attack did not reach 100% success.")
     return table
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    dataset: str = "mnist_like",
+    layer: str = "fc_logits",
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
+) -> Table:
+    """Reproduce Table 2 and return it as a :class:`Table`."""
+    return run_experiment(
+        build_campaign,
+        assemble,
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+        dataset=dataset,
+        layer=layer,
+    )

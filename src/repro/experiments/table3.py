@@ -11,25 +11,86 @@ from __future__ import annotations
 from repro.analysis.reporting import Table
 from repro.attacks.fault_sneaking import FaultSneakingAttack
 from repro.attacks.targets import make_attack_plan
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    JobSpec,
+    format_cell_int,
+    register_job,
+    run_experiment,
+)
 from repro.experiments.common import attack_config_for, get_setting, get_trained_model
 from repro.zoo.registry import ModelRegistry
 
-__all__ = ["run"]
+__all__ = ["run", "build_campaign", "assemble"]
+
+# (row label, attack norm, kappa override).  The l2 attack does not sparsify,
+# so it needs no hinge margin.
+_VARIANTS = (
+    ("l0 attack", "l0", None),
+    ("l2 attack", "l2", 0.0),
+)
 
 
-def run(
-    scale: str = "ci",
+def _cell(dataset: str, scale: str, seed: int, norm: str, kappa, s: int, r: int) -> JobSpec:
+    return JobSpec.make(
+        "norm-attack",
+        dataset=dataset,
+        scale=scale,
+        seed=int(seed),
+        norm=norm,
+        kappa=kappa,
+        s=int(s),
+        r=int(r),
+        plan_seed=int(seed + 13 * s + r),
+    )
+
+
+@register_job("norm-attack")
+def _norm_attack_job(
     *,
     registry: ModelRegistry | None = None,
-    seed: int = 0,
-    dataset: str = "mnist_like",
-) -> Table:
-    """Reproduce Table 3 and return it as a :class:`Table`."""
-    setting = get_setting(scale)
+    dataset: str,
+    scale: str,
+    seed: int,
+    norm: str,
+    kappa,
+    s: int,
+    r: int,
+    plan_seed: int,
+) -> dict:
+    """Run one attack-norm variant at one (S, R) setting."""
     trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
-    model = trained.model
-    test_set = trained.data.test
+    overrides = {} if kappa is None else {"kappa": float(kappa)}
+    config = attack_config_for(scale, norm=norm, **overrides)
+    plan = make_attack_plan(trained.data.test, num_targets=s, num_images=r, seed=plan_seed)
+    result = FaultSneakingAttack(trained.model, config).attack(plan)
+    return {"l0": result.l0_norm, "l2": result.l2_norm}
 
+
+def build_campaign(
+    scale: str = "ci", *, seed: int = 0, dataset: str = "mnist_like"
+) -> Campaign:
+    """Declare one job per (attack variant, (S, R)) cell of Table 3."""
+    setting = get_setting(scale)
+    jobs = [
+        _cell(dataset, scale, seed, norm, kappa, s, r)
+        for _, norm, kappa in _VARIANTS
+        for s, r in setting.norm_settings
+    ]
+    return Campaign(
+        name="table3",
+        scale=scale,
+        seed=seed,
+        jobs=tuple(jobs),
+        metadata={"dataset": dataset},
+    )
+
+
+def assemble(campaign: Campaign, results: CampaignResult) -> Table:
+    """Turn the per-cell metrics into the paper's Table 3."""
+    setting = get_setting(campaign.scale)
+    dataset = campaign.metadata["dataset"]
     columns = ["attack"]
     for s, r in setting.norm_settings:
         columns += [f"l0 (S={s},R={r})", f"l2 (S={s},R={r})"]
@@ -38,19 +99,13 @@ def run(
         columns=columns,
     )
 
-    attack_variants = [
-        ("l0 attack", attack_config_for(scale, norm="l0")),
-        # The l2 attack does not sparsify, so it needs no hinge margin.
-        ("l2 attack", attack_config_for(scale, norm="l2", kappa=0.0)),
-    ]
-    for label, config in attack_variants:
+    for label, norm, kappa in _VARIANTS:
         row = [label]
         for s, r in setting.norm_settings:
-            plan = make_attack_plan(
-                test_set, num_targets=s, num_images=r, seed=seed + 13 * s + r
+            metrics = results.metrics_for(
+                _cell(dataset, campaign.scale, campaign.seed, norm, kappa, s, r)
             )
-            result = FaultSneakingAttack(model, config).attack(plan)
-            row += [result.l0_norm, result.l2_norm]
+            row += [format_cell_int(metrics["l0"]), metrics["l2"]]
         table.add_row(*row)
 
     table.add_note(
@@ -63,3 +118,27 @@ def run(
         "l2-based attack for every (S, R)."
     )
     return table
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    dataset: str = "mnist_like",
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
+) -> Table:
+    """Reproduce Table 3 and return it as a :class:`Table`."""
+    return run_experiment(
+        build_campaign,
+        assemble,
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+        dataset=dataset,
+    )

@@ -10,16 +10,73 @@ percentage point for MNIST.
 from __future__ import annotations
 
 from repro.analysis.reporting import Table
-from repro.analysis.sweeps import sweep_s_r_grid
-from repro.experiments.common import (
-    anchor_and_eval_split,
-    attack_config_for,
-    get_setting,
-    get_trained_model,
-)
+from repro.experiments.campaign import Campaign, CampaignResult, run_experiment
+from repro.experiments.common import get_setting, sweep_cell_spec, usable_r_values
 from repro.zoo.registry import ModelRegistry
 
-__all__ = ["run"]
+__all__ = ["run", "build_campaign", "assemble"]
+
+
+def _cell(dataset: str, scale: str, seed: int, s: int, r: int):
+    return sweep_cell_spec(dataset=dataset, scale=scale, seed=seed, s=s, r=r, norm="l0")
+
+
+def build_campaign(
+    scale: str = "ci",
+    *,
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("mnist_like", "cifar_like"),
+) -> Campaign:
+    """Declare the (S, R) accuracy grid as one job per valid cell."""
+    setting = get_setting(scale)
+    jobs = [
+        _cell(dataset, scale, seed, s, r)
+        for dataset in datasets
+        for r in usable_r_values(setting)
+        for s in setting.s_values
+        if s <= r
+    ]
+    return Campaign(
+        name="table4",
+        scale=scale,
+        seed=seed,
+        jobs=tuple(jobs),
+        metadata={"datasets": tuple(datasets)},
+    )
+
+
+def assemble(campaign: Campaign, results: CampaignResult) -> Table:
+    """Turn the per-cell metrics into the paper's Table 4."""
+    setting = get_setting(campaign.scale)
+    s_values = setting.s_values
+    columns = ["dataset", "clean accuracy", "R"] + [f"S={s}" for s in s_values]
+    table = Table(
+        title="Table 4: test accuracy after DNN parameter modifications",
+        columns=columns,
+    )
+
+    for dataset in campaign.metadata["datasets"]:
+        rows = []
+        clean_accuracy = None
+        for r in usable_r_values(setting):
+            cells = []
+            for s in s_values:
+                if s > r:
+                    cells.append("-")
+                    continue
+                metrics = results.metrics_for(_cell(dataset, campaign.scale, campaign.seed, s, r))
+                cells.append(metrics["attacked_accuracy"])
+                clean_accuracy = metrics["clean_accuracy"]
+            rows.append((r, cells))
+        for r, cells in rows:
+            table.add_row(dataset, clean_accuracy, r, *cells)
+
+    table.add_note(
+        "Paper reference: MNIST clean 99.5%, S=1/R=1000 -> 98.7% (0.8 pt drop); "
+        "CIFAR clean 79.5%, S=1/R=1000 -> 78.5% (1.0 pt drop).  Accuracy decreases "
+        "with S and recovers as R grows."
+    )
+    return table
 
 
 def run(
@@ -28,44 +85,19 @@ def run(
     registry: ModelRegistry | None = None,
     seed: int = 0,
     datasets: tuple[str, ...] = ("mnist_like", "cifar_like"),
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
 ) -> Table:
     """Reproduce Table 4 and return it as a :class:`Table`."""
-    setting = get_setting(scale)
-    s_values = setting.s_values
-    r_values = setting.r_values
-
-    columns = ["dataset", "clean accuracy", "R"] + [f"S={s}" for s in s_values]
-    table = Table(
-        title="Table 4: test accuracy after DNN parameter modifications",
-        columns=columns,
+    return run_experiment(
+        build_campaign,
+        assemble,
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+        datasets=datasets,
     )
-
-    config = attack_config_for(scale, norm="l0")
-    for dataset in datasets:
-        trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
-        anchor_pool, eval_set = anchor_and_eval_split(trained)
-        clean_accuracy = trained.model.evaluate(eval_set.images, eval_set.labels)
-        usable_r = [r for r in r_values if r <= len(anchor_pool)]
-        records = sweep_s_r_grid(
-            trained.model,
-            anchor_pool,
-            s_values=s_values,
-            r_values=usable_r,
-            config=config,
-            test_set=eval_set,
-            seed=seed,
-        )
-        by_key = {(rec.num_targets, rec.num_images): rec for rec in records}
-        for r in usable_r:
-            row = [dataset, clean_accuracy, r]
-            for s in s_values:
-                rec = by_key.get((s, r))
-                row.append(rec.evaluation.attacked_test_accuracy if rec else "-")
-            table.add_row(*row)
-
-    table.add_note(
-        "Paper reference: MNIST clean 99.5%, S=1/R=1000 -> 98.7% (0.8 pt drop); "
-        "CIFAR clean 79.5%, S=1/R=1000 -> 78.5% (1.0 pt drop).  Accuracy decreases "
-        "with S and recovers as R grows."
-    )
-    return table

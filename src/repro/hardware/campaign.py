@@ -98,7 +98,9 @@ class FaultInjectionCampaign:
         memory.flush_to_model()
 
         achieved = view.gather()
-        quantization_error = float(np.max(np.abs(achieved - target_values))) if achieved.size else 0.0
+        quantization_error = (
+            float(np.max(np.abs(achieved - target_values))) if achieved.size else 0.0
+        )
 
         plan_info = attack_result.plan
         predictions = model_copy.predict(plan_info.images)

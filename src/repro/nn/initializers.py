@@ -19,7 +19,9 @@ def zeros_init(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np
     return np.zeros(shape, dtype=np.float64)
 
 
-def normal_init(shape, fan_in: int, fan_out: int, rng: np.random.Generator, *, std: float = 0.05) -> np.ndarray:
+def normal_init(
+    shape, fan_in: int, fan_out: int, rng: np.random.Generator, *, std: float = 0.05
+) -> np.ndarray:
     """Gaussian initialisation with a fixed standard deviation."""
     del fan_in, fan_out
     return rng.normal(0.0, std, size=shape)

@@ -347,7 +347,9 @@ class MaxPool2D(_Pool2D):
         n, h, w, c = input_shape
         grad_flat = grad_output.reshape(-1)
 
-        grad_cols = np.zeros((grad_flat.size, self.pool_size * self.pool_size), dtype=grad_output.dtype)
+        grad_cols = np.zeros(
+            (grad_flat.size, self.pool_size * self.pool_size), dtype=grad_output.dtype
+        )
         grad_cols[np.arange(grad_flat.size), argmax] = grad_flat
         # Undo the channel transpose applied in _patches, then col2im back.
         grad_cols = grad_cols.reshape(n * out_h * out_w, c, self.pool_size * self.pool_size)

@@ -229,4 +229,7 @@ class Sequential:
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Sequential(name={self.name!r}, layers={len(self.layers)}, n_params={self.n_params})"
+        return (
+            f"Sequential(name={self.name!r}, layers={len(self.layers)}, "
+            f"n_params={self.n_params})"
+        )

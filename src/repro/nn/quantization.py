@@ -45,7 +45,9 @@ class QuantizationSpec:
             )
         if self.kind == "fixed":
             if self.total_bits not in (8, 16, 32):
-                raise ConfigurationError(f"fixed-point width must be 8/16/32, got {self.total_bits}")
+                raise ConfigurationError(
+                    f"fixed-point width must be 8/16/32, got {self.total_bits}"
+                )
             if not 0 <= self.frac_bits < self.total_bits:
                 raise ConfigurationError(
                     f"frac_bits must be in [0, {self.total_bits}), got {self.frac_bits}"

@@ -91,12 +91,58 @@ class DiskCache:
                 os.unlink(tmp_name)
             raise
 
+    # -- JSON payloads ---------------------------------------------------------------
+    # Campaign artifacts are small dictionaries of scalars rather than weight
+    # arrays; they share the same keyed directory and atomic-rename discipline
+    # but live in ``.json`` files so they stay human-inspectable.
+
+    def _json_path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def contains_json(self, key: str) -> bool:
+        """Return whether a JSON entry exists for ``key``."""
+        return self.enabled and self._json_path_for(key).exists()
+
+    def load_json(self, key: str) -> dict | None:
+        """Load the JSON payload stored under ``key`` or ``None`` on a miss."""
+        if not self.contains_json(key):
+            return None
+        try:
+            return json.loads(self._json_path_for(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # Corrupt entry (e.g. an interrupted write on a filesystem without
+            # atomic rename): treat as a miss and let the caller regenerate it.
+            return None
+
+    def store_json(self, key: str, payload: dict) -> None:
+        """Atomically store a JSON-serialisable payload under ``key``.
+
+        Writes strict RFC 8259 JSON: non-finite floats are rejected rather
+        than silently emitted as the non-standard ``NaN``/``Infinity`` tokens
+        (callers encode such sentinels as ``null`` before storing).
+        """
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._json_path_for(key)
+        encoded = json.dumps(payload, sort_keys=True, default=str, allow_nan=False)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
     def clear(self) -> int:
         """Delete every cache entry; return the number of removed files."""
         if not self.directory.exists():
             return 0
         removed = 0
-        for entry in self.directory.glob("*.npz"):
-            entry.unlink()
-            removed += 1
+        for pattern in ("*.npz", "*.json"):
+            for entry in self.directory.glob(pattern):
+                entry.unlink()
+                removed += 1
         return removed

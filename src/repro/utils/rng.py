@@ -11,7 +11,9 @@ import random
 
 import numpy as np
 
-__all__ = ["RandomState", "fork_rng", "seed_everything"]
+from repro.utils.cache import stable_hash
+
+__all__ = ["RandomState", "derive_seed", "fork_rng", "seed_everything"]
 
 # Upper bound (exclusive) for child seeds produced by :func:`fork_rng`.
 _MAX_SEED = 2**31 - 1
@@ -29,6 +31,19 @@ def RandomState(seed: int | np.random.Generator | None = None) -> np.random.Gene
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def derive_seed(*components) -> int:
+    """Derive a reproducible seed from arbitrary JSON-serialisable components.
+
+    Unlike the built-in ``hash`` this is stable across processes and Python
+    invocations (no hash randomisation), which is what makes it safe for
+    seeding parallel workers: a job receives the same seed whether it runs
+    in the parent process, a pool worker, or a resumed campaign.  The
+    canonical encoding is shared with :func:`repro.utils.cache.stable_hash`
+    so a job's seed and its artifact-store key can never drift apart.
+    """
+    return int(stable_hash({"seed-components": components}), 16) % _MAX_SEED
 
 
 def fork_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

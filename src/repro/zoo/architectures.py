@@ -38,7 +38,9 @@ def _conv_output(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
-def _fc_tail(in_features: int, hidden: tuple[int, int], num_classes: int, seed: int, *, dropout: float = 0.0) -> list:
+def _fc_tail(
+    in_features: int, hidden: tuple[int, int], num_classes: int, seed: int, *, dropout: float = 0.0
+) -> list:
     """Build the shared fc1 / fc2 / fc_logits / softmax tail."""
     layers: list = [
         Dense(in_features, hidden[0], seed=seed + 101, name="fc1"),
@@ -86,7 +88,8 @@ def paper_cnn(
         Flatten(name="flatten"),
     ]
     spatial_h, spatial_w = height, width
-    for kernel, stride, padding in [(3, 1, 0), (3, 1, 0), (2, 2, 0), (3, 1, 0), (3, 1, 0), (2, 2, 0)]:
+    conv_schedule = [(3, 1, 0), (3, 1, 0), (2, 2, 0), (3, 1, 0), (3, 1, 0), (2, 2, 0)]
+    for kernel, stride, padding in conv_schedule:
         spatial_h = _conv_output(spatial_h, kernel, stride, padding)
         spatial_w = _conv_output(spatial_w, kernel, stride, padding)
     flat_features = spatial_h * spatial_w * 64
@@ -113,7 +116,9 @@ def compact_cnn(
     layers: list = [
         Conv2D(channels, conv_channels[0], 5, stride=2, padding=2, seed=seed + 1, name="conv1"),
         ReLU(name="relu1"),
-        Conv2D(conv_channels[0], conv_channels[1], 3, stride=2, padding=1, seed=seed + 2, name="conv2"),
+        Conv2D(
+            conv_channels[0], conv_channels[1], 3, stride=2, padding=1, seed=seed + 2, name="conv2"
+        ),
         ReLU(name="relu2"),
         Flatten(name="flatten"),
     ]

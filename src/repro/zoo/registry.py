@@ -141,7 +141,9 @@ class ModelRegistry:
         return trained
 
     def _train(self, spec: ModelSpec, data: DataSplit) -> TrainedModel:
-        _LOGGER.info("training %s on %s (%d samples)", spec.architecture, spec.dataset, spec.n_train)
+        _LOGGER.info(
+            "training %s on %s (%d samples)", spec.architecture, spec.dataset, spec.n_train
+        )
         image_shape = data.train.image_shape
         kwargs = {}
         if spec.architecture in ("compact_cnn", "paper_cnn", "mlp"):

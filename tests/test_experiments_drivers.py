@@ -10,6 +10,7 @@ import pytest
 
 from repro.analysis.reporting import Table
 from repro.experiments import (
+    CAMPAIGNS,
     EXPERIMENTS,
     ablations,
     baseline_comparison,
@@ -37,6 +38,11 @@ class TestRegistry:
             "extension_detection",
         }
         assert expected == set(EXPERIMENTS)
+
+    def test_campaign_registry_matches_experiments(self):
+        # The runner validates its `experiment` argument against CAMPAIGNS;
+        # the two registries must never drift apart.
+        assert set(CAMPAIGNS) == set(EXPERIMENTS)
 
 
 class TestTable1:

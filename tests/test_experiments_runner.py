@@ -1,5 +1,7 @@
 """Tests for the repro-experiments command-line runner."""
 
+import json
+
 import pytest
 
 from repro.experiments.runner import build_parser, main
@@ -12,11 +14,33 @@ class TestParser:
         assert args.scale == "ci"
         assert args.format == "text"
         assert args.output_dir is None
+        assert args.jobs == 1
+        assert args.executor is None
+        assert args.artifact_dir is None
+        assert args.resume is False
 
     def test_all_choice(self):
         args = build_parser().parse_args(["all", "--scale", "paper"])
         assert args.experiment == "all"
         assert args.scale == "paper"
+
+    def test_campaign_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "table4",
+                "--jobs",
+                "4",
+                "--executor",
+                "multiprocessing",
+                "--artifact-dir",
+                str(tmp_path / "store"),
+                "--resume",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.executor == "multiprocessing"
+        assert args.artifact_dir == tmp_path / "store"
+        assert args.resume is True
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
@@ -25,6 +49,10 @@ class TestParser:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table1", "--scale", "galactic"])
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--executor", "threads"])
 
 
 class TestMain:
@@ -38,3 +66,74 @@ class TestMain:
         assert exit_code == 0
         assert "Table 3" in captured.out
         assert (tmp_path / "table3_smoke.csv").exists()
+
+    def test_output_dir_is_created(self, tmp_path, monkeypatch):
+        # Regression: a non-existent (nested) --output-dir must be created,
+        # not make the save step fail.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        output_dir = tmp_path / "does" / "not" / "exist"
+        exit_code = main(
+            ["table3", "--scale", "smoke", "--output-dir", str(output_dir)]
+        )
+        assert exit_code == 0
+        assert (output_dir / "table3_smoke.csv").exists()
+        assert (output_dir / "table3_smoke_manifest.json").exists()
+
+    def test_manifest_and_artifact_cache_hits(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        store = tmp_path / "store"
+        out_first = tmp_path / "first"
+        out_second = tmp_path / "second"
+
+        assert (
+            main(
+                [
+                    "table3",
+                    "--scale",
+                    "smoke",
+                    "--artifact-dir",
+                    str(store),
+                    "--output-dir",
+                    str(out_first),
+                ]
+            )
+            == 0
+        )
+        first = json.loads((out_first / "table3_smoke_manifest.json").read_text())
+        assert first["stats"]["executed"] == first["stats"]["total_jobs"] > 0
+        assert first["stats"]["cache_hits"] == 0
+
+        assert (
+            main(
+                [
+                    "table3",
+                    "--scale",
+                    "smoke",
+                    "--artifact-dir",
+                    str(store),
+                    "--output-dir",
+                    str(out_second),
+                ]
+            )
+            == 0
+        )
+        second = json.loads((out_second / "table3_smoke_manifest.json").read_text())
+        assert second["stats"]["executed"] == 0
+        assert second["stats"]["cache_hits"] == second["stats"]["total_jobs"]
+        assert all(job["cached"] for job in second["jobs"])
+        # Memoized cells reproduce the exact same table.
+        assert (out_second / "table3_smoke.csv").read_text() == (
+            out_first / "table3_smoke.csv"
+        ).read_text()
+
+    def test_resume_uses_default_store(self, tmp_path, monkeypatch):
+        # --resume without --artifact-dir memoizes under the default cache dir.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out_dir = tmp_path / "out"
+        assert main(["table3", "--scale", "smoke", "--resume"]) == 0
+        assert main(
+            ["table3", "--scale", "smoke", "--resume", "--output-dir", str(out_dir)]
+        ) == 0
+        manifest = json.loads((out_dir / "table3_smoke_manifest.json").read_text())
+        assert manifest["stats"]["executed"] == 0
+        assert manifest["stats"]["cache_hits"] == manifest["stats"]["total_jobs"]

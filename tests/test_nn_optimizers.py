@@ -14,7 +14,12 @@ RNG = np.random.default_rng(0)
 
 def tiny_model(seed=0):
     return Sequential(
-        [Dense(4, 8, seed=seed, name="fc1"), ReLU(), Dense(8, 3, seed=seed + 1, name="fc2"), Softmax()]
+        [
+            Dense(4, 8, seed=seed, name="fc1"),
+            ReLU(),
+            Dense(8, 3, seed=seed + 1, name="fc2"),
+            Softmax(),
+        ]
     )
 
 

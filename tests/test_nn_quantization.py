@@ -38,7 +38,8 @@ class TestSpecValidation:
     def test_storage_dtypes(self):
         assert QuantizationSpec("float32").storage_dtype() == np.dtype(np.uint32)
         assert QuantizationSpec("float16").storage_dtype() == np.dtype(np.uint16)
-        assert QuantizationSpec("fixed", total_bits=8, frac_bits=4).storage_dtype() == np.dtype(np.uint8)
+        fixed = QuantizationSpec("fixed", total_bits=8, frac_bits=4)
+        assert fixed.storage_dtype() == np.dtype(np.uint8)
 
 
 class TestFloatRoundtrip:

@@ -1,7 +1,6 @@
 """Tests for repro.utils.cache."""
 
 import numpy as np
-import pytest
 
 from repro.utils.cache import DiskCache, default_cache_dir, stable_hash
 
@@ -83,3 +82,39 @@ class TestDiskCache:
         cache = DiskCache(nested)
         cache.store("k", {"a": np.ones(1)})
         assert nested.exists()
+
+
+class TestJsonEntries:
+    def test_miss_returns_none(self, tmp_path):
+        assert DiskCache(tmp_path).load_json("nope") is None
+
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        payload = {"kind": "sweep-cell", "metrics": {"l0": 12.0, "rate": 0.5}}
+        cache.store_json("k", payload)
+        assert cache.load_json("k") == payload
+
+    def test_contains_json(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert not cache.contains_json("k")
+        cache.store_json("k", {"a": 1})
+        assert cache.contains_json("k")
+
+    def test_disabled_never_hits(self, tmp_path):
+        cache = DiskCache(tmp_path, enabled=False)
+        cache.store_json("k", {"a": 1})
+        assert cache.load_json("k") is None
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store_json("k", {"a": 1})
+        (tmp_path / "k.json").write_text("{not json", encoding="utf-8")
+        assert cache.load_json("k") is None
+
+    def test_json_and_npz_share_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store("npz-key", {"a": np.ones(1)})
+        cache.store_json("json-key", {"a": 1})
+        assert cache.clear() == 2
+        assert not cache.contains("npz-key")
+        assert not cache.contains_json("json-key")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import RandomState, fork_rng, seed_everything
+from repro.utils.rng import RandomState, derive_seed, fork_rng, seed_everything
 
 
 class TestRandomState:
@@ -48,6 +48,30 @@ class TestForkRng:
         b = [g.random(3) for g in fork_rng(RandomState(9), 3)]
         for x, y in zip(a, b):
             np.testing.assert_array_equal(x, y)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("sweep-cell", 1, 2) == derive_seed("sweep-cell", 1, 2)
+
+    def test_components_matter(self):
+        assert derive_seed("a", 1) != derive_seed("a", 2)
+        assert derive_seed("a", 1) != derive_seed("b", 1)
+
+    def test_in_valid_range(self):
+        for components in [(), ("x",), (1, 2, 3), (("nested", "tuple"),)]:
+            seed = derive_seed(*components)
+            assert 0 <= seed < 2**31 - 1
+
+    def test_handles_non_json_components(self):
+        from pathlib import Path
+
+        assert isinstance(derive_seed(Path("/tmp/x"), (1, "a")), int)
+
+    def test_usable_as_generator_seed(self):
+        a = RandomState(derive_seed("job", 7)).random(3)
+        b = RandomState(derive_seed("job", 7)).random(3)
+        np.testing.assert_array_equal(a, b)
 
 
 class TestSeedEverything:

@@ -81,7 +81,7 @@ class TestModelRegistry:
 
     def test_disabled_cache_retrains(self, tmp_path):
         registry = ModelRegistry(DiskCache(tmp_path, enabled=False))
-        first = registry.get(TINY_SPEC)
+        registry.get(TINY_SPEC)
         registry.clear_memory()
         second = registry.get(TINY_SPEC)
         assert not second.from_cache

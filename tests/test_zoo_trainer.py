@@ -69,7 +69,9 @@ class TestTrainer:
 
     def test_training_is_reproducible(self, tiny_split):
         def run():
-            model = mlp(tiny_split.train.image_shape, tiny_split.num_classes, seed=7, hidden=(16, 8))
+            model = mlp(
+                tiny_split.train.image_shape, tiny_split.num_classes, seed=7, hidden=(16, 8)
+            )
             Trainer(TrainingConfig(epochs=2, shuffle_seed=11)).fit(model, tiny_split.train)
             return model.get_layer("fc1").params["W"].copy()
 
