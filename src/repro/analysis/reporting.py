@@ -10,7 +10,56 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["Table", "format_float", "render_text", "render_markdown", "render_csv"]
+__all__ = [
+    "Table",
+    "BIT_COST_COLUMNS",
+    "bit_cost_cells",
+    "format_float",
+    "render_text",
+    "render_markdown",
+    "render_csv",
+]
+
+# Canonical bit-level hardware-cost columns, in reporting order.  Any table
+# that reports a lowered attack (the `hardware_cost` experiment, the hardware
+# ablation, examples) uses these names so downstream CSV consumers can rely
+# on one schema.  The values come from
+# :meth:`repro.attacks.lowering.LoweringReport.as_dict`.
+BIT_COST_COLUMNS = (
+    "bit flips",
+    "flips dropped",
+    "words touched",
+    "rows touched",
+    "bit-true success",
+    "bit-true keep",
+    "accuracy drop %",
+)
+
+# LoweringReport.as_dict key for each column; int marks count columns that
+# render without a decimal point.
+_BIT_COST_FIELDS = (
+    ("bit_flips", int),
+    ("flips_dropped", int),
+    ("words_touched", int),
+    ("rows_touched", int),
+    ("bit_true_success", float),
+    ("bit_true_keep", float),
+    ("accuracy_drop_percent", float),
+)
+
+
+def bit_cost_cells(record: dict) -> list:
+    """Map a lowering-report record onto :data:`BIT_COST_COLUMNS` cells.
+
+    ``record`` is a :meth:`~repro.attacks.lowering.LoweringReport.as_dict`
+    payload (or the identical metric dictionary stored by the campaign
+    artifact store).  Count columns are rendered as integers.
+    """
+    cells = []
+    for key, kind in _BIT_COST_FIELDS:
+        value = record[key]
+        cells.append(int(round(value)) if kind is int else float(value))
+    return cells
 
 
 def format_float(value, *, digits: int = 3) -> str:

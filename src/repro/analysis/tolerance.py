@@ -10,6 +10,7 @@ curve of Figure 3 and the saturation limit can be reported.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 
@@ -18,7 +19,11 @@ from repro.attacks.targets import make_attack_plan
 from repro.data.dataset import Dataset
 from repro.utils.errors import ConfigurationError
 
-__all__ = ["ToleranceCurve", "fault_tolerance_curve"]
+__all__ = ["ToleranceCurve", "ToleranceSweepWarning", "fault_tolerance_curve"]
+
+
+class ToleranceSweepWarning(RuntimeWarning):
+    """The S sweep ended before the successful-fault count plateaued."""
 
 
 @dataclass
@@ -40,14 +45,44 @@ class ToleranceCurve:
         self.l0_norms.append(int(l0))
 
     @property
+    def has_plateaued(self) -> bool:
+        """Whether the sweep extended past the saturation point of Figure 3.
+
+        The fault count has plateaued once the attack stops converting
+        additional requested targets into successful faults: the final sweep
+        point injects fewer faults than it asked for (``faults < S``) *and*
+        the count did not grow over the last step.  Until both hold, the
+        maximum over the sweep is only a lower bound on the true tolerance.
+        """
+        if len(self.successful_faults) < 2:
+            return False
+        return (
+            self.successful_faults[-1] < self.s_values[-1]
+            and self.successful_faults[-1] <= self.successful_faults[-2]
+        )
+
+    @property
     def tolerance(self) -> int:
         """The model's fault tolerance: the largest number of faults ever injected.
 
         The paper defines the tolerance as the plateau of successful faults
-        (≈10 for its models); the maximum over the sweep is that plateau as
-        long as the sweep extends past the saturation point.
+        (≈10 for its models); the maximum over the sweep is that plateau only
+        if the sweep extends past the saturation point.  When it does not
+        (:attr:`has_plateaued` is false) the returned value under-reports the
+        true tolerance and a :class:`ToleranceSweepWarning` is emitted.
         """
-        return max(self.successful_faults) if self.successful_faults else 0
+        if not self.successful_faults:
+            return 0
+        if not self.has_plateaued:
+            warnings.warn(
+                "the S sweep never reached the saturation plateau "
+                f"(last point: S={self.s_values[-1]}, "
+                f"faults={self.successful_faults[-1]}); .tolerance is only a "
+                "lower bound — extend s_values past the saturation point",
+                ToleranceSweepWarning,
+                stacklevel=2,
+            )
+        return max(self.successful_faults)
 
     def saturation_s(self, threshold: float = 0.999) -> int | None:
         """Smallest ``S`` at which the success rate first drops below ``threshold``."""

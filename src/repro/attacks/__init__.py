@@ -10,6 +10,10 @@ Public entry points
   parameters (layers, weights and/or biases) the adversary may touch.
 * :mod:`repro.attacks.baselines` — the Liu et al. ICCAD'17 single-bias attack
   (SBA) and gradient-descent attack (GDA) used as comparison points.
+* :mod:`repro.attacks.lowering` — lower a solved attack into concrete memory
+  bit flips, repair the plan under hardware budgets and re-verify it on the
+  bit-true model.  (Import the module directly — re-exporting it here would
+  close an import cycle through :mod:`repro.hardware`.)
 """
 
 from repro.attacks.parameter_view import ParameterSelector, ParameterView

@@ -1,0 +1,381 @@
+"""Bit-true lowering of a solved attack onto the hardware bit-flip layer.
+
+The ADMM solve in :mod:`repro.attacks.fault_sneaking` produces a continuous
+parameter modification ``δ`` whose ℓ0 norm is the paper's *proxy* for hardware
+cost.  This module computes the quantity the paper actually cares about: the
+exact set of memory bit flips that realises ``θ + δ`` in a deployed storage
+format, repaired to respect hardware injection budgets, and the attack's
+success/keep rates re-measured on the *bit-true* model (the network whose
+parameters are literally the flipped memory words).
+
+The pipeline is::
+
+    FaultSneakingResult ──encode──▶ BitFlipPlan ──repair──▶ repaired plan
+         (δ over ℝ)        θ+δ as     (word, bit)    budgets   ──apply──▶
+                           words                               bit-true model
+                                                               ──▶ LoweringReport
+
+Repair drops or rounds low-impact flips until the plan fits a
+:class:`HardwareBudget` (per-word flip limit, row count limit, row-locality
+window — the constraints a Rowhammer-style attacker actually faces), then the
+margin check and all attack metrics are re-run on the modified model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.parameter_view import ParameterView
+from repro.hardware.bitflip import BitFlipPlan, plan_bit_flips
+from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
+from repro.nn.model import Sequential
+from repro.nn.quantization import QuantizationSpec, dequantize, storage_spec
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["HardwareBudget", "PlanRepair", "LoweringReport", "repair_plan", "lower_attack"]
+
+
+@dataclass(frozen=True)
+class HardwareBudget:
+    """Injection budgets a bit-flip plan must fit after repair.
+
+    Parameters
+    ----------
+    max_flips_per_word:
+        Most controlled flips realisable within one memory word.  Words whose
+        plan exceeds it are *rounded* — only the most significant required
+        flips are kept, and the partial write survives only if it lands closer
+        to the target value than the original word — or reverted entirely.
+    max_rows:
+        Most DRAM rows the attacker can hammer; lowest-impact rows are dropped
+        first.
+    row_window:
+        Row-locality constraint: every surviving flip must fall inside a
+        window of this many *consecutive* rows (an attacker massaging physical
+        memory can typically only control placement within a small contiguous
+        region).  The window maximising retained modification impact is kept.
+
+    ``None`` disables a constraint; the default budget is unconstrained.
+    """
+
+    max_flips_per_word: int | None = None
+    max_rows: int | None = None
+    row_window: int | None = None
+
+    def __post_init__(self):
+        for name in ("max_flips_per_word", "max_rows", "row_window"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be None or >= 1, got {value}")
+
+    @property
+    def constrained(self) -> bool:
+        """Whether any budget limit is active."""
+        return any(
+            value is not None
+            for value in (self.max_flips_per_word, self.max_rows, self.row_window)
+        )
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        if not self.constrained:
+            return "unlimited"
+        parts = []
+        if self.max_flips_per_word is not None:
+            parts.append(f"<= {self.max_flips_per_word} flips/word")
+        if self.max_rows is not None:
+            parts.append(f"<= {self.max_rows} rows")
+        if self.row_window is not None:
+            parts.append(f"{self.row_window}-row window")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class PlanRepair:
+    """Outcome of repairing a plan under a :class:`HardwareBudget`."""
+
+    plan: BitFlipPlan
+    flips_dropped: int
+    words_reverted: int
+    words_rounded: int
+
+    @property
+    def modified(self) -> bool:
+        return self.flips_dropped > 0
+
+
+def _decode_word(word, spec: QuantizationSpec) -> float:
+    return float(dequantize(np.array([word], dtype=spec.storage_dtype()), spec)[0])
+
+
+def _round_overfull_words(
+    plan_arrays, keep, memory, original_values, target_repr, limit
+) -> int:
+    """Round words needing more than ``limit`` flips; returns #words rounded.
+
+    A rounded word keeps its ``limit`` most significant flips only when the
+    partial write moves the stored value *closer* to the target than the
+    original word; otherwise all of the word's flips are dropped (reverting
+    the word costs nothing and never degrades the margin check, while a
+    half-written float exponent can be catastrophic).
+    """
+    word_index, bit = plan_arrays[0], plan_arrays[1]
+    original_words = memory.read_words()
+    dtype = original_words.dtype
+    words, counts = np.unique(word_index, return_counts=True)
+    rounded = 0
+    for word in words[counts > limit].tolist():
+        positions = np.flatnonzero(word_index == word)
+        # Most significant bits first: they dominate the value change.
+        best = positions[np.argsort(bit[positions])[::-1][:limit]]
+        partial_mask = np.bitwise_or.reduce(np.left_shift(np.int64(1), bit[best]))
+        achieved = _decode_word(
+            np.bitwise_xor(original_words[word], dtype.type(partial_mask)), memory.spec
+        )
+        target = float(target_repr[word])
+        original = float(original_values[word])
+        if abs(achieved - target) < abs(original - target):
+            dropped = np.setdiff1d(positions, best)
+            keep[dropped] = False
+            rounded += 1
+        else:
+            keep[positions] = False
+    return rounded
+
+
+def _row_impacts(plan_arrays, keep, original_values, target_repr):
+    """Per-row modification impact of the surviving flips.
+
+    Impact of a word is ``|representable target − original value|``; a row's
+    impact is the sum over its surviving words.  Returns ``(rows, impacts)``
+    with rows ascending.
+    """
+    word_index, row = plan_arrays[0][keep], plan_arrays[3][keep]
+    words, first = np.unique(word_index, return_index=True)
+    word_rows = row[first]
+    impacts = np.abs(target_repr - original_values)[words]
+    rows = np.unique(word_rows)
+    row_impact = np.zeros(rows.size)
+    np.add.at(row_impact, np.searchsorted(rows, word_rows), impacts)
+    return rows, row_impact
+
+
+def repair_plan(
+    plan: BitFlipPlan,
+    memory: ParameterMemoryMap,
+    target_values: np.ndarray,
+    budget: HardwareBudget | None = None,
+) -> PlanRepair:
+    """Repair ``plan`` until it fits ``budget``, dropping low-impact flips first.
+
+    The repair never *adds* flips, so the repaired plan is always a subset of
+    the input plan; callers re-run the margin check on the bit-true model to
+    see what the dropped flips cost (:func:`lower_attack` does both).
+    """
+    budget = budget or HardwareBudget()
+    if not budget.constrained or not plan.num_flips:
+        return PlanRepair(plan=plan, flips_dropped=0, words_reverted=0, words_rounded=0)
+
+    arrays = plan.as_arrays()
+    word_index, _, _, row = arrays
+    keep = np.ones(word_index.size, dtype=bool)
+    original_values = memory.decoded_values()
+    target_repr = memory.representable(target_values)
+
+    words_rounded = 0
+    if budget.max_flips_per_word is not None:
+        words_rounded = _round_overfull_words(
+            arrays, keep, memory, original_values, target_repr, budget.max_flips_per_word
+        )
+
+    if budget.row_window is not None and keep.any():
+        rows, impacts = _row_impacts(arrays, keep, original_values, target_repr)
+        prefix = np.concatenate([[0.0], np.cumsum(impacts)])
+        ends = np.searchsorted(rows, rows + budget.row_window)
+        scores = prefix[ends] - prefix[np.arange(rows.size)]
+        start = int(np.argmax(scores))  # ties: lowest start row wins
+        window_rows = rows[start : ends[start]]
+        keep &= np.isin(row, window_rows)
+
+    if budget.max_rows is not None and keep.any():
+        rows, impacts = _row_impacts(arrays, keep, original_values, target_repr)
+        if rows.size > budget.max_rows:
+            # Highest-impact rows first; ties broken by lower row index.
+            order = np.lexsort((rows, -impacts))
+            kept_rows = rows[order[: budget.max_rows]]
+            keep &= np.isin(row, kept_rows)
+
+    repaired = plan.select(keep)
+    return PlanRepair(
+        plan=repaired,
+        flips_dropped=plan.num_flips - repaired.num_flips,
+        words_reverted=plan.num_words_touched - repaired.num_words_touched,
+        words_rounded=words_rounded,
+    )
+
+
+@dataclass
+class LoweringReport:
+    """Bit-true outcome of lowering one attack result into memory.
+
+    ``success_rate`` / ``keep_rate`` here are measured on the *modified* model
+    rebuilt from the flipped memory words — the numbers the solver reports are
+    only upper bounds once quantisation and budget repair have had their say.
+    """
+
+    spec: QuantizationSpec
+    budget: HardwareBudget
+    planned: BitFlipPlan
+    plan: BitFlipPlan
+    repair: PlanRepair
+    quantization_error: float
+    success_rate: float
+    keep_rate: float
+    target_margins: np.ndarray
+    clean_accuracy: float
+    attacked_accuracy: float
+    attacked_model: Sequential
+
+    @property
+    def storage(self) -> str:
+        """Human-readable storage-format name."""
+        return self.spec.describe()
+
+    @property
+    def flips_dropped(self) -> int:
+        """Flips removed by the budget repair."""
+        return self.repair.flips_dropped
+
+    @property
+    def min_target_margin(self) -> float:
+        """Smallest logit margin over the S target images (NaN when S = 0)."""
+        return float(self.target_margins.min()) if self.target_margins.size else float("nan")
+
+    @property
+    def accuracy_drop_percent(self) -> float:
+        """Bit-true test-accuracy degradation in percentage points."""
+        return 100.0 * (self.clean_accuracy - self.attacked_accuracy)
+
+    def as_dict(self) -> dict:
+        """Flat numeric metrics (campaign-job and reporting form)."""
+        return {
+            "bit_flips_planned": self.planned.num_flips,
+            "bit_flips": self.plan.num_flips,
+            "flips_dropped": self.flips_dropped,
+            "words_touched": self.plan.num_words_touched,
+            "words_reverted": self.repair.words_reverted,
+            "words_rounded": self.repair.words_rounded,
+            "rows_touched": self.plan.num_rows_touched,
+            "quantization_error": self.quantization_error,
+            "bit_true_success": self.success_rate,
+            "bit_true_keep": self.keep_rate,
+            "min_target_margin": self.min_target_margin,
+            "clean_accuracy": self.clean_accuracy,
+            "attacked_accuracy": self.attacked_accuracy,
+            "accuracy_drop_percent": self.accuracy_drop_percent,
+        }
+
+
+def _target_margins(logits: np.ndarray, desired: np.ndarray) -> np.ndarray:
+    """Logit margin of each target image: desired-class logit minus runner-up."""
+    if not len(logits):
+        return np.empty(0)
+    rows = np.arange(len(logits))
+    desired_scores = logits[rows, desired]
+    masked = logits.copy()
+    masked[rows, desired] = -np.inf
+    return desired_scores - masked.max(axis=1)
+
+
+def lower_attack(
+    result,
+    *,
+    storage: str | QuantizationSpec = "float32",
+    layout: MemoryLayout | None = None,
+    budget: HardwareBudget | None = None,
+    eval_set=None,
+    clean_accuracy: float | None = None,
+    batch_size: int = 256,
+) -> LoweringReport:
+    """Lower a solved attack into bit flips and re-verify it bit-true.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.attacks.fault_sneaking.FaultSneakingResult` (or any
+        result exposing ``view``, ``delta`` and ``plan``).
+    storage:
+        Deployment storage format: a name from
+        :data:`repro.nn.quantization.STORAGE_FORMATS` or an explicit spec.
+    layout:
+        Simulated memory geometry (base address, DRAM row size).
+    budget:
+        Hardware budgets the plan must fit; the plan is repaired by
+        :func:`repair_plan` before being applied.
+    eval_set:
+        Held-out dataset for the bit-true accuracy numbers.  When ``None``
+        the accuracy fields are NaN.
+    clean_accuracy:
+        Pre-computed clean accuracy on ``eval_set`` (avoids re-evaluating the
+        clean model in sweeps).
+    """
+    spec = storage_spec(storage)
+    budget = budget or HardwareBudget()
+
+    victim: Sequential = result.view.model
+    model_copy = victim.copy()
+    view = ParameterView(model_copy, result.view.selector)
+    if view.size != result.delta.shape[0]:
+        raise ConfigurationError(
+            "attack result delta does not match the victim's attacked parameters"
+        )
+
+    memory = ParameterMemoryMap(view, spec=spec, layout=layout)
+    target_values = view.baseline + result.delta
+    planned = plan_bit_flips(memory, target_values)
+    repair = repair_plan(planned, memory, target_values, budget)
+    memory.apply_plan(repair.plan)
+    memory.flush_to_model()
+
+    achieved = view.gather()
+    quantization_error = (
+        float(np.max(np.abs(achieved - target_values))) if achieved.size else 0.0
+    )
+
+    attack_plan = result.plan
+    num_targets = attack_plan.num_targets
+    logits = model_copy.predict_logits(attack_plan.images)
+    predictions = np.argmax(logits, axis=1)
+    desired = attack_plan.desired_labels
+    success_mask = predictions[:num_targets] == desired[:num_targets]
+    keep_mask = predictions[num_targets:] == desired[num_targets:]
+    margins = _target_margins(logits[:num_targets], desired[:num_targets])
+
+    attacked_accuracy = float("nan")
+    if eval_set is not None:
+        attacked_accuracy = model_copy.evaluate(
+            eval_set.images, eval_set.labels, batch_size=batch_size
+        )
+        if clean_accuracy is None:
+            clean_accuracy = victim.evaluate(
+                eval_set.images, eval_set.labels, batch_size=batch_size
+            )
+    if clean_accuracy is None:
+        clean_accuracy = float("nan")
+
+    return LoweringReport(
+        spec=spec,
+        budget=budget,
+        planned=planned,
+        plan=repair.plan,
+        repair=repair,
+        quantization_error=quantization_error,
+        success_rate=float(success_mask.mean()) if success_mask.size else 1.0,
+        keep_rate=float(keep_mask.mean()) if keep_mask.size else 1.0,
+        target_margins=margins,
+        clean_accuracy=float(clean_accuracy),
+        attacked_accuracy=float(attacked_accuracy),
+        attacked_model=model_copy,
+    )

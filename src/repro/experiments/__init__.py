@@ -21,6 +21,7 @@ Module                    Paper artefact
 ``baseline_comparison``   §5.4 — accuracy loss vs the Liu et al. baselines
 ``ablations``             extra ablations (ρ sweep, warm start, δ-step, hardware cost)
 ``extension_detection``   extension — detectability under probing / auditing defenders
+``hardware_cost``         extension — bit-true lowering: storage format × flip budget × S
 ========================  =====================================================
 
 The ``scale`` argument selects the grid size: ``"ci"`` (minutes, used by the
@@ -48,6 +49,7 @@ from repro.experiments import (
     figure1,
     figure2,
     figure3,
+    hardware_cost,
     table1,
     table2,
     table3,
@@ -65,6 +67,7 @@ EXPERIMENTS = {
     "baseline_comparison": baseline_comparison.run,
     "ablations": ablations.run,
     "extension_detection": extension_detection.run,
+    "hardware_cost": hardware_cost.run,
 }
 
 # Grid builders and assemblers, used by the CLI runner so it can execute the
@@ -80,6 +83,7 @@ CAMPAIGNS = {
     "baseline_comparison": (baseline_comparison.build_campaign, baseline_comparison.assemble),
     "ablations": (ablations.build_campaign, ablations.assemble),
     "extension_detection": (extension_detection.build_campaign, extension_detection.assemble),
+    "hardware_cost": (hardware_cost.build_campaign, hardware_cost.assemble),
 }
 
 __all__ = [
@@ -104,4 +108,5 @@ __all__ = [
     "baseline_comparison",
     "ablations",
     "extension_detection",
+    "hardware_cost",
 ]

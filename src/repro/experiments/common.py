@@ -71,6 +71,8 @@ class ExperimentSetting:
         S grid and fixed R of Figure 3.
     baseline_r:
         R of the §5.4 baseline comparison (S = 1).
+    hardware_s_values:
+        S grid of the bit-true hardware-cost experiment.
     attack_iterations, warmup_iterations, refine_steps:
         ADMM budget shared by all attacks at this scale.
     """
@@ -92,6 +94,7 @@ class ExperimentSetting:
     warmup_iterations: int
     refine_steps: int
     hidden: tuple[int, int] = (200, 200)
+    hardware_s_values: tuple[int, ...] = (1, 4)
 
 
 SETTINGS: dict[str, ExperimentSetting] = {
@@ -115,6 +118,7 @@ SETTINGS: dict[str, ExperimentSetting] = {
         warmup_iterations=250,
         refine_steps=30,
         hidden=(64, 32),
+        hardware_s_values=(1, 2),
     ),
     "ci": ExperimentSetting(
         name="ci",
@@ -151,6 +155,7 @@ SETTINGS: dict[str, ExperimentSetting] = {
         attack_iterations=300,
         warmup_iterations=600,
         refine_steps=100,
+        hardware_s_values=(1, 4, 16),
     ),
     "full": ExperimentSetting(
         name="full",
@@ -169,6 +174,7 @@ SETTINGS: dict[str, ExperimentSetting] = {
         attack_iterations=300,
         warmup_iterations=600,
         refine_steps=100,
+        hardware_s_values=(1, 4, 16),
     ),
 }
 

@@ -1,0 +1,309 @@
+"""Bit-true hardware cost of the attack: storage format × flip budget × S.
+
+The paper argues (§2.3) that minimising the ℓ0 norm is what makes the attack
+executable on real hardware, but reports only the proxy.  This experiment
+closes the loop: every grid cell solves the attack, lowers the modification
+into an exact bit-flip plan for a deployed storage format (float32 / float16 /
+int8), repairs the plan under a hardware budget (max flips per word, max
+hammered rows, row-locality window), and re-measures success rate, keep rate
+and accuracy drop on the *bit-true* modified model.
+
+Each cell is an independent campaign job, so the grid parallelises under
+``--jobs N`` and memoizes per cell exactly like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import BIT_COST_COLUMNS, Table, bit_cost_cells
+from repro.attacks.fault_sneaking import FaultSneakingAttack
+from repro.attacks.lowering import HardwareBudget, lower_attack
+from repro.attacks.parameter_view import ParameterView
+from repro.attacks.targets import AttackPlan, make_attack_plan
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    JobSpec,
+    format_cell_int,
+    register_job,
+    run_experiment,
+)
+from repro.experiments.common import (
+    anchor_and_eval_split,
+    anchor_pool_size,
+    attack_config_for,
+    get_setting,
+    get_trained_model,
+)
+from repro.hardware.memory import MemoryLayout
+from repro.nn.quantization import STORAGE_FORMATS
+from repro.zoo.registry import ModelRegistry, default_registry
+
+__all__ = ["run", "build_campaign", "assemble", "BUDGET_LEVELS"]
+
+# Named flip-budget levels swept by the grid: (label, max_flips_per_word,
+# max_rows); 0 means unconstrained.  "tight" matches a Rowhammer-style
+# attacker with limited controlled flips per word and a bounded templating
+# budget for victim rows.
+BUDGET_LEVELS = (
+    ("unlimited", 0, 0),
+    ("tight", 4, 8),
+)
+
+# Fixed anchor count R of every cell (capped by the anchor pool at runtime).
+_R = 100
+
+# Row size of the simulated memory.  The default 8 KiB DRAM row swallows the
+# whole last FC layer of the benchmark models into one or two rows, which
+# would make every row budget vacuous; 512-byte rows give the locality
+# constraints something to bite on while keeping the row structure realistic
+# for embedded SRAM banks.
+_ROW_BYTES = 512
+
+
+def _budget_for(max_flips_per_word: int, max_rows: int) -> HardwareBudget:
+    return HardwareBudget(
+        max_flips_per_word=max_flips_per_word or None,
+        max_rows=max_rows or None,
+    )
+
+
+def _num_images(setting) -> int:
+    return min(_R, anchor_pool_size(setting))
+
+
+def _cell(
+    dataset: str,
+    scale: str,
+    seed: int,
+    s: int,
+    r: int,
+    storage: str,
+    max_flips_per_word: int,
+    max_rows: int,
+) -> JobSpec:
+    return JobSpec.make(
+        "hardware-cost-cell",
+        dataset=dataset,
+        scale=scale,
+        seed=int(seed),
+        s=int(s),
+        r=int(r),
+        storage=storage,
+        max_flips_per_word=int(max_flips_per_word),
+        max_rows=int(max_rows),
+        plan_seed=int(seed),
+    )
+
+
+@dataclass
+class _SolvedAttack:
+    """The slice of a FaultSneakingResult the lowering pipeline consumes.
+
+    Grid cells that differ only along the storage/budget axes share one ADMM
+    solve through the registry's disk cache; a cache hit reconstructs this
+    lightweight view instead of re-running the attack.
+    """
+
+    view: ParameterView
+    delta: np.ndarray
+    plan: AttackPlan
+    success_mask: np.ndarray
+    keep_mask: np.ndarray
+
+    @property
+    def success_rate(self) -> float:
+        return float(self.success_mask.mean()) if self.success_mask.size else 1.0
+
+    @property
+    def keep_rate(self) -> float:
+        return float(self.keep_mask.mean()) if self.keep_mask.size else 1.0
+
+
+def _solve_attack(
+    trained, config, plan, registry: ModelRegistry | None, solve_key_params: dict
+) -> _SolvedAttack:
+    """Solve the attack for one (dataset, scale, seed, s, r) point, memoized.
+
+    The solve is independent of the storage/budget axes, so it is cached in
+    the model registry's disk cache keyed by the solve inputs only: the 6
+    storage × budget cells of each S value pay for one ADMM solve between
+    them (and across resumed runs), in every worker process.
+    """
+    cache = (registry or default_registry()).disk_cache
+    key = cache.key_for({"kind": "hardware-cost-solve", **solve_key_params})
+    view = ParameterView(trained.model, config.selector())
+    cached = cache.load(key)
+    if cached is not None and cached["delta"].shape == (view.size,):
+        return _SolvedAttack(
+            view=view,
+            delta=cached["delta"],
+            plan=plan,
+            success_mask=cached["success_mask"].astype(bool),
+            keep_mask=cached["keep_mask"].astype(bool),
+        )
+    result = FaultSneakingAttack(trained.model, config).attack(plan)
+    cache.store(
+        key,
+        {
+            "delta": result.delta,
+            "success_mask": result.success_mask.astype(np.uint8),
+            "keep_mask": result.keep_mask.astype(np.uint8),
+        },
+    )
+    return _SolvedAttack(
+        view=view,
+        delta=result.delta,
+        plan=plan,
+        success_mask=np.asarray(result.success_mask, dtype=bool),
+        keep_mask=np.asarray(result.keep_mask, dtype=bool),
+    )
+
+
+@register_job("hardware-cost-cell")
+def _hardware_cost_cell_job(
+    *,
+    registry: ModelRegistry | None = None,
+    dataset: str,
+    scale: str,
+    seed: int,
+    s: int,
+    r: int,
+    storage: str,
+    max_flips_per_word: int,
+    max_rows: int,
+    plan_seed: int,
+) -> dict:
+    """Solve one attack, lower it bit-true and return the hardware-cost metrics."""
+    trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
+    anchor_pool, eval_set = anchor_and_eval_split(trained)
+    config = attack_config_for(scale, norm="l0")
+    clean_accuracy = trained.model.evaluate(eval_set.images, eval_set.labels)
+    plan = make_attack_plan(anchor_pool, num_targets=s, num_images=r, seed=plan_seed)
+    solved = _solve_attack(
+        trained,
+        config,
+        plan,
+        registry,
+        {
+            "dataset": dataset,
+            "scale": scale,
+            "seed": int(seed),
+            "s": int(s),
+            "r": int(r),
+            "plan_seed": int(plan_seed),
+            "norm": config.norm,
+        },
+    )
+    report = lower_attack(
+        solved,
+        storage=storage,
+        layout=MemoryLayout(row_bytes=_ROW_BYTES),
+        budget=_budget_for(max_flips_per_word, max_rows),
+        eval_set=eval_set,
+        clean_accuracy=clean_accuracy,
+    )
+    metrics = report.as_dict()
+    metrics["l0"] = int(
+        np.count_nonzero(np.abs(solved.delta) > config.zero_tolerance)
+    )
+    metrics["solver_success"] = solved.success_rate
+    metrics["solver_keep"] = solved.keep_rate
+    return metrics
+
+
+def build_campaign(
+    scale: str = "ci",
+    *,
+    seed: int = 0,
+    dataset: str = "mnist_like",
+    storages: tuple[str, ...] = STORAGE_FORMATS,
+) -> Campaign:
+    """Declare one job per (storage format, flip budget, S) grid point."""
+    setting = get_setting(scale)
+    r = _num_images(setting)
+    jobs = [
+        _cell(dataset, scale, seed, s, r, storage, flips, rows)
+        for storage in storages
+        for _, flips, rows in BUDGET_LEVELS
+        for s in setting.hardware_s_values
+        if s <= r
+    ]
+    return Campaign(
+        name="hardware_cost",
+        scale=scale,
+        seed=seed,
+        jobs=tuple(jobs),
+        metadata={"dataset": dataset, "storages": tuple(storages)},
+    )
+
+
+def assemble(campaign: Campaign, results: CampaignResult) -> Table:
+    """Turn the per-cell metrics into the hardware-cost table."""
+    setting = get_setting(campaign.scale)
+    dataset = campaign.metadata["dataset"]
+    r = _num_images(setting)
+    table = Table(
+        title=(
+            f"Bit-true hardware cost per storage format and flip budget "
+            f"({dataset}, R={r})"
+        ),
+        columns=["storage", "budget", "S", "l0", "solver success", *BIT_COST_COLUMNS],
+    )
+    for storage in campaign.metadata["storages"]:
+        for label, flips, rows in BUDGET_LEVELS:
+            for s in setting.hardware_s_values:
+                if s > r:
+                    continue
+                metrics = results.metrics_for(
+                    _cell(dataset, campaign.scale, campaign.seed, s, r, storage, flips, rows)
+                )
+                table.add_row(
+                    storage,
+                    label,
+                    s,
+                    format_cell_int(metrics["l0"]),
+                    metrics["solver_success"],
+                    *bit_cost_cells(metrics),
+                )
+    table.add_note(
+        "bit-true rates are re-measured on the model rebuilt from the flipped "
+        f"memory words ({_ROW_BYTES}-byte rows); the solver rate is the upper "
+        "bound before quantisation and budget repair."
+    )
+    table.add_note(
+        "budget levels: " + "; ".join(
+            f"{label} = " + _budget_for(flips, rows).describe()
+            for label, flips, rows in BUDGET_LEVELS
+        )
+    )
+    return table
+
+
+def run(
+    scale: str = "ci",
+    *,
+    registry: ModelRegistry | None = None,
+    seed: int = 0,
+    dataset: str = "mnist_like",
+    storages: tuple[str, ...] = STORAGE_FORMATS,
+    jobs: int = 1,
+    executor=None,
+    artifact_dir=None,
+) -> Table:
+    """Run the bit-true hardware-cost sweep and return its table."""
+    return run_experiment(
+        build_campaign,
+        assemble,
+        scale,
+        registry=registry,
+        seed=seed,
+        jobs=jobs,
+        executor=executor,
+        artifact_dir=artifact_dir,
+        dataset=dataset,
+        storages=storages,
+    )

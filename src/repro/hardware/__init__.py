@@ -17,6 +17,10 @@ either injection technique:
 * :class:`FaultInjectionCampaign` applies a plan through the quantised memory
   (so the achieved modification is what the storage format can actually
   represent) and re-verifies the attack on the resulting model.
+
+The budget-aware lowering pipeline (repairing a plan under per-word flip,
+row-count and row-locality limits) lives in :mod:`repro.attacks.lowering`,
+which builds on this package.
 """
 
 from repro.hardware.memory import MemoryLayout, ParameterMemoryMap

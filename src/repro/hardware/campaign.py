@@ -92,9 +92,8 @@ class FaultInjectionCampaign:
         plan = plan_bit_flips(memory, target_values)
         cost = self.injector.cost(plan)
 
-        # Execute the plan bit by bit and push the resulting words into the model.
-        for flip in plan.flips:
-            memory.flip_bit(flip.word_index, flip.bit)
+        # Execute the plan and push the resulting words into the model.
+        memory.apply_plan(plan)
         memory.flush_to_model()
 
         achieved = view.gather()

@@ -145,6 +145,26 @@ class ParameterMemoryMap:
             raise ValueError(f"bit must be in [0, {bits}), got {bit}")
         self._words[index] = self._words[index] ^ self._words.dtype.type(1 << bit)
 
+    def apply_plan(self, plan) -> None:
+        """Execute a :class:`~repro.hardware.bitflip.BitFlipPlan` in one shot.
+
+        Equivalent to calling :meth:`flip_bit` for every flip of the plan, but
+        vectorised: the plan is aggregated into per-word XOR masks which are
+        applied with a single fancy-indexed XOR.
+        """
+        words, masks = plan.word_masks()
+        if not words.size:
+            return
+        if words.min() < 0 or words.max() >= self.num_words:
+            raise IndexError(
+                f"plan touches word indices outside [0, {self.num_words})"
+            )
+        if masks.max() >= 2 ** self.spec.bits_per_value:
+            raise ValueError(
+                f"plan flips bits outside the {self.spec.bits_per_value}-bit word"
+            )
+        self._words[words] ^= masks.astype(self._words.dtype)
+
     # -- value-level access ----------------------------------------------------------------
     def decoded_values(self) -> np.ndarray:
         """Return the float values currently represented by the memory."""

@@ -15,9 +15,17 @@ import numpy as np
 
 from repro.utils.errors import ConfigurationError
 
-__all__ = ["QuantizationSpec", "quantize", "dequantize"]
+__all__ = ["QuantizationSpec", "STORAGE_FORMATS", "storage_spec", "quantize", "dequantize"]
 
 _FLOAT_FORMATS = {"float32": np.float32, "float16": np.float16}
+
+# Named deployment storage formats understood by :func:`storage_spec`.  The
+# experiment drivers sweep these names; "int8" is the signed 8-bit fixed-point
+# format used by integer inference deployments (Q1.6 by default: range ±2 with
+# 1/64 resolution, which covers the benchmark models' FC-layer parameters).
+STORAGE_FORMATS = ("float32", "float16", "int8")
+
+_INT8_DEFAULT_FRAC_BITS = 6
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,33 @@ class QuantizationSpec:
         if self.kind == "float16":
             return np.dtype(np.uint16)
         return np.dtype({8: np.uint8, 16: np.uint16, 32: np.uint32}[self.total_bits])
+
+    def describe(self) -> str:
+        """Short human-readable format name used in reports."""
+        if self.kind in _FLOAT_FORMATS:
+            return self.kind
+        return f"int{self.total_bits} (q{self.frac_bits})"
+
+
+def storage_spec(
+    fmt: "str | QuantizationSpec", *, frac_bits: int = _INT8_DEFAULT_FRAC_BITS
+) -> QuantizationSpec:
+    """Resolve a deployment storage-format name into a :class:`QuantizationSpec`.
+
+    Accepts the names in :data:`STORAGE_FORMATS` (``"int8"`` maps to signed
+    8-bit fixed point with ``frac_bits`` fractional bits) or an existing spec,
+    which is returned unchanged.
+    """
+    if isinstance(fmt, QuantizationSpec):
+        return fmt
+    if fmt in _FLOAT_FORMATS:
+        return QuantizationSpec(fmt)
+    if fmt == "int8":
+        return QuantizationSpec("fixed", total_bits=8, frac_bits=frac_bits)
+    raise ConfigurationError(
+        f"unknown storage format {fmt!r}; expected one of {STORAGE_FORMATS} "
+        "or a QuantizationSpec"
+    )
 
 
 def quantize(values: np.ndarray, spec: QuantizationSpec) -> np.ndarray:

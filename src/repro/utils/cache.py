@@ -11,7 +11,7 @@ import hashlib
 import json
 import os
 import tempfile
-from pathlib import Path
+from pathlib import Path, PurePath
 
 import numpy as np
 
@@ -29,9 +29,51 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-fault-sneaking"
 
 
+def _canonical(value, path: str):
+    """Reduce a config value to JSON-native types, rejecting ambiguous ones.
+
+    An earlier implementation fell back to ``str()`` for unknown types, which
+    silently corrupted cache keying in both directions: two distinct objects
+    with an equal repr collided onto one key, and reprs embedding a memory
+    address (``<object at 0x...>``) changed every run so identical configs
+    never hit the cache.  Only values with one canonical encoding are allowed;
+    numpy scalars and filesystem paths are normalised explicitly.
+    """
+    # bool is an int subclass; both pass through as themselves.
+    if value is None or isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, PurePath):
+        return str(value)
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"stable_hash: non-string dict key {key!r} at {path}"
+                )
+        return {key: _canonical(item, f"{path}.{key}") for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item, f"{path}[{i}]") for i, item in enumerate(value)]
+    raise TypeError(
+        f"stable_hash: value of type {type(value).__name__} at {path} has no "
+        "canonical encoding; convert it to JSON-native types (str/int/float/"
+        "bool/None, lists, string-keyed dicts) before hashing"
+    )
+
+
 def stable_hash(config: dict) -> str:
-    """Return a stable hex digest of a JSON-serialisable configuration dict."""
-    encoded = json.dumps(config, sort_keys=True, default=str).encode("utf-8")
+    """Return a stable hex digest of a configuration dictionary.
+
+    Values must be canonically encodable: JSON-native types plus numpy
+    scalars and :class:`pathlib` paths (normalised explicitly).  Anything
+    else raises :class:`TypeError` instead of silently hashing by ``str()``.
+    """
+    encoded = json.dumps(_canonical(config, "config"), sort_keys=True).encode("utf-8")
     return hashlib.sha256(encoded).hexdigest()[:24]
 
 

@@ -1,9 +1,15 @@
 """Tests for repro.analysis.tolerance and repro.analysis.sweeps."""
 
+import warnings
+
 import pytest
 
 from repro.analysis.sweeps import sweep_s_r_grid
-from repro.analysis.tolerance import ToleranceCurve, fault_tolerance_curve
+from repro.analysis.tolerance import (
+    ToleranceCurve,
+    ToleranceSweepWarning,
+    fault_tolerance_curve,
+)
 from repro.attacks.fault_sneaking import FaultSneakingConfig
 from repro.utils.errors import ConfigurationError
 
@@ -39,6 +45,45 @@ class TestToleranceCurve:
 
     def test_empty_curve(self):
         assert ToleranceCurve().tolerance == 0
+
+    def test_plateaued_curve_no_warning(self):
+        curve = self.make()
+        assert curve.has_plateaued
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ToleranceSweepWarning)
+            assert curve.tolerance == 6
+
+    def test_unsaturated_sweep_warns(self):
+        # Every S still fully succeeds: the sweep stopped before the plateau,
+        # so max(successful_faults) under-reports the paper's Figure 3 number.
+        curve = ToleranceCurve()
+        curve.add(1, 1.0, 1, 1.0, 10)
+        curve.add(4, 1.0, 4, 1.0, 30)
+        assert not curve.has_plateaued
+        with pytest.warns(ToleranceSweepWarning, match="lower bound"):
+            assert curve.tolerance == 4
+
+    def test_still_rising_tail_warns(self):
+        # The final point dropped below 100% success but the fault count was
+        # still growing — the plateau has not been resolved yet.
+        curve = ToleranceCurve()
+        curve.add(1, 1.0, 1, 1.0, 10)
+        curve.add(4, 1.0, 4, 1.0, 30)
+        curve.add(8, 7 / 8, 7, 0.95, 60)
+        assert not curve.has_plateaued
+        with pytest.warns(ToleranceSweepWarning):
+            curve.tolerance
+
+    def test_single_point_curve_warns(self):
+        curve = ToleranceCurve()
+        curve.add(1, 1.0, 1, 1.0, 5)
+        with pytest.warns(ToleranceSweepWarning):
+            assert curve.tolerance == 1
+
+    def test_empty_curve_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ToleranceSweepWarning)
+            assert ToleranceCurve().tolerance == 0
 
 
 class TestFaultToleranceCurve:

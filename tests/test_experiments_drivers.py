@@ -16,6 +16,7 @@ from repro.experiments import (
     baseline_comparison,
     figure1,
     figure3,
+    hardware_cost,
     table1,
     table2,
     table3,
@@ -36,6 +37,7 @@ class TestRegistry:
             "baseline_comparison",
             "ablations",
             "extension_detection",
+            "hardware_cost",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -170,3 +172,39 @@ class TestAblations:
         l0_words = [r["words touched"] for r in records if r["attack"] == "l0 attack"]
         l2_words = [r["words touched"] for r in records if r["attack"] == "l2 attack"]
         assert min(l2_words) >= max(l0_words)
+
+
+class TestHardwareCost:
+    @pytest.fixture(scope="class")
+    def result(self, session_registry):
+        return hardware_cost.run("smoke", registry=session_registry, seed=0)
+
+    def test_grid_shape(self, result):
+        from repro.experiments.common import get_setting
+
+        setting = get_setting("smoke")
+        expected = (
+            len(result.column("storage")) // (len(hardware_cost.BUDGET_LEVELS) * 3)
+        )
+        assert expected == len(setting.hardware_s_values)
+        assert set(result.column("storage")) == {"float32", "float16", "int8"}
+        assert set(result.column("budget")) == {"unlimited", "tight"}
+
+    def test_bit_true_rates_in_range(self, result):
+        for record in result.to_records():
+            assert 0.0 <= record["bit-true success"] <= 1.0
+            assert 0.0 <= record["bit-true keep"] <= 1.0
+
+    def test_unlimited_budget_drops_nothing(self, result):
+        for record in result.to_records():
+            if record["budget"] == "unlimited":
+                assert record["flips dropped"] == 0
+
+    def test_narrower_words_need_fewer_flips(self, result):
+        # int8 words have a quarter of float32's bits, so realising the same
+        # modification must never need more flips.
+        records = [r for r in result.to_records() if r["budget"] == "unlimited"]
+        by_storage = {}
+        for record in records:
+            by_storage.setdefault(record["storage"], []).append(record["bit flips"])
+        assert sum(by_storage["int8"]) <= sum(by_storage["float32"])

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.attacks.parameter_view import ParameterSelector, ParameterView
-from repro.hardware.bitflip import plan_bit_flips
+from repro.hardware.bitflip import (
+    BitFlip,
+    BitFlipPlan,
+    plan_bit_flips,
+    plan_bit_flips_reference,
+)
 from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
 from repro.nn.quantization import QuantizationSpec
 from repro.utils.errors import ShapeError
@@ -96,3 +101,120 @@ class TestPlanBitFlips:
         plan = plan_bit_flips(memory, target)
         for flip in plan.flips:
             assert flip.byte_offset == flip.bit // 8
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            None,
+            QuantizationSpec("float16"),
+            QuantizationSpec("fixed", total_bits=8, frac_bits=6),
+        ],
+    )
+    def test_vectorised_matches_reference_loop(self, spec):
+        model = mlp((6, 6, 1), 4, seed=0, hidden=(10, 8))
+        view = ParameterView(model, ParameterSelector(layers=("fc_logits",)))
+        memory = ParameterMemoryMap(
+            view, spec=spec, layout=MemoryLayout(base_address=64, row_bytes=32)
+        )
+        rng = np.random.default_rng(5)
+        target = view.gather() + rng.standard_normal(view.size) * 0.4
+        fast = plan_bit_flips(memory, target)
+        reference = plan_bit_flips_reference(memory, target)
+        assert fast == reference
+        assert fast.flips == reference.flips
+
+
+class TestBitFlipPlanMutation:
+    def test_num_words_touched_is_derived(self):
+        # Regression: the count used to be frozen at construction and went
+        # stale as soon as the flip list changed (e.g. during plan repair).
+        plan = BitFlipPlan(
+            [BitFlip(word_index=0, bit=1, address=0, row=0)], num_words_total=8
+        )
+        assert plan.num_words_touched == 1
+        plan.append(BitFlip(word_index=3, bit=0, address=12, row=0))
+        assert plan.num_words_touched == 2
+        assert plan.num_flips == 2
+        plan.append(BitFlip(word_index=3, bit=2, address=12, row=0))
+        assert plan.num_words_touched == 2  # same word: count must not grow
+        assert plan.summary()["words_touched"] == 2
+
+    def test_select_subset(self):
+        plan = BitFlipPlan(
+            [
+                BitFlip(word_index=0, bit=0, address=0, row=0),
+                BitFlip(word_index=1, bit=3, address=4, row=0),
+                BitFlip(word_index=2, bit=7, address=8, row=1),
+            ],
+            num_words_total=4,
+        )
+        subset = plan.select([True, False, True])
+        assert subset.num_flips == 2
+        assert subset.num_words_touched == 2
+        assert subset.num_words_total == 4
+        assert [f.word_index for f in subset.flips] == [0, 2]
+        # the original plan is untouched
+        assert plan.num_flips == 3
+
+    def test_select_shape_mismatch(self):
+        plan = BitFlipPlan([BitFlip(0, 0, 0, 0)], num_words_total=1)
+        with pytest.raises(ShapeError):
+            plan.select([True, False])
+
+    def test_drop_words(self):
+        plan = BitFlipPlan(
+            [BitFlip(0, 0, 0, 0), BitFlip(0, 5, 0, 0), BitFlip(2, 1, 8, 1)],
+            num_words_total=4,
+        )
+        remaining = plan.drop_words([0])
+        assert remaining.num_flips == 1
+        assert remaining.flips[0].word_index == 2
+
+    def test_word_masks_aggregates_bits(self):
+        plan = BitFlipPlan(
+            [BitFlip(5, 0, 20, 0), BitFlip(5, 3, 20, 0), BitFlip(1, 7, 4, 0)],
+            num_words_total=8,
+        )
+        words, masks = plan.word_masks()
+        assert words.tolist() == [1, 5]
+        assert masks.tolist() == [1 << 7, (1 << 0) | (1 << 3)]
+
+    def test_duplicate_flips_cancel_like_sequential_flip_bit(self, memory):
+        # Applying the same flip twice is a no-op when executed bit by bit;
+        # the aggregated apply_plan must agree (XOR, not OR, aggregation).
+        duplicated = BitFlipPlan(
+            [BitFlip(0, 3, 0, 0), BitFlip(0, 3, 0, 0), BitFlip(0, 5, 0, 0)],
+            num_words_total=memory.num_words,
+        )
+        words, masks = duplicated.word_masks()
+        assert masks.tolist() == [1 << 5]
+        before = memory.read_words()
+        memory.apply_plan(duplicated)
+        after = memory.read_words()
+        assert after[0] == before[0] ^ (1 << 5)
+
+    def test_apply_plan_equals_per_flip_execution(self, memory):
+        target = memory.view.gather()
+        target[2] += 0.4
+        target[9] -= 0.7
+        plan = plan_bit_flips(memory, target)
+        model2 = mlp((6, 6, 1), 4, seed=0, hidden=(10, 8))
+        view2 = ParameterView(model2, ParameterSelector(layers=("fc_logits",)))
+        other = ParameterMemoryMap(view2, layout=MemoryLayout(base_address=0, row_bytes=32))
+        for flip in plan.flips:
+            other.flip_bit(flip.word_index, flip.bit)
+        memory.apply_plan(plan)
+        np.testing.assert_array_equal(memory.read_words(), other.read_words())
+
+    def test_apply_plan_rejects_out_of_range(self, memory):
+        bad = BitFlipPlan(
+            [BitFlip(memory.num_words, 0, 0, 0)], num_words_total=memory.num_words
+        )
+        with pytest.raises(IndexError):
+            memory.apply_plan(bad)
+        bad_bit = BitFlipPlan(
+            [BitFlip(0, memory.spec.bits_per_value, 0, 0)],
+            num_words_total=memory.num_words,
+        )
+        with pytest.raises(ValueError):
+            memory.apply_plan(bad_bit)

@@ -9,11 +9,13 @@ from repro.utils.errors import ConfigurationError
 
 def make_plan(flips_spec):
     """Build a BitFlipPlan from a list of (word_index, bit, row) tuples."""
-    plan = BitFlipPlan(num_words_total=100)
-    for word, bit, row in flips_spec:
-        plan.flips.append(BitFlip(word_index=word, bit=bit, address=word * 4, row=row))
-    plan.num_words_touched = len({w for w, _, _ in flips_spec})
-    return plan
+    return BitFlipPlan(
+        [
+            BitFlip(word_index=word, bit=bit, address=word * 4, row=row)
+            for word, bit, row in flips_spec
+        ],
+        num_words_total=100,
+    )
 
 
 class TestLaserBeam:

@@ -3,8 +3,48 @@
 import numpy as np
 import pytest
 
-from repro.nn.quantization import QuantizationSpec, dequantize, quantize
+from repro.nn.quantization import (
+    STORAGE_FORMATS,
+    QuantizationSpec,
+    dequantize,
+    quantize,
+    storage_spec,
+)
 from repro.utils.errors import ConfigurationError
+
+
+class TestStorageSpec:
+    def test_named_formats_resolve(self):
+        for name in STORAGE_FORMATS:
+            spec = storage_spec(name)
+            assert isinstance(spec, QuantizationSpec)
+
+    def test_int8_is_8_bit_fixed_point(self):
+        spec = storage_spec("int8")
+        assert spec.kind == "fixed"
+        assert spec.bits_per_value == 8
+        assert spec.storage_dtype() == np.dtype(np.uint8)
+
+    def test_int8_frac_bits_override(self):
+        assert storage_spec("int8", frac_bits=4).frac_bits == 4
+
+    def test_existing_spec_passthrough(self):
+        spec = QuantizationSpec("float16")
+        assert storage_spec(spec) is spec
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            storage_spec("bfloat16")
+
+    def test_int8_roundtrip_covers_small_weights(self):
+        spec = storage_spec("int8")
+        values = np.linspace(-1.5, 1.5, 41)
+        decoded = dequantize(quantize(values, spec), spec)
+        np.testing.assert_allclose(decoded, values, atol=0.5 / spec.scale + 1e-12)
+
+    def test_describe(self):
+        assert storage_spec("float32").describe() == "float32"
+        assert storage_spec("int8").describe() == "int8 (q6)"
 
 
 class TestSpecValidation:

@@ -1,6 +1,9 @@
 """Tests for repro.utils.cache."""
 
+from pathlib import Path
+
 import numpy as np
+import pytest
 
 from repro.utils.cache import DiskCache, default_cache_dir, stable_hash
 
@@ -12,12 +15,55 @@ class TestStableHash:
     def test_different_configs_differ(self):
         assert stable_hash({"a": 1}) != stable_hash({"a": 2})
 
-    def test_handles_non_json_values(self):
-        # default=str handles tuples/paths etc. without raising
-        assert isinstance(stable_hash({"a": (1, 2)}), str)
+    def test_tuples_hash_like_lists(self):
+        assert stable_hash({"a": (1, 2)}) == stable_hash({"a": [1, 2]})
 
     def test_length(self):
         assert len(stable_hash({})) == 24
+
+    def test_rejects_equal_repr_collision(self):
+        # Regression: the old default=str fallback hashed these two *distinct*
+        # objects to the same key because their str() is equal.
+        class Knob:
+            def __init__(self, hidden):
+                self.hidden = hidden
+
+            def __str__(self):
+                return "knob"
+
+        with pytest.raises(TypeError):
+            stable_hash({"a": Knob(1)})
+        with pytest.raises(TypeError):
+            stable_hash({"a": Knob(2)})
+
+    def test_rejects_unstable_repr(self):
+        # Regression: object() reprs embed a memory address, so the old
+        # fallback produced a different key every run for an identical config.
+        with pytest.raises(TypeError) as excinfo:
+            stable_hash({"a": object()})
+        assert "config.a" in str(excinfo.value)
+
+    def test_rejects_non_string_dict_keys(self):
+        with pytest.raises(TypeError):
+            stable_hash({"a": {1: "x"}})
+
+    def test_numpy_scalars_canonicalised(self):
+        assert stable_hash({"a": np.int64(3)}) == stable_hash({"a": 3})
+        assert stable_hash({"a": np.float64(0.5)}) == stable_hash({"a": 0.5})
+        assert stable_hash({"a": np.bool_(True)}) == stable_hash({"a": True})
+
+    def test_paths_canonicalised(self):
+        path = Path("some") / "dir"
+        assert stable_hash({"a": path}) == stable_hash({"a": str(path)})
+
+    def test_rejects_numpy_arrays(self):
+        with pytest.raises(TypeError):
+            stable_hash({"a": np.arange(3)})
+
+    def test_nested_values_checked(self):
+        with pytest.raises(TypeError) as excinfo:
+            stable_hash({"a": [1, {"b": object()}]})
+        assert "config.a[1].b" in str(excinfo.value)
 
 
 class TestDefaultCacheDir:
