@@ -13,7 +13,9 @@ from pathlib import Path
 __all__ = [
     "Table",
     "BIT_COST_COLUMNS",
+    "DEVICE_COST_COLUMNS",
     "bit_cost_cells",
+    "device_cost_cells",
     "format_float",
     "render_text",
     "render_markdown",
@@ -48,6 +50,38 @@ _BIT_COST_FIELDS = (
 )
 
 
+# Device-model reporting columns for attacks lowered onto a named
+# DeviceProfile: template-infeasible flips, companion flips the ECC repair
+# re-routed in, codewords the *unrepaired* plan would have had silently
+# corrected away, alarms the executed plan still raises, and the bit-true
+# success rate of the unrepaired plan ("raw") — the before/after pair that
+# shows what ECC-aware repair buys.  NaN raw success means the cell was
+# lowered without ECC.
+DEVICE_COST_COLUMNS = (
+    "infeasible",
+    "rerouted",
+    "ecc corrected",
+    "ecc alarms",
+    "raw success",
+)
+
+_DEVICE_COST_FIELDS = (
+    ("flips_infeasible", int),
+    ("flips_rerouted", int),
+    ("ecc_corrected", int),
+    ("ecc_alarms", int),
+    ("unrepaired_success", float),
+)
+
+
+def _cost_cells(record: dict, fields) -> list:
+    cells = []
+    for key, kind in fields:
+        value = record[key]
+        cells.append(int(round(value)) if kind is int else float(value))
+    return cells
+
+
 def bit_cost_cells(record: dict) -> list:
     """Map a lowering-report record onto :data:`BIT_COST_COLUMNS` cells.
 
@@ -55,11 +89,12 @@ def bit_cost_cells(record: dict) -> list:
     payload (or the identical metric dictionary stored by the campaign
     artifact store).  Count columns are rendered as integers.
     """
-    cells = []
-    for key, kind in _BIT_COST_FIELDS:
-        value = record[key]
-        cells.append(int(round(value)) if kind is int else float(value))
-    return cells
+    return _cost_cells(record, _BIT_COST_FIELDS)
+
+
+def device_cost_cells(record: dict) -> list:
+    """Map a lowering-report record onto :data:`DEVICE_COST_COLUMNS` cells."""
+    return _cost_cells(record, _DEVICE_COST_FIELDS)
 
 
 def format_float(value, *, digits: int = 3) -> str:

@@ -19,6 +19,21 @@ Repair drops or rounds low-impact flips until the plan fits a
 :class:`HardwareBudget` (per-word flip limit, row count limit, row-locality
 window — the constraints a Rowhammer-style attacker actually faces), then the
 margin check and all attack metrics are re-run on the modified model.
+
+Lowering onto a named :class:`~repro.hardware.device.DeviceProfile` adds two
+device-physics stages on top of the budgets:
+
+* **template feasibility** — each flip must land on a cell whose templated
+  polarity matches the requested direction; a word whose infeasible flips are
+  unavoidable keeps its feasible subset only when that still moves the stored
+  value toward the target, and reverts otherwise;
+* **ECC-aware repair** — on SECDED devices a lone surviving flip would be
+  silently corrected away and a pair would raise an alarm, so vulnerable
+  codewords are *re-routed*: companion flips are added on feasible cells of
+  the codeword's low-impact words (words the solver left ~unchanged),
+  preferring companions whose Hamming positions null the syndrome so the
+  decoder sees a clean codeword.  Codewords with no feasible companions are
+  dropped as a last resort.
 """
 
 from __future__ import annotations
@@ -29,6 +44,9 @@ import numpy as np
 
 from repro.attacks.parameter_view import ParameterView
 from repro.hardware.bitflip import BitFlipPlan, plan_bit_flips
+from repro.hardware.device.ecc import EccSummary, SecdedCode
+from repro.hardware.device.profiles import DeviceProfile, get_profile
+from repro.hardware.device.templates import FlipTemplate
 from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
 from repro.nn.model import Sequential
 from repro.nn.quantization import QuantizationSpec, dequantize, storage_spec
@@ -94,16 +112,39 @@ class HardwareBudget:
 
 @dataclass(frozen=True)
 class PlanRepair:
-    """Outcome of repairing a plan under a :class:`HardwareBudget`."""
+    """Outcome of repairing a plan under budgets and device physics.
+
+    ``flips_dropped`` counts planned flips removed (budget violations,
+    template-infeasible cells, unrepairable ECC codewords); ``flips_added``
+    counts ECC companion flips the repair *routed in* on top of the plan, so
+    ``plan.num_flips == planned - flips_dropped + flips_added``.
+    """
 
     plan: BitFlipPlan
     flips_dropped: int
     words_reverted: int
     words_rounded: int
+    flips_infeasible: int = 0
+    flips_added: int = 0
+    codewords_padded: int = 0
+    codewords_dropped: int = 0
+    # Page-granular memory massaging chosen by the template repair: nominal
+    # page block -> selected frame candidate (None when no template was used).
+    placement: dict[int, int] | None = None
+    # The repaired plan as of just before the ECC stage (None without ECC) —
+    # the decoder-corrected baseline is measured on this.
+    pre_ecc_plan: BitFlipPlan | None = None
 
     @property
     def modified(self) -> bool:
-        return self.flips_dropped > 0
+        return self.flips_dropped > 0 or self.flips_added > 0
+
+    @property
+    def pages_massaged(self) -> int:
+        """Pages steered onto a non-default templated frame."""
+        if not self.placement:
+            return 0
+        return sum(1 for choice in self.placement.values() if choice != 0)
 
 
 def _decode_word(word, spec: QuantizationSpec) -> float:
@@ -124,10 +165,10 @@ def _round_overfull_words(
     word_index, bit = plan_arrays[0], plan_arrays[1]
     original_words = memory.read_words()
     dtype = original_words.dtype
-    words, counts = np.unique(word_index, return_counts=True)
+    words, counts = np.unique(word_index[keep], return_counts=True)
     rounded = 0
     for word in words[counts > limit].tolist():
-        positions = np.flatnonzero(word_index == word)
+        positions = np.flatnonzero((word_index == word) & keep)
         # Most significant bits first: they dominate the value change.
         best = positions[np.argsort(bit[positions])[::-1][:limit]]
         partial_mask = np.bitwise_or.reduce(np.left_shift(np.int64(1), bit[best]))
@@ -143,6 +184,462 @@ def _round_overfull_words(
         else:
             keep[positions] = False
     return rounded
+
+
+# Subset-search width of the template re-route: the 2**_MASSAGE_BITS value
+# candidates per word keep the search exact for int8 words and cover the
+# significant bits of wider formats.
+_MASSAGE_BITS = 12
+
+
+def _popcounts(indices: np.ndarray, bits: int) -> np.ndarray:
+    counts = np.zeros(indices.shape, dtype=np.int64)
+    for shift in range(bits):
+        counts += (indices >> shift) & 1
+    return counts
+
+
+def _best_feasible_mask(
+    original_word: int,
+    original_value: float,
+    target: float,
+    feasible_bits: np.ndarray,
+    spec: QuantizationSpec,
+    limit: int | None,
+) -> int:
+    """Best XOR mask over a word's feasible cells approximating the target.
+
+    This is the word-level *memory massaging* a templating attacker performs:
+    the exact target encoding may need flips on stuck or wrong-polarity
+    cells, but some other nearby value is usually reachable through the cells
+    that do flip.  All subsets of the word's ``_MASSAGE_BITS`` most
+    significant feasible cells are evaluated (exhaustive for 8-bit words) and
+    the subset landing closest to the target wins — preferring fewer flips on
+    ties, and returning 0 (revert the word) when nothing beats leaving the
+    original value in place.
+    """
+    if not feasible_bits.size:
+        return 0
+    search = np.sort(feasible_bits)[::-1][:_MASSAGE_BITS]
+    masks = np.zeros(1, dtype=np.int64)
+    for b in search.tolist():
+        masks = np.concatenate([masks, masks ^ np.int64(1 << b)])
+    flips = _popcounts(np.arange(masks.size, dtype=np.int64), search.size)
+    if limit is not None:
+        allowed = flips <= limit
+        masks, flips = masks[allowed], flips[allowed]
+    dtype = spec.storage_dtype()
+    candidates = np.bitwise_xor(dtype.type(original_word), masks.astype(dtype))
+    values = dequantize(candidates, spec)
+    distance = np.abs(values - target)
+    distance = np.where(np.isfinite(distance), distance, np.inf)
+    best = int(np.lexsort((flips, distance))[0])
+    if distance[best] < abs(original_value - target):
+        return int(masks[best])
+    return 0
+
+
+# Granularity of memory massaging: the attacker's virtual-to-physical control
+# is page-level, so each page-sized block of the parameter region is steered
+# onto a templated physical frame independently.  Like the profiles' DRAM
+# geometries, the unit is scaled down so the benchmark models' small
+# parameter regions span as many placeable units as a real model's megabytes
+# span 4 KiB pages; one ECC codeword (8 bytes) keeps codewords physically
+# contiguous within a single frame.
+_MASSAGE_PAGE_BYTES = 8
+
+
+def _frames_for(addresses: np.ndarray, placement, k_total: int):
+    """Frame ids of cells under a page placement (None = default placement)."""
+    if placement is None:
+        return None
+    pages = np.asarray(addresses, dtype=np.int64) // _MASSAGE_PAGE_BYTES
+    choices = np.zeros(pages.shape, dtype=np.int64)
+    if placement:
+        keys = np.fromiter(placement, dtype=np.int64, count=len(placement))
+        values = np.fromiter(placement.values(), dtype=np.int64, count=len(placement))
+        order = np.argsort(keys)
+        keys, values = keys[order], values[order]
+        slot = np.minimum(np.searchsorted(keys, pages), keys.size - 1)
+        hit = keys[slot] == pages
+        choices[hit] = values[slot[hit]]
+    return pages * k_total + choices
+
+
+def _choose_frames(
+    plan, memory, original_values, target_repr, template, k_total
+) -> dict[int, int]:
+    """Page-granular memory massaging: pick the best templated frame per page.
+
+    Each page-sized block of the parameter region can be steered onto one of
+    ``k_total`` independently-templated physical frames.  A frame is scored
+    by how close the block's touched words can get to their target values
+    using only the frame's feasible cells (a vectorised greedy MSB-to-LSB
+    descent, evaluated for every frame at once); the frame minimising the
+    summed residual error wins, ties going to the lowest frame index.  This
+    mirrors what templating attackers actually do: they do not accept the
+    OS's placement, they steer victim pages onto physical frames whose flip
+    map realises the patch they need.
+    """
+    word_index = plan.as_arrays()[0]
+    words = np.unique(word_index)
+    original_words = memory.read_words()
+    spec = memory.spec
+    bits = spec.bits_per_value
+    word_addresses = memory.layout.base_address + words * memory.bytes_per_word
+    pages = word_addresses // _MASSAGE_PAGE_BYTES
+    num_words = words.size
+
+    cell_bits = np.arange(bits, dtype=np.int64)
+    shape = (k_total, num_words, bits)
+    addresses_grid = np.broadcast_to(word_addresses[None, :, None], shape)
+    bits_grid = np.broadcast_to(cell_bits[None, None, :], shape)
+    original_grid = original_words[words]
+    original_bits_grid = np.broadcast_to(
+        ((original_grid.astype(np.int64)[:, None] >> cell_bits) & 1)[None], shape
+    )
+    frames_grid = np.broadcast_to(
+        pages[None, :, None] * k_total
+        + np.arange(k_total, dtype=np.int64)[:, None, None],
+        shape,
+    )
+    feasible = template.feasible_cells(
+        addresses_grid.ravel(), bits_grid.ravel(), original_bits_grid.ravel(),
+        frames_grid.ravel(),
+    ).reshape(shape)
+
+    # Greedy descent: walk bits most-significant first, taking any feasible
+    # flip that moves the stored value closer to the target.
+    dtype = spec.storage_dtype()
+    current = np.broadcast_to(original_grid[None, :], (k_total, num_words)).copy()
+    target = target_repr[words]
+    error = np.abs(dequantize(current, spec) - target[None, :])
+    for b in range(bits - 1, -1, -1):
+        candidate = np.bitwise_xor(current, dtype.type(1 << b))
+        candidate_error = np.abs(dequantize(candidate, spec) - target[None, :])
+        better = feasible[:, :, b] & (candidate_error < error)
+        current = np.where(better, candidate, current)
+        error = np.where(better, candidate_error, error)
+
+    placement: dict[int, int] = {}
+    for page in np.unique(pages).tolist():
+        in_page = pages == page
+        totals = error[:, in_page].sum(axis=1)
+        placement[int(page)] = int(np.argmin(totals))
+    return placement
+
+
+def _apply_template(
+    plan, memory, original_values, target_repr, template, limit, placement, k_total
+) -> tuple[BitFlipPlan, int, int]:
+    """Re-route template-infeasible flips; returns (plan, #infeasible, #rerouted).
+
+    A flip whose direction does not match the cell's templated polarity can
+    never be realised, so it is always removed.  Every word that loses flips
+    this way is then *re-routed*: the closest value reachable through the
+    word's feasible cells replaces the exact target encoding
+    (:func:`_best_feasible_mask`), and only words where no reachable value
+    improves on the original revert entirely.
+    """
+    word_index, bit, address, row = plan.as_arrays()
+    original_words = memory.read_words()
+    frames = _frames_for(address, placement, k_total)
+    feasible = template.feasible_mask(plan, original_words, frames)
+    infeasible = int((~feasible).sum())
+    if not infeasible:
+        return plan, 0, 0
+
+    bad_words = np.unique(word_index[~feasible])
+    keep = ~np.isin(word_index, bad_words)
+    bits_per_word = memory.spec.bits_per_value
+    cell_bits = np.arange(bits_per_word, dtype=np.int64)
+    new_words: list[int] = []
+    new_bits: list[int] = []
+    words_rerouted = 0
+    for word in bad_words.tolist():
+        word_value = int(original_words[word])
+        original_cell_bits = (word_value >> cell_bits) & 1
+        cell_addresses = np.full(
+            bits_per_word, memory.layout.base_address + word * memory.bytes_per_word
+        )
+        cell_frames = _frames_for(cell_addresses, placement, k_total)
+        cell_feasible = template.feasible_cells(
+            cell_addresses, cell_bits, original_cell_bits, cell_frames
+        )
+        mask = _best_feasible_mask(
+            word_value,
+            float(original_values[word]),
+            float(target_repr[word]),
+            cell_bits[cell_feasible],
+            memory.spec,
+            limit,
+        )
+        if not mask:
+            continue
+        words_rerouted += 1
+        for b in cell_bits[((mask >> cell_bits) & 1).astype(bool)].tolist():
+            new_words.append(word)
+            new_bits.append(b)
+
+    repaired = plan.select(keep).with_flips(new_words, new_bits, memory)
+    return repaired, infeasible, words_rerouted
+
+
+def _codeword_candidates(
+    memory, original_words, template, span_words, taken, impact, low_bits, placement, k_total
+) -> list[tuple[int, int, int, int]]:
+    """Feasible companion cells of one codeword, cheapest first.
+
+    Only the ``low_bits`` least significant bits of each word are offered
+    (mantissa tail / low fixed-point bits), so a companion flip perturbs the
+    stored value as little as possible.  Candidates are sorted by the owning
+    word's modification impact (the solver's low-impact words — those it
+    left essentially unchanged — come first), then word, then ascending bit.
+    Returns ``(word, bit, data_offset, original_bit)`` tuples.
+    """
+    bits = memory.spec.bits_per_value
+    words = np.repeat(span_words, low_bits)
+    cell_bits = np.tile(np.arange(low_bits, dtype=np.int64), span_words.size)
+    original_bits = (original_words[words].astype(np.int64) >> cell_bits) & 1
+    if template is not None:
+        addresses = memory.layout.base_address + words * memory.bytes_per_word
+        frames = _frames_for(addresses, placement, k_total)
+        feasible = template.feasible_cells(addresses, cell_bits, original_bits, frames)
+    else:
+        feasible = np.ones(words.size, dtype=bool)
+    order = np.lexsort((cell_bits, words, impact[words]))
+    candidates = []
+    first_word = int(span_words[0])
+    for index in order:
+        if not feasible[index]:
+            continue
+        word, cell_bit = int(words[index]), int(cell_bits[index])
+        if (word, cell_bit) in taken:
+            continue
+        offset = (word - first_word) * bits + cell_bit
+        candidates.append((word, cell_bit, offset, int(original_bits[index])))
+    return candidates
+
+
+# Companion flips are confined to each word's least significant bits so the
+# collateral value perturbation stays negligible (fixed-point LSBs, float
+# mantissa tails).
+_PAD_BITS = {8: 2, 16: 6, 32: 14}
+
+
+def _ecc_self_pad(
+    word, memory, original_words, original_values, target_repr,
+    template, placement, k_total, ecc, wpc, limit,
+):
+    """Re-encode one word so its codeword decodes cleanly on its own.
+
+    A codeword whose only flip sits in ``word`` would be corrected away.
+    Instead of borrowing companion flips from neighbouring words, first try
+    to realise a *nearby* value of the same word through an odd set of three
+    or more feasible flips whose syndrome aliases harmlessly — the attack
+    then pays a fraction of an LSB on its own target word and nothing
+    anywhere else.  Returns the winning XOR mask or ``None``.
+    """
+    spec = memory.spec
+    bits = spec.bits_per_value
+    cell_bits = np.arange(bits, dtype=np.int64)
+    word_value = int(original_words[word])
+    original_bits = (word_value >> cell_bits) & 1
+    if template is not None:
+        addresses = np.full(
+            bits, memory.layout.base_address + word * memory.bytes_per_word
+        )
+        frames = _frames_for(addresses, placement, k_total)
+        feasible = template.feasible_cells(addresses, cell_bits, original_bits, frames)
+    else:
+        feasible = np.ones(bits, dtype=bool)
+    usable = cell_bits[feasible]
+    if usable.size < 3:
+        return None
+    search = np.sort(usable)[::-1][:_MASSAGE_BITS]
+    offset_base = (word % wpc) * bits
+    masks = np.zeros(1, dtype=np.int64)
+    syndromes = np.zeros(1, dtype=np.int64)
+    for b in search.tolist():
+        position = int(ecc.positions[offset_base + b])
+        masks = np.concatenate([masks, masks ^ np.int64(1 << b)])
+        syndromes = np.concatenate([syndromes, syndromes ^ np.int64(position)])
+    flips = _popcounts(np.arange(masks.size, dtype=np.int64), search.size)
+    low_bits = _PAD_BITS.get(bits, max(2, bits // 2))
+    safe = np.array(
+        [_alias_is_safe(ecc, int(s), bits, low_bits, wpc) for s in syndromes.tolist()]
+    )
+    allowed = safe & (flips >= 3) & (flips % 2 == 1)
+    if limit is not None:
+        allowed &= flips <= limit
+    if not allowed.any():
+        return None
+    dtype = spec.storage_dtype()
+    candidates = np.bitwise_xor(dtype.type(word_value), masks.astype(dtype))
+    distance = np.abs(dequantize(candidates, spec) - float(target_repr[word]))
+    distance = np.where(np.isfinite(distance) & allowed, distance, np.inf)
+    best = int(np.lexsort((flips, distance))[0])
+    if distance[best] < abs(float(original_values[word]) - float(target_repr[word])):
+        return int(masks[best])
+    return None
+
+
+def _alias_is_safe(ecc, alias: int, bits: int, low_bits: int, span_size: int) -> bool:
+    """Whether a decoder miscorrection at ``alias`` is harmless.
+
+    Safe aliases: 0 (the decoder blames the overall parity bit), a check-bit
+    position (lives in the ECC device, not the data), or a data bit in the
+    low-significance range of an in-range word.  An alias beyond the
+    codeword's last position is never safe — the decoder proves the error
+    multi-bit and raises the alarm.
+    """
+    if alias == 0:
+        return True
+    if alias > int(ecc.positions[-1]):
+        return False  # outside the codeword: a provable multi-bit error, alarms
+    index = int(np.searchsorted(ecc.positions, alias))
+    if index >= ecc.positions.size or ecc.positions[index] != alias:
+        return True  # check-bit position
+    if index // bits >= span_size:
+        return False  # beyond the memory's last (partial) codeword
+    return index % bits < low_bits
+
+
+def _apply_ecc_padding(
+    plan_arrays, keep, memory, original_values, target_repr, template, ecc,
+    limit, placement, k_total
+):
+    """Re-route ECC-vulnerable codewords by padding them with companion flips.
+
+    Any codeword the decoder would correct (1 flip) or flag (even flips with
+    a non-zero syndrome) is padded up to an odd count >= 3 using feasible
+    low-significance cells of the codeword's low-impact words — the
+    alternative candidate words the solver left essentially unchanged.
+    Companions whose Hamming positions null the syndrome are preferred (the
+    decoder then sees a clean codeword: no alarm *and* no collateral
+    miscorrection); otherwise a combination whose miscorrection aliases
+    somewhere harmless is searched.  Codewords with no safe companion set
+    are dropped entirely — only as a last resort.
+
+    Returns ``(pad_words, pad_bits, codewords_padded, codewords_dropped)``.
+    """
+    word_index, bit = plan_arrays[0], plan_arrays[1]
+    bits = memory.spec.bits_per_value
+    low_bits = _PAD_BITS.get(bits, max(2, bits // 2))
+    wpc = ecc.words_per_codeword(bits)
+    original_words = memory.read_words()
+    surviving = np.flatnonzero(keep)
+    cw = word_index[surviving] // wpc
+    offsets = (word_index[surviving] % wpc) * bits + bit[surviving]
+    unique, syndrome, counts = ecc.syndromes(cw, offsets)
+
+    flips_per_word = dict(
+        zip(*np.unique(word_index[surviving], return_counts=True))
+    )
+    impact = np.abs(target_repr - original_values)
+    pad_words: list[int] = []
+    pad_bits: list[int] = []
+    codewords_padded = codewords_dropped = 0
+    for cw_id, syn, count in zip(unique.tolist(), syndrome.tolist(), counts.tolist()):
+        if count % 2 == 1 and count >= 3:
+            # Already decodes as a single "correctable" error — but if the
+            # decoder's miscorrection would land on a high bit (a float
+            # exponent, say), pad the syndrome to something harmless below.
+            if _alias_is_safe(ecc, syn, bits, low_bits, wpc):
+                continue
+        if count % 2 == 0 and syn == 0:
+            continue  # even flips with a null syndrome already slip through
+        span = np.arange(cw_id * wpc, min((cw_id + 1) * wpc, memory.num_words))
+        in_cw = surviving[(word_index[surviving] // wpc) == cw_id]
+        if count == 1:
+            # A lone flip would be corrected away.  Best repair: re-encode
+            # the flip's own word through >= 3 feasible flips to a value a
+            # fraction of an LSB off target — zero collateral elsewhere.
+            word = int(word_index[in_cw][0])
+            mask = None
+            if limit is None or limit >= 3:
+                mask = _ecc_self_pad(
+                    word, memory, original_words, original_values, target_repr,
+                    template, placement, k_total, ecc, wpc, limit,
+                )
+            if mask is not None:
+                keep[in_cw] = False
+                codewords_padded += 1
+                for b in range(bits):
+                    if mask & (1 << b):
+                        pad_words.append(word)
+                        pad_bits.append(b)
+                flips_per_word[word] = flips_per_word.get(word, 0) + int(
+                    bin(mask).count("1")
+                )
+                continue
+        taken = set(zip(word_index[in_cw].tolist(), bit[in_cw].tolist()))
+        candidates = _codeword_candidates(
+            memory, original_words, template, span, taken, impact,
+            low_bits, placement, k_total,
+        )
+        if limit is not None:
+            candidates = [
+                c for c in candidates if flips_per_word.get(c[0], 0) + 1 <= limit
+            ]
+        chosen = None
+        by_position = {}
+        for candidate in candidates:
+            by_position.setdefault(int(ecc.positions[candidate[2]]), candidate)
+        if count % 2 == 0:
+            # One companion makes the count odd; landing it exactly on the
+            # syndrome position nulls the syndrome (clean decode).  Failing
+            # that, any companion whose residual syndrome aliases harmlessly.
+            exact = by_position.get(syn)
+            if exact is not None:
+                chosen = (exact,)
+            else:
+                for candidate in candidates:
+                    alias = syn ^ int(ecc.positions[candidate[2]])
+                    if _alias_is_safe(ecc, alias, bits, low_bits, span.size):
+                        chosen = (candidate,)
+                        break
+        else:
+            # Odd count (a lone flip, or an unsafe odd group): two companions
+            # whose positions XOR to the syndrome null it — the decoder then
+            # sees a clean codeword.
+            for candidate in candidates:
+                partner = by_position.get(syn ^ int(ecc.positions[candidate[2]]))
+                if partner is not None and partner is not candidate:
+                    chosen = (candidate, partner)
+                    break
+            if chosen is None:
+                # No nulling pair; search a bounded number of pairs for one
+                # whose three-flip syndrome miscorrects somewhere harmless.
+                for i, first in enumerate(candidates[:24]):
+                    for second in candidates[i + 1 : 24]:
+                        alias = (
+                            syn
+                            ^ int(ecc.positions[first[2]])
+                            ^ int(ecc.positions[second[2]])
+                        )
+                        if _alias_is_safe(ecc, alias, bits, low_bits, span.size):
+                            chosen = (first, second)
+                            break
+                    if chosen is not None:
+                        break
+        if chosen is None:
+            # Unrepairable codeword.  Leaving it in place is never worse than
+            # dropping it for a single flip (the decoder reverts it either
+            # way) or an even group (the flips land, at the price of an
+            # alarm).  Only an odd group whose miscorrection could hit a
+            # float exponent is pulled — an unbounded collateral value is
+            # worse for the attack than losing the codeword.
+            if count % 2 == 1 and count >= 3 and memory.spec.kind != "fixed":
+                keep[in_cw] = False
+                codewords_dropped += 1
+            continue
+        codewords_padded += 1
+        for word, cell_bit, _, _ in chosen:
+            pad_words.append(word)
+            pad_bits.append(cell_bit)
+            flips_per_word[word] = flips_per_word.get(word, 0) + 1
+    return pad_words, pad_bits, codewords_padded, codewords_dropped
 
 
 def _row_impacts(plan_arrays, keep, original_values, target_repr):
@@ -167,25 +664,59 @@ def repair_plan(
     memory: ParameterMemoryMap,
     target_values: np.ndarray,
     budget: HardwareBudget | None = None,
+    *,
+    template: FlipTemplate | None = None,
+    ecc: SecdedCode | None = None,
+    massage_frames: int = 64,
 ) -> PlanRepair:
-    """Repair ``plan`` until it fits ``budget``, dropping low-impact flips first.
+    """Repair ``plan`` to fit ``budget`` and the device physics.
 
-    The repair never *adds* flips, so the repaired plan is always a subset of
-    the input plan; callers re-run the margin check on the bit-true model to
-    see what the dropped flips cost (:func:`lower_attack` does both).
+    Stages run in order: page-granular memory massaging (pick the templated
+    frame each page of the region is steered onto), template feasibility (flips on
+    stuck or wrong-polarity cells can never execute, and are re-routed to
+    the closest reachable value), per-word rounding, row-window and
+    row-count budgets, then ECC padding.  The budget stages only ever
+    *remove* flips; template re-routing and ECC repair may additionally
+    *add* flips inside already-touched words/codewords (same rows, so the
+    row budgets stay satisfied).  Callers re-run the margin check on the
+    bit-true model to see what the repair cost (:func:`lower_attack` does).
+
+    ``massage_frames`` is the number of templated physical frames the
+    attacker can choose between per page (1 disables massaging).
     """
     budget = budget or HardwareBudget()
-    if not budget.constrained or not plan.num_flips:
-        return PlanRepair(plan=plan, flips_dropped=0, words_reverted=0, words_rounded=0)
+    untouched = not budget.constrained and template is None and ecc is None
+    if untouched or not plan.num_flips:
+        return PlanRepair(
+            plan=plan,
+            flips_dropped=0,
+            words_reverted=0,
+            words_rounded=0,
+            pre_ecc_plan=plan if ecc is not None else None,
+        )
 
-    arrays = plan.as_arrays()
-    word_index, _, _, row = arrays
-    keep = np.ones(word_index.size, dtype=bool)
     original_values = memory.decoded_values()
     target_repr = memory.representable(target_values)
 
+    working = plan
+    flips_infeasible = 0
+    placement = None
+    if template is not None:
+        if massage_frames > 1:
+            placement = _choose_frames(
+                plan, memory, original_values, target_repr, template, massage_frames
+            )
+        working, flips_infeasible, _ = _apply_template(
+            plan, memory, original_values, target_repr, template,
+            budget.max_flips_per_word, placement, massage_frames,
+        )
+
+    arrays = working.as_arrays()
+    word_index, _, _, row = arrays
+    keep = np.ones(word_index.size, dtype=bool)
+
     words_rounded = 0
-    if budget.max_flips_per_word is not None:
+    if budget.max_flips_per_word is not None and keep.any():
         words_rounded = _round_overfull_words(
             arrays, keep, memory, original_values, target_repr, budget.max_flips_per_word
         )
@@ -207,12 +738,52 @@ def repair_plan(
             kept_rows = rows[order[: budget.max_rows]]
             keep &= np.isin(row, kept_rows)
 
-    repaired = plan.select(keep)
+    pad_words: list[int] = []
+    pad_bits: list[int] = []
+    codewords_padded = codewords_dropped = 0
+    pre_ecc_plan = None
+    if ecc is not None:
+        # What the repair would have produced without an ECC stage — the
+        # baseline lower_attack measures the raw (decoder-corrected) success
+        # on, captured here so it is not recomputed with a second repair.
+        pre_ecc_plan = working.select(keep)
+    if ecc is not None and keep.any():
+        pad_words, pad_bits, codewords_padded, codewords_dropped = _apply_ecc_padding(
+            arrays,
+            keep,
+            memory,
+            original_values,
+            target_repr,
+            template,
+            ecc,
+            budget.max_flips_per_word,
+            placement,
+            massage_frames,
+        )
+
+    repaired = working.select(keep).with_flips(pad_words, pad_bits, memory)
+
+    # Set-wise accounting against the *planned* flips: template re-routing
+    # and ECC padding may add cells the solver never asked for, so dropped /
+    # added are both measured as set differences on (word, bit).
+    planned_keys = plan.as_arrays()[0] * 64 + plan.as_arrays()[1]
+    final_keys = repaired.as_arrays()[0] * 64 + repaired.as_arrays()[1]
+    flips_dropped = int(np.count_nonzero(~np.isin(planned_keys, final_keys)))
+    flips_added = int(np.count_nonzero(~np.isin(final_keys, planned_keys)))
+    words_reverted = int(
+        np.setdiff1d(plan.as_arrays()[0], repaired.as_arrays()[0]).size
+    )
     return PlanRepair(
         plan=repaired,
-        flips_dropped=plan.num_flips - repaired.num_flips,
-        words_reverted=plan.num_words_touched - repaired.num_words_touched,
+        flips_dropped=flips_dropped,
+        words_reverted=words_reverted,
         words_rounded=words_rounded,
+        flips_infeasible=flips_infeasible,
+        flips_added=flips_added,
+        codewords_padded=codewords_padded,
+        codewords_dropped=codewords_dropped,
+        placement=placement,
+        pre_ecc_plan=pre_ecc_plan,
     )
 
 
@@ -237,6 +808,13 @@ class LoweringReport:
     clean_accuracy: float
     attacked_accuracy: float
     attacked_model: Sequential
+    # Device-model fields (defaults preserve the profile-less pipeline).
+    profile: str | None = None
+    executed: BitFlipPlan | None = None  # post-ECC effective plan (== plan w/o ECC)
+    ecc_summary: "EccSummary | None" = None  # decoder outcome of the repaired plan
+    ecc_raw_summary: "EccSummary | None" = None  # decoder outcome w/o ECC repair
+    unrepaired_success_rate: float = float("nan")
+    unrepaired_keep_rate: float = float("nan")
 
     @property
     def storage(self) -> str:
@@ -260,6 +838,8 @@ class LoweringReport:
 
     def as_dict(self) -> dict:
         """Flat numeric metrics (campaign-job and reporting form)."""
+        raw = self.ecc_raw_summary
+        final = self.ecc_summary
         return {
             "bit_flips_planned": self.planned.num_flips,
             "bit_flips": self.plan.num_flips,
@@ -275,6 +855,16 @@ class LoweringReport:
             "clean_accuracy": self.clean_accuracy,
             "attacked_accuracy": self.attacked_accuracy,
             "accuracy_drop_percent": self.accuracy_drop_percent,
+            # Device-model metrics (zeros / NaN when lowered without a device).
+            "flips_infeasible": self.repair.flips_infeasible,
+            "flips_rerouted": self.repair.flips_added,
+            "ecc_codewords_padded": self.repair.codewords_padded,
+            "ecc_codewords_dropped": self.repair.codewords_dropped,
+            "ecc_corrected": raw.corrected if raw is not None else 0,
+            "ecc_alarms": final.alarms if final is not None else 0,
+            "ecc_miscorrected": final.miscorrected if final is not None else 0,
+            "unrepaired_success": self.unrepaired_success_rate,
+            "unrepaired_keep": self.unrepaired_keep_rate,
         }
 
 
@@ -289,12 +879,28 @@ def _target_margins(logits: np.ndarray, desired: np.ndarray) -> np.ndarray:
     return desired_scores - masked.max(axis=1)
 
 
+def _attack_rates(model, attack_plan) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Success/keep masks and target logits of a model on an attack plan."""
+    num_targets = attack_plan.num_targets
+    logits = model.predict_logits(attack_plan.images)
+    predictions = np.argmax(logits, axis=1)
+    desired = attack_plan.desired_labels
+    success_mask = predictions[:num_targets] == desired[:num_targets]
+    keep_mask = predictions[num_targets:] == desired[num_targets:]
+    return success_mask, keep_mask, logits[:num_targets]
+
+
 def lower_attack(
     result,
     *,
     storage: str | QuantizationSpec = "float32",
     layout: MemoryLayout | None = None,
     budget: HardwareBudget | None = None,
+    profile: "str | DeviceProfile | None" = None,
+    template: FlipTemplate | None = None,
+    ecc: SecdedCode | None = None,
+    template_seed: int = 0,
+    massage_frames: int | None = None,
     eval_set=None,
     clean_accuracy: float | None = None,
     batch_size: int = 256,
@@ -310,10 +916,26 @@ def lower_attack(
         Deployment storage format: a name from
         :data:`repro.nn.quantization.STORAGE_FORMATS` or an explicit spec.
     layout:
-        Simulated memory geometry (base address, DRAM row size).
+        Simulated memory geometry (base address, DRAM row size or device
+        geometry).
     budget:
         Hardware budgets the plan must fit; the plan is repaired by
         :func:`repair_plan` before being applied.
+    profile:
+        Optional device profile (a name from
+        :func:`repro.hardware.device.list_profiles` or a
+        :class:`~repro.hardware.device.DeviceProfile`).  The profile supplies
+        defaults for everything the caller leaves unset: the memory layout
+        (its DRAM geometry), the derived hardware budget, the flip template
+        and the ECC code.  Explicit arguments always win.
+    template, ecc:
+        Device physics overrides; normally taken from ``profile``.
+    template_seed:
+        Extra seed folded into the profile's template derivation (models
+        re-templating a different physical module).
+    massage_frames:
+        Templated physical frames the attacker can steer each page onto
+        (memory massaging); defaults to the profile's value, or 64.
     eval_set:
         Held-out dataset for the bit-true accuracy numbers.  When ``None``
         the accuracy fields are NaN.
@@ -322,6 +944,15 @@ def lower_attack(
         clean model in sweeps).
     """
     spec = storage_spec(storage)
+    device = get_profile(profile) if profile is not None else None
+    if device is not None:
+        layout = layout if layout is not None else device.layout()
+        budget = budget if budget is not None else device.budget()
+        template = template if template is not None else device.template(template_seed)
+        ecc = ecc if ecc is not None else device.ecc
+        if massage_frames is None:
+            massage_frames = device.massage_frames
+    massage_frames = 64 if massage_frames is None else int(massage_frames)
     budget = budget or HardwareBudget()
 
     victim: Sequential = result.view.model
@@ -335,8 +966,33 @@ def lower_attack(
     memory = ParameterMemoryMap(view, spec=spec, layout=layout)
     target_values = view.baseline + result.delta
     planned = plan_bit_flips(memory, target_values)
-    repair = repair_plan(planned, memory, target_values, budget)
-    memory.apply_plan(repair.plan)
+    repair = repair_plan(
+        planned, memory, target_values, budget,
+        template=template, ecc=ecc, massage_frames=massage_frames,
+    )
+
+    attack_plan = result.plan
+    ecc_summary = ecc_raw_summary = None
+    unrepaired_success = unrepaired_keep = float("nan")
+    if ecc is not None:
+        # What would the ECC controller have done to the *unrepaired* plan?
+        # This is the baseline showing why re-routing is necessary: isolated
+        # flips get corrected away and the bit-true success rate collapses.
+        raw_effective, ecc_raw_summary = ecc.apply_to_plan(repair.pre_ecc_plan, memory)
+        raw_model = victim.copy()
+        raw_memory = ParameterMemoryMap(
+            ParameterView(raw_model, result.view.selector), spec=spec, layout=layout
+        )
+        raw_memory.apply_plan(raw_effective)
+        raw_memory.flush_to_model()
+        raw_success, raw_keep, _ = _attack_rates(raw_model, attack_plan)
+        unrepaired_success = float(raw_success.mean()) if raw_success.size else 1.0
+        unrepaired_keep = float(raw_keep.mean()) if raw_keep.size else 1.0
+        executed, ecc_summary = ecc.apply_to_plan(repair.plan, memory)
+    else:
+        executed = repair.plan
+
+    memory.apply_plan(executed)
     memory.flush_to_model()
 
     achieved = view.gather()
@@ -344,14 +1000,9 @@ def lower_attack(
         float(np.max(np.abs(achieved - target_values))) if achieved.size else 0.0
     )
 
-    attack_plan = result.plan
+    success_mask, keep_mask, target_logits = _attack_rates(model_copy, attack_plan)
     num_targets = attack_plan.num_targets
-    logits = model_copy.predict_logits(attack_plan.images)
-    predictions = np.argmax(logits, axis=1)
-    desired = attack_plan.desired_labels
-    success_mask = predictions[:num_targets] == desired[:num_targets]
-    keep_mask = predictions[num_targets:] == desired[num_targets:]
-    margins = _target_margins(logits[:num_targets], desired[:num_targets])
+    margins = _target_margins(target_logits, attack_plan.desired_labels[:num_targets])
 
     attacked_accuracy = float("nan")
     if eval_set is not None:
@@ -378,4 +1029,10 @@ def lower_attack(
         clean_accuracy=float(clean_accuracy),
         attacked_accuracy=float(attacked_accuracy),
         attacked_model=model_copy,
+        profile=device.name if device is not None else None,
+        executed=executed,
+        ecc_summary=ecc_summary,
+        ecc_raw_summary=ecc_raw_summary,
+        unrepaired_success_rate=unrepaired_success,
+        unrepaired_keep_rate=unrepaired_keep,
     )

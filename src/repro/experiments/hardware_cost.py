@@ -1,12 +1,18 @@
-"""Bit-true hardware cost of the attack: storage format × flip budget × S.
+"""Bit-true hardware cost of the attack: storage × budget × device profile × S.
 
 The paper argues (§2.3) that minimising the ℓ0 norm is what makes the attack
 executable on real hardware, but reports only the proxy.  This experiment
 closes the loop: every grid cell solves the attack, lowers the modification
 into an exact bit-flip plan for a deployed storage format (float32 / float16 /
-int8), repairs the plan under a hardware budget (max flips per word, max
-hammered rows, row-locality window), and re-measures success rate, keep rate
-and accuracy drop on the *bit-true* modified model.
+int8) on a *named device profile* (DRAM geometry, per-cell flip template,
+optional SECDED ECC), repairs the plan under the device's physics and a
+hardware budget, and re-measures success rate, keep rate and accuracy drop on
+the *bit-true* modified model.
+
+For ECC profiles the table also reports the "raw" success of the unrepaired
+plan — the rate after the memory controller silently corrects isolated flips
+away — next to the repaired rate, showing what the syndrome-aware re-routing
+pass buys.
 
 Each cell is an independent campaign job, so the grid parallelises under
 ``--jobs N`` and memoizes per cell exactly like the paper's tables.
@@ -18,7 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.reporting import BIT_COST_COLUMNS, Table, bit_cost_cells
+from repro.analysis.reporting import (
+    BIT_COST_COLUMNS,
+    DEVICE_COST_COLUMNS,
+    Table,
+    bit_cost_cells,
+    device_cost_cells,
+)
 from repro.attacks.fault_sneaking import FaultSneakingAttack
 from repro.attacks.lowering import HardwareBudget, lower_attack
 from repro.attacks.parameter_view import ParameterView
@@ -38,37 +50,26 @@ from repro.experiments.common import (
     get_setting,
     get_trained_model,
 )
-from repro.hardware.memory import MemoryLayout
+from repro.hardware.device import get_profile
 from repro.nn.quantization import STORAGE_FORMATS
 from repro.zoo.registry import ModelRegistry, default_registry
 
-__all__ = ["run", "build_campaign", "assemble", "BUDGET_LEVELS"]
+__all__ = ["run", "build_campaign", "assemble", "BUDGET_LEVELS", "DEFAULT_PROFILES"]
 
-# Named flip-budget levels swept by the grid: (label, max_flips_per_word,
-# max_rows); 0 means unconstrained.  "tight" matches a Rowhammer-style
-# attacker with limited controlled flips per word and a bounded templating
-# budget for victim rows.
-BUDGET_LEVELS = (
-    ("unlimited", 0, 0),
-    ("tight", 4, 8),
-)
+# Budget levels swept by the grid.  "unlimited" applies only the device's
+# physics (flip template, ECC) with no budget caps, isolating what the device
+# itself costs; "derived" additionally enforces the HardwareBudget the
+# profile derives (flips/word, hammerable rows).
+BUDGET_LEVELS = ("unlimited", "derived")
+
+# Device profiles swept by default: a permissive consumer DIMM and the
+# SECDED-protected server DIMM (the pair that shows the ECC repair story).
+# The CLI's --profile flag (or run(profiles=...)) selects others, e.g.
+# ddr4-trr or hbm2-gpu.
+DEFAULT_PROFILES = ("ddr3-noecc", "server-ecc")
 
 # Fixed anchor count R of every cell (capped by the anchor pool at runtime).
 _R = 100
-
-# Row size of the simulated memory.  The default 8 KiB DRAM row swallows the
-# whole last FC layer of the benchmark models into one or two rows, which
-# would make every row budget vacuous; 512-byte rows give the locality
-# constraints something to bite on while keeping the row structure realistic
-# for embedded SRAM banks.
-_ROW_BYTES = 512
-
-
-def _budget_for(max_flips_per_word: int, max_rows: int) -> HardwareBudget:
-    return HardwareBudget(
-        max_flips_per_word=max_flips_per_word or None,
-        max_rows=max_rows or None,
-    )
 
 
 def _num_images(setting) -> int:
@@ -82,8 +83,8 @@ def _cell(
     s: int,
     r: int,
     storage: str,
-    max_flips_per_word: int,
-    max_rows: int,
+    profile: str,
+    budget: str,
 ) -> JobSpec:
     return JobSpec.make(
         "hardware-cost-cell",
@@ -93,8 +94,8 @@ def _cell(
         s=int(s),
         r=int(r),
         storage=storage,
-        max_flips_per_word=int(max_flips_per_word),
-        max_rows=int(max_rows),
+        profile=profile,
+        budget=budget,
         plan_seed=int(seed),
     )
 
@@ -103,9 +104,9 @@ def _cell(
 class _SolvedAttack:
     """The slice of a FaultSneakingResult the lowering pipeline consumes.
 
-    Grid cells that differ only along the storage/budget axes share one ADMM
-    solve through the registry's disk cache; a cache hit reconstructs this
-    lightweight view instead of re-running the attack.
+    Grid cells that differ only along the storage/profile/budget axes share
+    one ADMM solve through the registry's disk cache; a cache hit
+    reconstructs this lightweight view instead of re-running the attack.
     """
 
     view: ParameterView
@@ -128,10 +129,10 @@ def _solve_attack(
 ) -> _SolvedAttack:
     """Solve the attack for one (dataset, scale, seed, s, r) point, memoized.
 
-    The solve is independent of the storage/budget axes, so it is cached in
-    the model registry's disk cache keyed by the solve inputs only: the 6
-    storage × budget cells of each S value pay for one ADMM solve between
-    them (and across resumed runs), in every worker process.
+    The solve is independent of the storage/profile/budget axes, so it is
+    cached in the model registry's disk cache keyed by the solve inputs only:
+    the storage × profile × budget cells of each S value pay for one ADMM
+    solve between them (and across resumed runs), in every worker process.
     """
     cache = (registry or default_registry()).disk_cache
     key = cache.key_for({"kind": "hardware-cost-solve", **solve_key_params})
@@ -173,11 +174,11 @@ def _hardware_cost_cell_job(
     s: int,
     r: int,
     storage: str,
-    max_flips_per_word: int,
-    max_rows: int,
+    profile: str,
+    budget: str,
     plan_seed: int,
 ) -> dict:
-    """Solve one attack, lower it bit-true and return the hardware-cost metrics."""
+    """Solve one attack, lower it onto a device and return the cost metrics."""
     trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
     anchor_pool, eval_set = anchor_and_eval_split(trained)
     config = attack_config_for(scale, norm="l0")
@@ -201,8 +202,10 @@ def _hardware_cost_cell_job(
     report = lower_attack(
         solved,
         storage=storage,
-        layout=MemoryLayout(row_bytes=_ROW_BYTES),
-        budget=_budget_for(max_flips_per_word, max_rows),
+        profile=profile,
+        # "unlimited" overrides the profile-derived budget with no caps; the
+        # device physics (template, ECC) stay active either way.
+        budget=HardwareBudget() if budget == "unlimited" else None,
         eval_set=eval_set,
         clean_accuracy=clean_accuracy,
     )
@@ -221,14 +224,18 @@ def build_campaign(
     seed: int = 0,
     dataset: str = "mnist_like",
     storages: tuple[str, ...] = STORAGE_FORMATS,
+    profiles: tuple[str, ...] = DEFAULT_PROFILES,
 ) -> Campaign:
-    """Declare one job per (storage format, flip budget, S) grid point."""
+    """Declare one job per (storage, device profile, budget, S) grid point."""
+    for name in profiles:
+        get_profile(name)  # fail fast on unknown profile names
     setting = get_setting(scale)
     r = _num_images(setting)
     jobs = [
-        _cell(dataset, scale, seed, s, r, storage, flips, rows)
+        _cell(dataset, scale, seed, s, r, storage, profile, budget)
         for storage in storages
-        for _, flips, rows in BUDGET_LEVELS
+        for profile in profiles
+        for budget in BUDGET_LEVELS
         for s in setting.hardware_s_values
         if s <= r
     ]
@@ -237,7 +244,11 @@ def build_campaign(
         scale=scale,
         seed=seed,
         jobs=tuple(jobs),
-        metadata={"dataset": dataset, "storages": tuple(storages)},
+        metadata={
+            "dataset": dataset,
+            "storages": tuple(storages),
+            "profiles": tuple(profiles),
+        },
     )
 
 
@@ -245,39 +256,70 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
     """Turn the per-cell metrics into the hardware-cost table."""
     setting = get_setting(campaign.scale)
     dataset = campaign.metadata["dataset"]
+    profiles = campaign.metadata["profiles"]
     r = _num_images(setting)
     table = Table(
         title=(
-            f"Bit-true hardware cost per storage format and flip budget "
-            f"({dataset}, R={r})"
+            f"Bit-true hardware cost per storage format, device profile and "
+            f"budget ({dataset}, R={r})"
         ),
-        columns=["storage", "budget", "S", "l0", "solver success", *BIT_COST_COLUMNS],
+        columns=[
+            "storage",
+            "profile",
+            "budget",
+            "S",
+            "l0",
+            "solver success",
+            *BIT_COST_COLUMNS,
+            *DEVICE_COST_COLUMNS,
+        ],
     )
     for storage in campaign.metadata["storages"]:
-        for label, flips, rows in BUDGET_LEVELS:
-            for s in setting.hardware_s_values:
-                if s > r:
-                    continue
-                metrics = results.metrics_for(
-                    _cell(dataset, campaign.scale, campaign.seed, s, r, storage, flips, rows)
-                )
-                table.add_row(
-                    storage,
-                    label,
-                    s,
-                    format_cell_int(metrics["l0"]),
-                    metrics["solver_success"],
-                    *bit_cost_cells(metrics),
-                )
+        for profile in profiles:
+            for budget in BUDGET_LEVELS:
+                for s in setting.hardware_s_values:
+                    if s > r:
+                        continue
+                    metrics = results.metrics_for(
+                        _cell(
+                            dataset,
+                            campaign.scale,
+                            campaign.seed,
+                            s,
+                            r,
+                            storage,
+                            profile,
+                            budget,
+                        )
+                    )
+                    table.add_row(
+                        storage,
+                        profile,
+                        budget,
+                        s,
+                        format_cell_int(metrics["l0"]),
+                        metrics["solver_success"],
+                        *bit_cost_cells(metrics),
+                        *device_cost_cells(metrics),
+                    )
     table.add_note(
         "bit-true rates are re-measured on the model rebuilt from the flipped "
-        f"memory words ({_ROW_BYTES}-byte rows); the solver rate is the upper "
-        "bound before quantisation and budget repair."
+        "memory words after template/ECC-aware repair; the solver rate is the "
+        "upper bound before quantisation, device physics and budget repair."
     )
     table.add_note(
-        "budget levels: " + "; ".join(
-            f"{label} = " + _budget_for(flips, rows).describe()
-            for label, flips, rows in BUDGET_LEVELS
+        "'raw success' is the bit-true rate of the unrepaired plan after the "
+        "ECC controller corrects isolated flips away (NaN on profiles "
+        "without ECC)."
+    )
+    table.add_note(
+        "profiles: " + "; ".join(
+            f"{name} = {get_profile(name).describe()}" for name in profiles
+        )
+    )
+    table.add_note(
+        "budget levels: unlimited = device physics only; derived = " + "; ".join(
+            f"{name}: {get_profile(name).budget().describe()}" for name in profiles
         )
     )
     return table
@@ -290,6 +332,7 @@ def run(
     seed: int = 0,
     dataset: str = "mnist_like",
     storages: tuple[str, ...] = STORAGE_FORMATS,
+    profiles: tuple[str, ...] = DEFAULT_PROFILES,
     jobs: int = 1,
     executor=None,
     artifact_dir=None,
@@ -306,4 +349,5 @@ def run(
         artifact_dir=artifact_dir,
         dataset=dataset,
         storages=storages,
+        profiles=profiles,
     )

@@ -15,6 +15,12 @@ memoizing each grid cell so an interrupted run can be resumed::
 Resume an interrupted campaign (reuses the default artifact store)::
 
     repro-experiments all --scale paper --jobs 4 --resume
+
+List the registered device profiles, then lower the hardware-cost grid onto
+specific devices::
+
+    repro-experiments --list-profiles
+    repro-experiments hardware_cost --scale ci --profile ddr4-trr --profile server-ecc
 """
 
 from __future__ import annotations
@@ -51,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(CAMPAIGNS) + ["all"],
         help="which experiment to run ('all' runs every table and figure)",
     )
@@ -98,15 +105,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save each table as CSV (plus a JSON run manifest) into this directory",
     )
     parser.add_argument(
+        "--profile",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="device profile for the hardware_cost grid (repeatable; default: "
+        "the experiment's built-in pair)",
+    )
+    parser.add_argument(
+        "--list-profiles",
+        action="store_true",
+        help="list the registered device profiles and exit",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log per-attack progress to stderr"
     )
     return parser
 
 
+def _profiles_table():
+    """Build the table printed by ``--list-profiles``."""
+    from repro.analysis.reporting import Table
+    from repro.hardware.device import get_profile, list_profiles
+
+    table = Table(
+        title="Registered device profiles",
+        columns=["name", "geometry", "ecc", "flip prob", "derived budget"],
+    )
+    for name in list_profiles():
+        profile = get_profile(name)
+        table.add_row(
+            name,
+            profile.geometry.describe(),
+            profile.ecc.describe() if profile.ecc is not None else "none",
+            profile.flip_probability,
+            profile.budget().describe(),
+        )
+    table.add_note(
+        "pass --profile NAME (repeatable) to lower the hardware_cost grid "
+        "onto specific devices"
+    )
+    return table
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     set_verbosity("info" if args.verbose else "warning")
+
+    if args.list_profiles:
+        print(_profiles_table().render(args.format))
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment name is required (or use --list-profiles)")
+    if args.profile:
+        from repro.hardware.device import list_profiles
+
+        unknown = [name for name in args.profile if name not in list_profiles()]
+        if unknown:
+            parser.error(
+                f"unknown device profile(s) {unknown}; registered: "
+                f"{', '.join(list_profiles())}"
+            )
 
     store = None
     if args.artifact_dir is not None or args.resume:
@@ -120,7 +181,10 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         started = time.time()
         build_campaign, assemble = CAMPAIGNS[name]
-        campaign = build_campaign(args.scale, seed=args.seed)
+        extra = {}
+        if args.profile and name == "hardware_cost":
+            extra["profiles"] = tuple(args.profile)
+        campaign = build_campaign(args.scale, seed=args.seed, **extra)
         result = run_campaign(campaign, jobs=args.jobs, executor=args.executor, store=store)
         table = assemble(campaign, result)
         elapsed = time.time() - started
@@ -143,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
                 "jobs": args.jobs,
                 "executor": stats.executor,
                 "artifact_dir": str(store.directory) if store is not None else None,
+                "profiles": list(args.profile) if args.profile else None,
             }
             manifest_path = args.output_dir / f"{name}_{args.scale}_manifest.json"
             manifest_path.write_text(

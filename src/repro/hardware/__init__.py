@@ -2,25 +2,36 @@
 
 The paper motivates minimising the number of modified parameters by the cost
 of injecting faults into memory with laser beams or row hammer (§2.3).  The
-authors evaluate that cost analytically (the ℓ0 norm); this package goes one
-step further and *simulates* the memory level so that an attack's parameter
-modification can be turned into a concrete set of bit flips and costed under
-either injection technique:
+authors evaluate that cost analytically (the ℓ0 norm); this package simulates
+the memory level so an attack's parameter modification can be turned into a
+concrete set of bit flips on a *named device* and costed realistically.
 
-* :class:`ParameterMemoryMap` lays the attacked parameters out in a simulated
-  memory using a configurable storage format (float32 / float16 / fixed
-  point);
-* :class:`BitFlipPlan` is the exact set of (address, bit) flips that turns the
-  original parameter words into the modified ones;
-* :class:`RowHammerInjector` and :class:`LaserBeamInjector` are cost/feasibility
-  models for executing such a plan;
-* :class:`FaultInjectionCampaign` applies a plan through the quantised memory
-  (so the achieved modification is what the storage format can actually
-  represent) and re-verifies the attack on the resulting model.
+Module map (data flows top to bottom)::
 
-The budget-aware lowering pipeline (repairing a plan under per-word flip,
-row-count and row-locality limits) lives in :mod:`repro.attacks.lowering`,
-which builds on this package.
+    memory      ParameterMemoryMap / MemoryLayout — parameters laid out as
+      │         raw words at byte addresses (optionally on a DRAM geometry)
+      ▼
+    device/     the device model: dram (address bit-slicing, aggressor/victim
+      │         adjacency), templates (per-cell flip polarity), ecc
+      │         (SECDED(72,64) decoder), profiles (named DeviceProfiles that
+      │         derive budgets, templates, layouts, injectors)
+      ▼
+    bitflip     BitFlipPlan / plan_bit_flips — the exact (word, bit) flips
+      │         realising a modification, array-backed and vectorised
+      ▼
+    injectors   RowHammerInjector / LaserBeamInjector — effort and
+      │         feasibility of executing a plan (geometry-aware aggressor
+      │         amortisation for Rowhammer)
+      ▼
+    lowering    (in repro.attacks.lowering) budget/template/ECC-aware plan
+      │         repair and the bit-true re-verification of the attack
+      ▼
+    campaign    FaultInjectionCampaign — applies a plan through the quantised
+                memory and re-verifies the attack end to end
+
+The budget-aware lowering pipeline lives in :mod:`repro.attacks.lowering`
+(it needs the attack-side result types); everything device-level is under
+:mod:`repro.hardware.device`.
 """
 
 from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
@@ -32,6 +43,18 @@ from repro.hardware.injectors import (
     RowHammerInjector,
 )
 from repro.hardware.campaign import CampaignReport, FaultInjectionCampaign
+from repro.hardware.device import (
+    DEVICE_PROFILES,
+    DeviceProfile,
+    DramCoordinates,
+    DramGeometry,
+    EccSummary,
+    FlipTemplate,
+    SecdedCode,
+    get_profile,
+    list_profiles,
+    register_profile,
+)
 
 __all__ = [
     "MemoryLayout",
@@ -45,4 +68,14 @@ __all__ = [
     "LaserBeamInjector",
     "CampaignReport",
     "FaultInjectionCampaign",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "DramCoordinates",
+    "DramGeometry",
+    "EccSummary",
+    "FlipTemplate",
+    "SecdedCode",
+    "get_profile",
+    "list_profiles",
+    "register_profile",
 ]

@@ -207,6 +207,27 @@ class BitFlipPlan:
         drop = np.isin(self._word_index, np.asarray(list(words), dtype=np.int64))
         return self.select(~drop)
 
+    def with_flips(self, words, bits, memory) -> "BitFlipPlan":
+        """Return a new plan with extra ``(word, bit)`` flips appended.
+
+        Addresses and DRAM rows of the new flips are derived from
+        ``memory``'s layout, so every producer of companion flips (template
+        re-routing, ECC padding, decoder miscorrection) stays consistent
+        with the plan's own address/row bookkeeping.
+        """
+        words = np.asarray(words, dtype=np.int64)
+        bits = np.asarray(bits, dtype=np.int64)
+        if not words.size:
+            return self
+        addresses = memory.layout.base_address + words * memory.bytes_per_word
+        return BitFlipPlan.from_arrays(
+            np.concatenate([self._word_index, words]),
+            np.concatenate([self._bit, bits]),
+            np.concatenate([self._address, addresses]),
+            np.concatenate([self._row, memory.layout.rows_of(addresses)]),
+            num_words_total=self.num_words_total,
+        )
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, BitFlipPlan):
             return NotImplemented
@@ -260,7 +281,7 @@ def plan_bit_flips(memory: ParameterMemoryMap, target_values: np.ndarray) -> Bit
 
     word_index = touched[which_word].astype(np.int64)
     address = memory.layout.base_address + word_index * bytes_per_word
-    row = address // memory.layout.row_bytes
+    row = memory.layout.rows_of(address)
     return BitFlipPlan.from_arrays(
         word_index,
         bit.astype(np.int64),

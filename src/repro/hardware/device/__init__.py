@@ -1,0 +1,48 @@
+"""Device-model subsystem: DRAM geometry, flip templates, ECC, profiles.
+
+Three cooperating layers turn "a set of bit flips" into "a set of bit flips
+on a named device":
+
+* :mod:`~repro.hardware.device.dram` — address bit-slicing into
+  channel/rank/bank/row/column and the aggressor/victim row-adjacency model;
+* :mod:`~repro.hardware.device.templates` — seeded per-cell flip-polarity
+  maps (which cells can flip, and in which direction);
+* :mod:`~repro.hardware.device.ecc` — SECDED(72,64) codeword modelling of an
+  ECC memory controller (correction, alarms, syndrome-aware miscorrection);
+* :mod:`~repro.hardware.device.profiles` — named :class:`DeviceProfile`
+  bundles (``ddr3-noecc``, ``ddr4-trr``, ``server-ecc``, ``hbm2-gpu``) that
+  derive hardware budgets, templates, layouts and injectors.
+"""
+
+from repro.hardware.device.dram import DRAM_FIELDS, DramCoordinates, DramGeometry
+from repro.hardware.device.ecc import EccSummary, SecdedCode
+from repro.hardware.device.templates import (
+    CELL_ONE_TO_ZERO,
+    CELL_STUCK,
+    CELL_ZERO_TO_ONE,
+    FlipTemplate,
+)
+from repro.hardware.device.profiles import (
+    DEVICE_PROFILES,
+    DeviceProfile,
+    get_profile,
+    list_profiles,
+    register_profile,
+)
+
+__all__ = [
+    "DRAM_FIELDS",
+    "DramCoordinates",
+    "DramGeometry",
+    "EccSummary",
+    "SecdedCode",
+    "CELL_STUCK",
+    "CELL_ZERO_TO_ONE",
+    "CELL_ONE_TO_ZERO",
+    "FlipTemplate",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "get_profile",
+    "list_profiles",
+    "register_profile",
+]

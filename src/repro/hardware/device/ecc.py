@@ -1,0 +1,254 @@
+"""SECDED(72,64) codeword modelling for ECC-protected parameter memory.
+
+Server DRAM stores every 64 data bits with 8 check bits of an extended
+Hamming code: a *single* bit error is silently corrected by the memory
+controller (an injected flip is simply undone), a *double* bit error raises
+an uncorrectable-error alarm (the attack is detected), and three or more
+errors of odd parity alias to what the decoder believes is a single error —
+they pass through, at the price of one possible miscorrected bit.
+
+For the attacker this turns ECC from a wall into a constraint: an isolated
+flip is useless, a pair is noisy, but a *syndrome-aware* group of three or
+more flips whose Hamming-position XOR is zero sails through as if the
+codeword were clean.  :class:`SecdedCode` models exactly this decoder:
+:meth:`SecdedCode.syndromes` computes per-codeword syndromes vectorised, and
+:meth:`SecdedCode.apply_to_plan` turns a planned
+:class:`~repro.hardware.bitflip.BitFlipPlan` into the *effective* plan after
+the controller has corrected / flagged / miscorrected each codeword.  The
+ECC-aware repair pass in :mod:`repro.attacks.lowering` uses the same model to
+pad vulnerable codewords before execution.
+
+Only data bits are modelled: the 8 check bits live in the dedicated ECC
+device of the DIMM, outside the attacked parameter region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.bitflip import BitFlipPlan
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["EccSummary", "SecdedCode"]
+
+
+def _data_positions(data_bits: int) -> np.ndarray:
+    """Hamming positions of the data bits (powers of two carry check bits)."""
+    positions: list[int] = []
+    candidate = 1
+    while len(positions) < data_bits:
+        if candidate & (candidate - 1):  # not a power of two -> data position
+            positions.append(candidate)
+        candidate += 1
+    return np.asarray(positions, dtype=np.int64)
+
+
+@dataclass
+class EccSummary:
+    """Per-codeword outcome counts of pushing a plan through the decoder."""
+
+    codewords_touched: int = 0
+    corrected: int = 0  # single-flip codewords silently undone
+    detected: int = 0  # double-error alarms raised (attack noticed)
+    miscorrected: int = 0  # odd >= 3 flips: decoder "corrected" a wrong bit
+    undetected: int = 0  # even flips with zero syndrome: slipped through clean
+    flips_removed: int = 0  # attacker flips undone by correction
+    flips_added: int = 0  # collateral flips introduced by miscorrection
+
+    @property
+    def alarms(self) -> int:
+        """Number of uncorrectable-error alarms the attack would raise."""
+        return self.detected
+
+    def as_dict(self) -> dict:
+        return {
+            "codewords_touched": self.codewords_touched,
+            "corrected": self.corrected,
+            "detected": self.detected,
+            "miscorrected": self.miscorrected,
+            "undetected": self.undetected,
+            "flips_removed": self.flips_removed,
+            "flips_added": self.flips_added,
+        }
+
+
+class SecdedCode:
+    """Extended-Hamming SECDED code over ``data_bits`` data bits per codeword.
+
+    The default ``data_bits=64`` gives the SECDED(72,64) code of ECC DIMMs:
+    64 data bits, 7 Hamming check bits plus one overall parity bit.
+    """
+
+    def __init__(self, data_bits: int = 64):
+        if data_bits not in (8, 16, 32, 64, 128):
+            raise ConfigurationError(
+                f"data_bits must be a power of two in [8, 128], got {data_bits}"
+            )
+        self.data_bits = int(data_bits)
+        self.positions = _data_positions(self.data_bits)
+        # 7 syndrome bits for 64 data bits, plus the overall parity bit.
+        self.check_bits = int(self.positions.max()).bit_length() + 1
+
+    @property
+    def code_bits(self) -> int:
+        """Total codeword width (data + check bits)."""
+        return self.data_bits + self.check_bits
+
+    def describe(self) -> str:
+        return f"secded({self.code_bits},{self.data_bits})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SecdedCode(data_bits={self.data_bits})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SecdedCode) and other.data_bits == self.data_bits
+
+    def __hash__(self) -> int:
+        return hash(("SecdedCode", self.data_bits))
+
+    # -- codeword grouping -----------------------------------------------------------
+    def words_per_codeword(self, bits_per_word: int) -> int:
+        """Memory words grouped into one codeword for a given word width."""
+        if bits_per_word <= 0 or self.data_bits % bits_per_word:
+            raise ConfigurationError(
+                f"{bits_per_word}-bit words do not pack into {self.data_bits} data bits"
+            )
+        return self.data_bits // bits_per_word
+
+    def codewords_of(self, word_indices, bits_per_word: int) -> np.ndarray:
+        """Codeword index of each memory word."""
+        words = np.asarray(word_indices, dtype=np.int64)
+        return words // self.words_per_codeword(bits_per_word)
+
+    def data_offsets(self, word_indices, bits, bits_per_word: int) -> np.ndarray:
+        """Bit offset of each (word, bit) inside its codeword's data block."""
+        words = np.asarray(word_indices, dtype=np.int64)
+        wpc = self.words_per_codeword(bits_per_word)
+        return (words % wpc) * bits_per_word + np.asarray(bits, dtype=np.int64)
+
+    # -- syndromes ---------------------------------------------------------------------
+    def syndromes(
+        self, codewords: np.ndarray, data_offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-codeword syndrome of a flip set, fully vectorised.
+
+        Returns ``(unique_codewords, syndrome, flip_counts)``: the syndrome is
+        the XOR of the Hamming positions of every flipped data bit, and the
+        decoder's parity check is ``flip_counts % 2``.
+        """
+        codewords = np.asarray(codewords, dtype=np.int64)
+        offsets = np.asarray(data_offsets, dtype=np.int64)
+        if codewords.shape != offsets.shape:
+            raise ConfigurationError("codewords and data_offsets must align")
+        if not codewords.size:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        positions = self.positions[offsets]
+        span = int(codewords.max()) + 1
+        if span > 16 * codewords.size + 1024:
+            # Sparse/huge codeword ids: sort instead of allocating the span.
+            order = np.argsort(codewords, kind="stable")
+            sorted_cw = codewords[order]
+            unique, starts = np.unique(sorted_cw, return_index=True)
+            syndrome = np.bitwise_xor.reduceat(positions[order], starts)
+            counts = np.diff(np.append(starts, sorted_cw.size))
+            return unique, syndrome, counts
+        # Dense path: per-codeword XOR folded as parity of each syndrome bit
+        # plane (one weighted bincount per bit — no sorting).
+        counts_full = np.bincount(codewords, minlength=span)
+        syndrome_full = np.zeros(span, dtype=np.int64)
+        for b in range(self.check_bits - 1):
+            plane = ((positions >> b) & 1).astype(np.float64)
+            parity = np.bincount(codewords, weights=plane, minlength=span)
+            syndrome_full |= (parity.astype(np.int64) & 1) << b
+        unique = np.flatnonzero(counts_full)
+        return unique, syndrome_full[unique], counts_full[unique]
+
+    def syndromes_reference(
+        self, codewords: np.ndarray, data_offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pure-Python syndrome loop (reference for tests and the bench gate)."""
+        accum: dict[int, list[int]] = {}
+        for cw, offset in zip(
+            np.asarray(codewords).tolist(), np.asarray(data_offsets).tolist()
+        ):
+            entry = accum.setdefault(int(cw), [0, 0])
+            entry[0] ^= int(self.positions[offset])
+            entry[1] += 1
+        unique = sorted(accum)
+        return (
+            np.asarray(unique, dtype=np.int64),
+            np.asarray([accum[cw][0] for cw in unique], dtype=np.int64),
+            np.asarray([accum[cw][1] for cw in unique], dtype=np.int64),
+        )
+
+    # -- decoder behaviour -------------------------------------------------------------
+    def apply_to_plan(self, plan: BitFlipPlan, memory) -> tuple[BitFlipPlan, EccSummary]:
+        """Push a plan through the SECDED decoder of the memory controller.
+
+        Returns the *effective* plan — the flips that actually change the
+        data the model reads back — plus an :class:`EccSummary`:
+
+        * odd parity, one flip: the decoder corrects it; the flip is removed.
+        * odd parity, three or more flips: when the syndrome is a valid
+          codeword position the decoder believes it sees a single error
+          there and "corrects" it — the attacker's flips land, plus one
+          collateral flip when the syndrome aliases to a data bit (a zero
+          syndrome or a check-bit position leaves the data untouched).  A
+          syndrome *outside* the codeword's positions is provably multi-bit:
+          the alarm fires, flips delivered as-is.
+        * even parity, non-zero syndrome: uncorrectable — the alarm fires and
+          the flips are delivered as-is (flagged, not repaired).
+        * even parity, zero syndrome: the decoder sees a clean codeword; the
+          flips slip through undetected.
+        """
+        bits = memory.spec.bits_per_value
+        summary = EccSummary()
+        if not plan.num_flips:
+            return plan, summary
+
+        word_index, bit, _, _ = plan.as_arrays()
+        cw = self.codewords_of(word_index, bits)
+        offsets = self.data_offsets(word_index, bit, bits)
+        unique, syndrome, counts = self.syndromes(cw, offsets)
+        summary.codewords_touched = int(unique.size)
+        odd = (counts % 2).astype(bool)
+
+        corrected = unique[odd & (counts == 1)]
+        summary.corrected = int(corrected.size)
+        # Odd groups whose syndrome lies outside the codeword's positions are
+        # provably multi-bit errors: real decoders raise the alarm instead of
+        # "correcting" a nonexistent bit.
+        invalid = odd & (counts >= 3) & (syndrome > int(self.positions[-1]))
+        summary.detected = int(np.count_nonzero(~odd & (syndrome != 0))) + int(
+            np.count_nonzero(invalid)
+        )
+        summary.undetected = int(np.count_nonzero(~odd & (syndrome == 0)))
+
+        keep = ~np.isin(cw, corrected)
+        summary.flips_removed = int(np.count_nonzero(~keep))
+        effective = plan.select(keep)
+
+        # Miscorrections: odd >= 3 flips whose syndrome points into the data.
+        wpc = self.words_per_codeword(bits)
+        extra_words: list[int] = []
+        extra_bits: list[int] = []
+        mis = odd & (counts >= 3) & ~invalid
+        summary.miscorrected = int(np.count_nonzero(mis))
+        for cw_id, s in zip(unique[mis].tolist(), syndrome[mis].tolist()):
+            if s == 0:
+                continue  # decoder blames the overall parity bit itself
+            index = int(np.searchsorted(self.positions, s))
+            if index >= self.positions.size or self.positions[index] != s:
+                continue  # syndrome points at a check bit
+            word = cw_id * wpc + index // bits
+            if word >= memory.num_words:
+                continue
+            extra_words.append(word)
+            extra_bits.append(index % bits)
+        if extra_words:
+            summary.flips_added = len(extra_words)
+            effective = effective.with_flips(extra_words, extra_bits, memory)
+        return effective, summary

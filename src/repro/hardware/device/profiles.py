@@ -1,0 +1,227 @@
+"""Named device profiles deriving geometry, templates, ECC and budgets.
+
+A :class:`DeviceProfile` bundles everything the lowering pipeline needs to
+know about one physical memory device: its :class:`~repro.hardware.device.dram.DramGeometry`,
+the flip-template statistics of the module, whether the controller runs
+SECDED ECC, and Rowhammer effort parameters.  Profiles *derive* the
+:class:`~repro.attacks.lowering.HardwareBudget` that plan repair enforces —
+the budgets stop being hand-picked constants and become consequences of the
+named device.
+
+Shipped profiles (see :data:`DEVICE_PROFILES`):
+
+* ``ddr3-noecc`` — desktop DDR3 DIMM: no mitigation, no ECC, dense flip map.
+* ``ddr4-trr`` — DDR4 with target-row-refresh: sparse usable cells, few
+  hammerable rows before TRR kicks in, bank-XOR hashing.
+* ``server-ecc`` — registered server DIMM with SECDED(72,64): single flips
+  are undone, pairs raise alarms — plans need syndrome-aware repair.
+* ``hbm2-gpu`` — GPU HBM2 stack: many channels, short rows, fast hammering.
+
+Geometries are scaled down (KB-rows, thousands of rows) so the benchmark
+models' parameter regions span many rows and banks; the *structure* — field
+slicing, interleaving, adjacency, ECC grouping — is the realistic part, just
+as the seed experiment shrank ``row_bytes`` to keep row budgets meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.hardware.device.dram import DramGeometry
+from repro.hardware.device.ecc import SecdedCode
+from repro.hardware.device.templates import FlipTemplate
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import derive_seed
+
+if TYPE_CHECKING:  # lazy at runtime: lowering imports this module
+    from repro.attacks.lowering import HardwareBudget
+    from repro.hardware.injectors import RowHammerInjector
+    from repro.hardware.memory import MemoryLayout
+
+__all__ = [
+    "DeviceProfile",
+    "DEVICE_PROFILES",
+    "register_profile",
+    "get_profile",
+    "list_profiles",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One named physical memory device the attack can be lowered onto."""
+
+    name: str
+    description: str
+    geometry: DramGeometry
+    flip_probability: float
+    polarity_bias: float = 0.5
+    ecc: SecdedCode | None = None
+    seconds_per_row: float = 120.0
+    setup_seconds: float = 1800.0
+    max_flips_per_row: int = 16
+    max_flips_per_word: int | None = None
+    max_rows: int | None = None
+    row_window: int | None = None
+    # Templated physical rows the attacker's massaging can steer each victim
+    # row onto (1 = no placement control; limited by the templating budget).
+    massage_frames: int = 64
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("profile name must be non-empty")
+        if not 0.0 < self.flip_probability <= 1.0:
+            raise ConfigurationError("flip_probability must be in (0, 1]")
+        if self.massage_frames < 1:
+            raise ConfigurationError("massage_frames must be >= 1")
+
+    # -- derived components ----------------------------------------------------------
+    def budget(self) -> "HardwareBudget":
+        """Hardware budget implied by this device (what plan repair enforces)."""
+        from repro.attacks.lowering import HardwareBudget
+
+        return HardwareBudget(
+            max_flips_per_word=self.max_flips_per_word,
+            max_rows=self.max_rows,
+            row_window=self.row_window,
+        )
+
+    def template(self, seed: int = 0) -> FlipTemplate:
+        """Flip template of one templated module of this device.
+
+        The template seed is derived from the profile name plus the caller's
+        ``seed``, so every process of a campaign sees the identical module
+        while different devices (or ``seed`` values) get independent maps.
+        """
+        return FlipTemplate(
+            seed=derive_seed("flip-template", self.name, int(seed)),
+            flip_probability=self.flip_probability,
+            polarity_bias=self.polarity_bias,
+        )
+
+    def injector(self) -> "RowHammerInjector":
+        """Geometry-aware Rowhammer cost model for this device."""
+        from repro.hardware.injectors import RowHammerInjector
+
+        return RowHammerInjector(
+            seconds_per_row=self.seconds_per_row,
+            max_flips_per_row=self.max_flips_per_row,
+            setup_seconds=self.setup_seconds,
+            geometry=self.geometry,
+        )
+
+    def layout(self, base_address: int = 0x1000_0000) -> "MemoryLayout":
+        """Memory layout placing the parameter region on this device."""
+        from repro.hardware.memory import MemoryLayout
+
+        return MemoryLayout(base_address=base_address, geometry=self.geometry)
+
+    def describe(self) -> str:
+        """One-line summary used by ``repro-experiments --list-profiles``."""
+        ecc = self.ecc.describe() if self.ecc is not None else "none"
+        return f"{self.geometry.describe()}, ecc={ecc}"
+
+
+# -- registry ------------------------------------------------------------------------
+
+DEVICE_PROFILES: dict[str, DeviceProfile] = {}
+
+
+def register_profile(profile: DeviceProfile) -> DeviceProfile:
+    """Register a profile under its name (duplicate names are rejected)."""
+    if profile.name in DEVICE_PROFILES:
+        raise ConfigurationError(f"device profile {profile.name!r} is already registered")
+    DEVICE_PROFILES[profile.name] = profile
+    return profile
+
+
+def get_profile(profile: "str | DeviceProfile") -> DeviceProfile:
+    """Resolve a profile name (or pass an existing profile through)."""
+    if isinstance(profile, DeviceProfile):
+        return profile
+    try:
+        return DEVICE_PROFILES[profile]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown device profile {profile!r}; registered: {list_profiles()}"
+        ) from exc
+
+
+def list_profiles() -> tuple[str, ...]:
+    """Names of every registered device profile, sorted."""
+    return tuple(sorted(DEVICE_PROFILES))
+
+
+# -- shipped profiles ----------------------------------------------------------------
+
+register_profile(
+    DeviceProfile(
+        name="ddr3-noecc",
+        description="Desktop DDR3 DIMM, no Rowhammer mitigation, no ECC",
+        geometry=DramGeometry(bank_bits=3, row_bits=12, column_bits=10),
+        flip_probability=0.45,
+        polarity_bias=0.5,
+        seconds_per_row=90.0,
+        setup_seconds=1800.0,
+        max_flips_per_row=24,
+        max_flips_per_word=8,
+        max_rows=96,
+        massage_frames=256,
+    )
+)
+
+register_profile(
+    DeviceProfile(
+        name="ddr4-trr",
+        description="DDR4 with target-row-refresh mitigation and bank hashing",
+        geometry=DramGeometry(
+            bank_bits=4, row_bits=13, column_bits=10, bank_xor_row_bits=2
+        ),
+        # TRR refreshes suspected victims, so only a sparse residue of cells
+        # remains flippable and sustained hammering covers few rows.
+        flip_probability=0.12,
+        polarity_bias=0.55,
+        seconds_per_row=240.0,
+        setup_seconds=3600.0,
+        max_flips_per_row=8,
+        max_flips_per_word=6,
+        max_rows=16,
+        massage_frames=8,
+    )
+)
+
+register_profile(
+    DeviceProfile(
+        name="server-ecc",
+        description="Registered server DIMM with SECDED(72,64) ECC",
+        geometry=DramGeometry(bank_bits=4, row_bits=13, column_bits=10),
+        flip_probability=0.3,
+        polarity_bias=0.5,
+        ecc=SecdedCode(data_bits=64),
+        seconds_per_row=120.0,
+        setup_seconds=2700.0,
+        max_flips_per_row=16,
+        max_flips_per_word=8,
+        max_rows=64,
+        massage_frames=256,
+    )
+)
+
+register_profile(
+    DeviceProfile(
+        name="hbm2-gpu",
+        description="GPU HBM2 stack: 8 channels, short rows, fast hammering",
+        geometry=DramGeometry(
+            channel_bits=3, bank_bits=4, row_bits=11, column_bits=9
+        ),
+        flip_probability=0.35,
+        polarity_bias=0.5,
+        seconds_per_row=45.0,
+        setup_seconds=900.0,
+        max_flips_per_row=12,
+        max_flips_per_word=10,
+        max_rows=128,
+        massage_frames=128,
+    )
+)

@@ -19,9 +19,15 @@ the point is to let benchmarks compare the *hardware effort* implied by ℓ0 vs
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.hardware.bitflip import BitFlipPlan
 from repro.utils.errors import ConfigurationError
+
+if TYPE_CHECKING:  # annotation-only: avoids importing the device subsystem here
+    from repro.hardware.device.dram import DramGeometry
 
 __all__ = ["InjectionCost", "Injector", "LaserBeamInjector", "RowHammerInjector"]
 
@@ -101,17 +107,31 @@ class LaserBeamInjector(Injector):
 
 
 class RowHammerInjector(Injector):
-    """Row-hammer fault injection: per-victim-row hammering cost.
+    """Row-hammer fault injection: per-aggressor-row hammering cost.
+
+    A victim row is hammered from its physically adjacent rows, so the unit
+    of work is an *aggressor activation*, not a victim row: an isolated
+    victim needs a double-sided pair (two aggressors), while adjacent victim
+    rows share aggressors and are hammered together — two neighbouring
+    victims cost one sandwiching pair, the same as a single victim.
 
     Parameters
     ----------
     seconds_per_row:
-        Time to locate suitable aggressor rows and hammer one victim row.
+        Time to template, position and hammer one double-sided aggressor
+        *pair* (i.e. the cost of one isolated victim row); each individual
+        aggressor activation costs half of it.
     max_flips_per_row:
-        Maximum number of *controlled* flips achievable within a single row;
-        rows of the plan needing more are infeasible.
+        Maximum number of *controlled* flips achievable within a single
+        victim row; rows of the plan needing more are infeasible.
     setup_seconds:
         One-off memory-templating time.
+    geometry:
+        Optional :class:`~repro.hardware.device.dram.DramGeometry`.  With a
+        geometry, adjacency is bank-aware: the plan's rows are global row
+        ids, rows at a bank edge have a single usable aggressor, and rows in
+        different banks never share one.  Without it, rows are treated as a
+        flat sequence (the legacy ``row_bytes``-window model).
     """
 
     technique = "rowhammer"
@@ -122,18 +142,36 @@ class RowHammerInjector(Injector):
         seconds_per_row: float = 120.0,
         max_flips_per_row: int = 16,
         setup_seconds: float = 1800.0,
+        geometry: "DramGeometry | None" = None,
     ):
         if seconds_per_row <= 0 or max_flips_per_row <= 0 or setup_seconds < 0:
             raise ConfigurationError("rowhammer injector parameters must be positive")
         self.seconds_per_row = float(seconds_per_row)
         self.max_flips_per_row = int(max_flips_per_row)
         self.setup_seconds = float(setup_seconds)
+        self.geometry = geometry
+
+    def aggressor_rows(self, victim_rows) -> np.ndarray:
+        """Distinct aggressor rows needed for a set of victim rows.
+
+        Victims themselves never serve as aggressors, and an aggressor
+        sitting between two victims is activated (and paid for) once.
+        """
+        victims = np.unique(np.asarray(list(victim_rows), dtype=np.int64))
+        if not victims.size:
+            return np.empty(0, dtype=np.int64)
+        if self.geometry is not None:
+            return self.geometry.aggressor_row_ids(victims)
+        candidates = np.unique(np.concatenate([victims - 1, victims + 1]))
+        candidates = candidates[candidates >= 0]  # row 0 has no row above it
+        return np.setdiff1d(candidates, victims, assume_unique=True)
 
     def cost(self, plan: BitFlipPlan) -> InjectionCost:
         per_row = plan.flips_per_row()
         overloaded = [row for row, count in per_row.items() if count > self.max_flips_per_row]
         feasible = not overloaded
-        time = self.setup_seconds + len(per_row) * self.seconds_per_row
+        aggressors = self.aggressor_rows(per_row)
+        time = self.setup_seconds + aggressors.size * self.seconds_per_row / 2.0
         notes = ""
         if overloaded:
             notes = (
@@ -144,7 +182,7 @@ class RowHammerInjector(Injector):
             technique=self.technique,
             feasible=feasible,
             time_seconds=time,
-            operations=len(per_row),
+            operations=int(aggressors.size),
             bit_flips=plan.num_flips,
             notes=notes,
         )

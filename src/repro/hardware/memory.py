@@ -10,12 +10,16 @@ flips are planned and executed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.attacks.parameter_view import ParameterView
 from repro.nn.quantization import QuantizationSpec, dequantize, quantize
 from repro.utils.errors import ConfigurationError
+
+if TYPE_CHECKING:  # annotation-only: device imports memory, not vice versa
+    from repro.hardware.device.dram import DramGeometry
 
 __all__ = ["MemoryLayout", "ParameterMemoryMap"]
 
@@ -30,21 +34,43 @@ class MemoryLayout:
         Byte address of the first parameter word.
     row_bytes:
         Bytes per DRAM row (row hammer flips bits within a victim row, so the
-        row size determines how flips group into hammering targets).
+        row size determines how flips group into hammering targets).  When a
+        ``geometry`` is attached this is derived from it and the passed value
+        is ignored.
+    geometry:
+        Optional :class:`~repro.hardware.device.dram.DramGeometry`.  With a
+        geometry, rows are *global row ids* — unique per (channel, rank,
+        bank, row), bank-interleaved — instead of flat ``address // row_bytes``
+        windows, so adjacency and row budgets follow the device's real
+        address mapping.
     """
 
     base_address: int = 0x1000_0000
     row_bytes: int = 8192
+    geometry: "DramGeometry | None" = None
 
     def __post_init__(self):
         if self.base_address < 0:
             raise ConfigurationError("base_address must be non-negative")
+        if self.geometry is not None:
+            object.__setattr__(self, "row_bytes", self.geometry.row_bytes)
         if self.row_bytes <= 0:
             raise ConfigurationError("row_bytes must be positive")
 
+    def rows_of(self, addresses) -> np.ndarray:
+        """DRAM row of each byte address (vectorised).
+
+        Flat layouts slice addresses into consecutive ``row_bytes`` windows;
+        layouts with a geometry return the geometry's global row ids.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if self.geometry is not None:
+            return self.geometry.row_ids(addresses)
+        return addresses // self.row_bytes
+
     def row_of(self, address: int) -> int:
         """Return the DRAM row index containing a byte address."""
-        return int(address // self.row_bytes)
+        return int(self.rows_of(address))
 
 
 class ParameterMemoryMap:

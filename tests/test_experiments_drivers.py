@@ -183,28 +183,65 @@ class TestHardwareCost:
         from repro.experiments.common import get_setting
 
         setting = get_setting("smoke")
-        expected = (
-            len(result.column("storage")) // (len(hardware_cost.BUDGET_LEVELS) * 3)
+        cells_per_s = (
+            len(hardware_cost.BUDGET_LEVELS) * len(hardware_cost.DEFAULT_PROFILES) * 3
         )
-        assert expected == len(setting.hardware_s_values)
+        assert len(result.column("storage")) // cells_per_s == len(
+            setting.hardware_s_values
+        )
         assert set(result.column("storage")) == {"float32", "float16", "int8"}
-        assert set(result.column("budget")) == {"unlimited", "tight"}
+        assert set(result.column("budget")) == {"unlimited", "derived"}
+        assert set(result.column("profile")) == set(hardware_cost.DEFAULT_PROFILES)
 
     def test_bit_true_rates_in_range(self, result):
         for record in result.to_records():
             assert 0.0 <= record["bit-true success"] <= 1.0
             assert 0.0 <= record["bit-true keep"] <= 1.0
 
-    def test_unlimited_budget_drops_nothing(self, result):
+    def test_device_columns_present(self, result):
+        import math
+
         for record in result.to_records():
-            if record["budget"] == "unlimited":
-                assert record["flips dropped"] == 0
+            assert record["infeasible"] >= 0
+            assert record["rerouted"] >= 0
+            assert record["ecc alarms"] >= 0
+            if record["profile"] == "server-ecc":
+                # ECC rows report the unrepaired (raw) bit-true success.
+                assert 0.0 <= record["raw success"] <= 1.0
+            else:
+                assert math.isnan(record["raw success"])
+
+    def test_ecc_corrections_only_on_ecc_profile(self, result):
+        for record in result.to_records():
+            if record["profile"] != "server-ecc":
+                assert record["ecc corrected"] == 0
 
     def test_narrower_words_need_fewer_flips(self, result):
         # int8 words have a quarter of float32's bits, so realising the same
-        # modification must never need more flips.
-        records = [r for r in result.to_records() if r["budget"] == "unlimited"]
+        # modification must never need more planned flips.  Compare on the
+        # no-ECC profile so repair padding does not blur the count.
+        records = [
+            r
+            for r in result.to_records()
+            if r["budget"] == "unlimited" and r["profile"] == "ddr3-noecc"
+        ]
         by_storage = {}
         for record in records:
             by_storage.setdefault(record["storage"], []).append(record["bit flips"])
         assert sum(by_storage["int8"]) <= sum(by_storage["float32"])
+
+    @pytest.mark.parametrize("backend", ["process-pool"])
+    def test_parallel_matches_serial_with_profile(
+        self, backend, session_registry, monkeypatch
+    ):
+        # Runner UX satellite: --profile passthrough must keep serial and
+        # parallel campaign outputs byte-identical.
+        monkeypatch.setenv(
+            "REPRO_CACHE_DIR", str(session_registry.disk_cache.directory)
+        )
+        kwargs = dict(
+            registry=session_registry, seed=0, profiles=("server-ecc",)
+        )
+        serial = hardware_cost.run("smoke", **kwargs)
+        parallel = hardware_cost.run("smoke", jobs=2, executor=backend, **kwargs)
+        assert parallel.render("csv", digits=9) == serial.render("csv", digits=9)

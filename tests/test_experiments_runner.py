@@ -54,6 +54,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table1", "--executor", "threads"])
 
+    def test_profile_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["hardware_cost", "--profile", "ddr4-trr", "--profile", "server-ecc"]
+        )
+        assert args.profile == ["ddr4-trr", "server-ecc"]
+
+    def test_list_profiles_needs_no_experiment(self):
+        args = build_parser().parse_args(["--list-profiles"])
+        assert args.experiment is None
+        assert args.list_profiles is True
+
 
 class TestMain:
     def test_runs_single_experiment(self, capsys, tmp_path, monkeypatch):
@@ -137,3 +148,44 @@ class TestMain:
         manifest = json.loads((out_dir / "table3_smoke_manifest.json").read_text())
         assert manifest["stats"]["executed"] == 0
         assert manifest["stats"]["cache_hits"] == manifest["stats"]["total_jobs"]
+
+
+class TestDeviceProfileFlags:
+    def test_list_profiles_prints_registry_and_exits(self, capsys):
+        from repro.hardware.device import get_profile, list_profiles
+
+        assert main(["--list-profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in list_profiles():
+            assert name in out
+        # The table shows derived facts, not just names: geometry and ECC.
+        assert get_profile("server-ecc").ecc.describe() in out
+
+    def test_experiment_required_without_list_profiles(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+        assert "experiment name is required" in capsys.readouterr().err
+
+    def test_unknown_profile_rejected_with_registry_hint(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["hardware_cost", "--profile", "sram-9000"])
+        err = capsys.readouterr().err
+        assert "sram-9000" in err
+        assert "server-ecc" in err  # the error lists the registered names
+
+    def test_profile_passthrough_serial_matches_jobs(self, tmp_path, monkeypatch):
+        # Runner UX satellite: the same --profile grid must produce
+        # byte-identical tables whether run serially or with --jobs N.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        base = ["hardware_cost", "--scale", "smoke", "--profile", "server-ecc"]
+        assert main(base + ["--output-dir", str(serial_dir)]) == 0
+        assert main(base + ["--jobs", "2", "--output-dir", str(parallel_dir)]) == 0
+        assert (serial_dir / "hardware_cost_smoke.csv").read_bytes() == (
+            parallel_dir / "hardware_cost_smoke.csv"
+        ).read_bytes()
+        manifest = json.loads(
+            (parallel_dir / "hardware_cost_smoke_manifest.json").read_text()
+        )
+        assert manifest["command"]["profiles"] == ["server-ecc"]

@@ -48,12 +48,51 @@ class TestLaserBeam:
 class TestRowHammer:
     def test_cost_scales_with_rows_not_flips(self):
         injector = RowHammerInjector(seconds_per_row=100.0, setup_seconds=0.0, max_flips_per_row=64)
-        one_row = injector.cost(make_plan([(i, i % 8, 0) for i in range(10)]))
-        two_rows = injector.cost(make_plan([(0, 0, 0), (1, 0, 5)]))
+        one_row = injector.cost(make_plan([(i, i % 8, 2) for i in range(10)]))
+        two_rows = injector.cost(make_plan([(0, 0, 2), (1, 0, 5)]))
+        # An isolated victim row costs one double-sided aggressor pair.
         assert one_row.time_seconds == pytest.approx(100.0)
         assert two_rows.time_seconds == pytest.approx(200.0)
-        assert one_row.operations == 1
-        assert two_rows.operations == 2
+        # Operations count aggressor activations: a pair per isolated victim.
+        assert one_row.operations == 2
+        assert two_rows.operations == 4
+
+    def test_adjacent_rows_amortise_aggressors(self):
+        # Regression: two adjacent victim rows share their sandwiching
+        # aggressor pair and must NOT each pay full seconds_per_row.
+        injector = RowHammerInjector(seconds_per_row=100.0, setup_seconds=0.0)
+        adjacent = injector.cost(make_plan([(0, 0, 10), (1, 0, 11)]))
+        separate = injector.cost(make_plan([(0, 0, 10), (1, 0, 20)]))
+        assert adjacent.time_seconds == pytest.approx(100.0)
+        assert adjacent.operations == 2  # rows 9 and 12 hammer both victims
+        assert separate.time_seconds == pytest.approx(200.0)
+        assert separate.operations == 4
+
+    def test_flat_row_zero_has_single_aggressor(self):
+        # Even without a geometry, row -1 does not exist: a victim in row 0
+        # can only be hammered from row 1.
+        injector = RowHammerInjector(seconds_per_row=100.0, setup_seconds=0.0)
+        edge = injector.cost(make_plan([(0, 0, 0)]))
+        assert edge.operations == 1
+        assert edge.time_seconds == pytest.approx(50.0)
+        assert injector.aggressor_rows([0]).tolist() == [1]
+
+    def test_geometry_clamps_aggressors_at_bank_edges(self):
+        from repro.hardware.device import DramGeometry
+
+        geometry = DramGeometry(bank_bits=1, row_bits=3, column_bits=3)
+        injector = RowHammerInjector(
+            seconds_per_row=100.0, setup_seconds=0.0, geometry=geometry
+        )
+        # Global row 0 is local row 0 of bank 0: only row 1 can hammer it.
+        edge = injector.cost(make_plan([(0, 0, 0)]))
+        assert edge.operations == 1
+        assert edge.time_seconds == pytest.approx(50.0)
+        # Global rows 7 and 8 are adjacent ids but live in different banks
+        # (local rows 7 and 0), so they do NOT share an aggressor.
+        split = injector.cost(make_plan([(0, 0, 7), (1, 0, 8)]))
+        assert split.operations == 2
+        assert sorted(injector.aggressor_rows([7, 8]).tolist()) == [6, 9]
 
     def test_per_row_limit(self):
         injector = RowHammerInjector(max_flips_per_row=2)
