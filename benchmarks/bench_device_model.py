@@ -21,7 +21,14 @@ import numpy as np
 import pytest
 
 from repro.hardware.bitflip import BitFlipPlan
-from repro.hardware.device import FlipTemplate, SecdedCode
+from repro.hardware.device import (
+    DramGeometry,
+    FlipTemplate,
+    OnDieEcc,
+    SecdedCode,
+    TrrSampler,
+    plan_hammer,
+)
 
 # Vectorisation must beat the reference loop by at least this factor on the
 # benchmark workload (both are >= 50x in practice; 10x leaves CI noise room).
@@ -124,3 +131,34 @@ def bench_ecc_syndromes_identical_and_speedup(benchmark, workload):
         f"vectorised syndromes are only x{speedup:.1f} faster than the "
         f"reference loop (required x{MIN_SPEEDUP:.0f})"
     )
+
+
+def bench_ondie_syndromes(benchmark, workload):
+    """The DDR5 on-die SEC(136,128) decoder on the same flip workload."""
+    plan, _, _ = workload
+    code = OnDieEcc()
+    word_index, bit, _, _ = plan.as_arrays()
+    codewords = code.codewords_of(word_index, BITS_PER_WORD)
+    offsets = code.data_offsets(word_index, bit, BITS_PER_WORD)
+    unique, _, counts = benchmark(lambda: code.syndromes(codewords, offsets))
+    assert unique.size > 0 and counts.sum() == plan.num_flips
+
+
+def bench_plan_hammer_many_sided(benchmark):
+    """Hammer-pattern planning against a TRR sampler on 10k victim rows.
+
+    Timing only (no reference loop): the planner runs once per lowering, so
+    this tracks that a geometry's worth of victims plans in milliseconds.
+    """
+    geometry = DramGeometry(bank_bits=4, row_bits=13, column_bits=10)
+    sampler = TrrSampler(tracker_size=4, threshold=2)
+    rng = np.random.default_rng(11)
+    victims = rng.choice(geometry.num_banks * geometry.rows_per_bank, size=10_000,
+                         replace=False)
+    hammer = benchmark(
+        lambda: plan_hammer(
+            victims, geometry=geometry, pattern="many-sided", sampler=sampler
+        )
+    )
+    assert hammer.feasible_victims.size > 0
+    assert hammer.hammered_rows.size >= hammer.aggressors.size

@@ -14,8 +14,10 @@ __all__ = [
     "Table",
     "BIT_COST_COLUMNS",
     "DEVICE_COST_COLUMNS",
+    "HAMMER_COST_COLUMNS",
     "bit_cost_cells",
     "device_cost_cells",
+    "hammer_cost_cells",
     "format_float",
     "render_text",
     "render_markdown",
@@ -74,6 +76,24 @@ _DEVICE_COST_FIELDS = (
 )
 
 
+# Mitigation-model reporting columns for attacks lowered with a hammer
+# pattern: victim rows a TRR tracker saved from flipping (the pattern's
+# budget cost), rows the pattern's reduced flip yield throttled below their
+# planned flip count, and the total rows the pattern hammers — true
+# aggressors amortised across adjacent victims, plus decoys (time cost).
+HAMMER_COST_COLUMNS = (
+    "rows refreshed",
+    "rows throttled",
+    "hammer rows",
+)
+
+_HAMMER_COST_FIELDS = (
+    ("rows_refreshed", int),
+    ("rows_throttled", int),
+    ("hammer_rows", int),
+)
+
+
 def _cost_cells(record: dict, fields) -> list:
     cells = []
     for key, kind in fields:
@@ -95,6 +115,11 @@ def bit_cost_cells(record: dict) -> list:
 def device_cost_cells(record: dict) -> list:
     """Map a lowering-report record onto :data:`DEVICE_COST_COLUMNS` cells."""
     return _cost_cells(record, _DEVICE_COST_FIELDS)
+
+
+def hammer_cost_cells(record: dict) -> list:
+    """Map a lowering-report record onto :data:`HAMMER_COST_COLUMNS` cells."""
+    return _cost_cells(record, _HAMMER_COST_FIELDS)
 
 
 def format_float(value, *, digits: int = 3) -> str:

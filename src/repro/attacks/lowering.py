@@ -27,13 +27,22 @@ device-physics stages on top of the budgets:
   polarity matches the requested direction; a word whose infeasible flips are
   unavoidable keeps its feasible subset only when that still moves the stored
   value toward the target, and reverts otherwise;
-* **ECC-aware repair** — on SECDED devices a lone surviving flip would be
-  silently corrected away and a pair would raise an alarm, so vulnerable
-  codewords are *re-routed*: companion flips are added on feasible cells of
-  the codeword's low-impact words (words the solver left ~unchanged),
-  preferring companions whose Hamming positions null the syndrome so the
-  decoder sees a clean codeword.  Codewords with no feasible companions are
-  dropped as a last resort.
+* **ECC-aware repair** — on an ECC device a lone surviving flip would be
+  silently corrected away (and, scheme depending, a pair would raise an
+  alarm or silently miscorrect), so vulnerable codewords are *re-routed*:
+  companion flips are added on feasible cells of the codeword's low-impact
+  words (words the solver left ~unchanged).  The strategy dispatches on the
+  scheme's :class:`~repro.hardware.device.ecc.EccScheme` protocol — Hamming
+  schemes (SECDED, DDR5 on-die SEC) prefer companions whose positions null
+  the syndrome so the decoder sees a clean codeword, symbol schemes
+  (chipkill) spread flips across a second symbol so the codeword alarms but
+  *lands* instead of being corrected away.  Codewords with no feasible
+  companions are dropped as a last resort;
+* **TRR-aware repair** — on devices with a sampler-based target-row-refresh
+  tracker, which victim rows can flip at all depends on the hammer pattern
+  (:mod:`repro.hardware.device.mitigations`): flips in rows the tracker
+  saves are removed, replacing the flat hammerable-row cap with
+  pattern-dependent effective budgets.
 """
 
 from __future__ import annotations
@@ -44,7 +53,8 @@ import numpy as np
 
 from repro.attacks.parameter_view import ParameterView
 from repro.hardware.bitflip import BitFlipPlan, plan_bit_flips
-from repro.hardware.device.ecc import EccSummary, SecdedCode
+from repro.hardware.device.ecc import EccScheme, EccSummary
+from repro.hardware.device.mitigations import HammerPattern, TrrSampler, get_pattern, plan_hammer
 from repro.hardware.device.profiles import DeviceProfile, get_profile
 from repro.hardware.device.templates import FlipTemplate
 from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
@@ -134,6 +144,14 @@ class PlanRepair:
     # The repaired plan as of just before the ECC stage (None without ECC) —
     # the decoder-corrected baseline is measured on this.
     pre_ecc_plan: BitFlipPlan | None = None
+    # Hammer pattern the repair planned against (None when no pattern/TRR
+    # modelling was requested), rows the TRR tracker saved from flipping,
+    # rows the pattern's flip_yield throttled below their planned flips,
+    # and the total rows the pattern hammers (aggressors + decoys).
+    hammer_pattern: str | None = None
+    rows_refreshed: int = 0
+    rows_throttled: int = 0
+    hammer_rows: int = 0
 
     @property
     def modified(self) -> bool:
@@ -245,15 +263,37 @@ def _best_feasible_mask(
 # geometries, the unit is scaled down so the benchmark models' small
 # parameter regions span as many placeable units as a real model's megabytes
 # span 4 KiB pages; one ECC codeword (8 bytes) keeps codewords physically
-# contiguous within a single frame.
+# contiguous within a single frame.  Devices behind a wider write-back path
+# (GPU cachelines) raise the unit to their geometry's `cacheline_bytes`.
 _MASSAGE_PAGE_BYTES = 8
 
 
-def _frames_for(addresses: np.ndarray, placement, k_total: int):
+def _massage_page_bytes(memory, ecc=None) -> int:
+    """Placement granularity: cacheline, ECC codeword, or the scaled page.
+
+    Data reaches the device through the cache hierarchy in cacheline-sized
+    write-backs, so massaging can never split one cacheline across two
+    physical frames — the placement unit is at least the cacheline.  An
+    attached ECC scheme raises it to its codeword span too: the decoder
+    reads each codeword from one physical location, so its words must land
+    on the same frame (DDR5 on-die codewords span 16 bytes).
+    """
+    page_bytes = _MASSAGE_PAGE_BYTES
+    geometry = memory.layout.geometry
+    if geometry is not None:
+        page_bytes = max(page_bytes, int(geometry.cacheline_bytes))
+    if ecc is not None:
+        page_bytes = max(page_bytes, ecc.data_bits // 8)
+    return page_bytes
+
+
+def _frames_for(
+    addresses: np.ndarray, placement, k_total: int, page_bytes: int = _MASSAGE_PAGE_BYTES
+):
     """Frame ids of cells under a page placement (None = default placement)."""
     if placement is None:
         return None
-    pages = np.asarray(addresses, dtype=np.int64) // _MASSAGE_PAGE_BYTES
+    pages = np.asarray(addresses, dtype=np.int64) // page_bytes
     choices = np.zeros(pages.shape, dtype=np.int64)
     if placement:
         keys = np.fromiter(placement, dtype=np.int64, count=len(placement))
@@ -267,7 +307,7 @@ def _frames_for(addresses: np.ndarray, placement, k_total: int):
 
 
 def _choose_frames(
-    plan, memory, original_values, target_repr, template, k_total
+    plan, memory, original_values, target_repr, template, k_total, page_bytes
 ) -> dict[int, int]:
     """Page-granular memory massaging: pick the best templated frame per page.
 
@@ -287,7 +327,7 @@ def _choose_frames(
     spec = memory.spec
     bits = spec.bits_per_value
     word_addresses = memory.layout.base_address + words * memory.bytes_per_word
-    pages = word_addresses // _MASSAGE_PAGE_BYTES
+    pages = word_addresses // page_bytes
     num_words = words.size
 
     cell_bits = np.arange(bits, dtype=np.int64)
@@ -330,7 +370,8 @@ def _choose_frames(
 
 
 def _apply_template(
-    plan, memory, original_values, target_repr, template, limit, placement, k_total
+    plan, memory, original_values, target_repr, template, limit, placement, k_total,
+    page_bytes,
 ) -> tuple[BitFlipPlan, int, int]:
     """Re-route template-infeasible flips; returns (plan, #infeasible, #rerouted).
 
@@ -343,7 +384,7 @@ def _apply_template(
     """
     word_index, bit, address, row = plan.as_arrays()
     original_words = memory.read_words()
-    frames = _frames_for(address, placement, k_total)
+    frames = _frames_for(address, placement, k_total, page_bytes)
     feasible = template.feasible_mask(plan, original_words, frames)
     infeasible = int((~feasible).sum())
     if not infeasible:
@@ -362,7 +403,7 @@ def _apply_template(
         cell_addresses = np.full(
             bits_per_word, memory.layout.base_address + word * memory.bytes_per_word
         )
-        cell_frames = _frames_for(cell_addresses, placement, k_total)
+        cell_frames = _frames_for(cell_addresses, placement, k_total, page_bytes)
         cell_feasible = template.feasible_cells(
             cell_addresses, cell_bits, original_cell_bits, cell_frames
         )
@@ -386,7 +427,8 @@ def _apply_template(
 
 
 def _codeword_candidates(
-    memory, original_words, template, span_words, taken, impact, low_bits, placement, k_total
+    memory, original_words, template, span_words, taken, impact, low_bits, placement,
+    k_total, page_bytes,
 ) -> list[tuple[int, int, int, int]]:
     """Feasible companion cells of one codeword, cheapest first.
 
@@ -403,7 +445,7 @@ def _codeword_candidates(
     original_bits = (original_words[words].astype(np.int64) >> cell_bits) & 1
     if template is not None:
         addresses = memory.layout.base_address + words * memory.bytes_per_word
-        frames = _frames_for(addresses, placement, k_total)
+        frames = _frames_for(addresses, placement, k_total, page_bytes)
         feasible = template.feasible_cells(addresses, cell_bits, original_bits, frames)
     else:
         feasible = np.ones(words.size, dtype=bool)
@@ -429,16 +471,17 @@ _PAD_BITS = {8: 2, 16: 6, 32: 14}
 
 def _ecc_self_pad(
     word, memory, original_words, original_values, target_repr,
-    template, placement, k_total, ecc, wpc, limit,
+    template, placement, k_total, page_bytes, ecc, wpc, limit,
 ):
     """Re-encode one word so its codeword decodes cleanly on its own.
 
     A codeword whose only flip sits in ``word`` would be corrected away.
     Instead of borrowing companion flips from neighbouring words, first try
-    to realise a *nearby* value of the same word through an odd set of three
-    or more feasible flips whose syndrome aliases harmlessly — the attack
-    then pays a fraction of an LSB on its own target word and nothing
-    anywhere else.  Returns the winning XOR mask or ``None``.
+    to realise a *nearby* value of the same word through a feasible flip set
+    the scheme's decoder lets through (odd >= 3 with a harmless syndrome for
+    SECDED, any pair with a harmless alias for on-die SEC) — the attack then
+    pays a fraction of an LSB on its own target word and nothing anywhere
+    else.  Returns the winning XOR mask or ``None``.
     """
     spec = memory.spec
     bits = spec.bits_per_value
@@ -449,12 +492,12 @@ def _ecc_self_pad(
         addresses = np.full(
             bits, memory.layout.base_address + word * memory.bytes_per_word
         )
-        frames = _frames_for(addresses, placement, k_total)
+        frames = _frames_for(addresses, placement, k_total, page_bytes)
         feasible = template.feasible_cells(addresses, cell_bits, original_bits, frames)
     else:
         feasible = np.ones(bits, dtype=bool)
     usable = cell_bits[feasible]
-    if usable.size < 3:
+    if usable.size < 2:
         return None
     search = np.sort(usable)[::-1][:_MASSAGE_BITS]
     offset_base = (word % wpc) * bits
@@ -467,9 +510,9 @@ def _ecc_self_pad(
     flips = _popcounts(np.arange(masks.size, dtype=np.int64), search.size)
     low_bits = _PAD_BITS.get(bits, max(2, bits // 2))
     safe = np.array(
-        [_alias_is_safe(ecc, int(s), bits, low_bits, wpc) for s in syndromes.tolist()]
+        [ecc.alias_is_safe(int(s), bits, low_bits, wpc) for s in syndromes.tolist()]
     )
-    allowed = safe & (flips >= 3) & (flips % 2 == 1)
+    allowed = ecc.self_pad_mask(flips, safe)
     if limit is not None:
         allowed &= flips <= limit
     if not allowed.any():
@@ -484,46 +527,27 @@ def _ecc_self_pad(
     return None
 
 
-def _alias_is_safe(ecc, alias: int, bits: int, low_bits: int, span_size: int) -> bool:
-    """Whether a decoder miscorrection at ``alias`` is harmless.
-
-    Safe aliases: 0 (the decoder blames the overall parity bit), a check-bit
-    position (lives in the ECC device, not the data), or a data bit in the
-    low-significance range of an in-range word.  An alias beyond the
-    codeword's last position is never safe — the decoder proves the error
-    multi-bit and raises the alarm.
-    """
-    if alias == 0:
-        return True
-    if alias > int(ecc.positions[-1]):
-        return False  # outside the codeword: a provable multi-bit error, alarms
-    index = int(np.searchsorted(ecc.positions, alias))
-    if index >= ecc.positions.size or ecc.positions[index] != alias:
-        return True  # check-bit position
-    if index // bits >= span_size:
-        return False  # beyond the memory's last (partial) codeword
-    return index % bits < low_bits
-
-
 def _apply_ecc_padding(
     plan_arrays, keep, memory, original_values, target_repr, template, ecc,
-    limit, placement, k_total
+    limit, placement, k_total, page_bytes, row_cap=None
 ):
     """Re-route ECC-vulnerable codewords by padding them with companion flips.
 
-    Any codeword the decoder would correct (1 flip) or flag (even flips with
-    a non-zero syndrome) is padded up to an odd count >= 3 using feasible
+    Any codeword the scheme's decoder would correct away, flag, or
+    dangerously miscorrect is padded with companion flips on feasible
     low-significance cells of the codeword's low-impact words — the
-    alternative candidate words the solver left essentially unchanged.
+    alternative candidate words the solver left essentially unchanged — until
+    the group decodes harmlessly (:meth:`HammingScheme.group_passes`).
     Companions whose Hamming positions null the syndrome are preferred (the
     decoder then sees a clean codeword: no alarm *and* no collateral
     miscorrection); otherwise a combination whose miscorrection aliases
     somewhere harmless is searched.  Codewords with no safe companion set
-    are dropped entirely — only as a last resort.
+    are dropped entirely — only as a last resort, and only where the
+    scheme says keeping them is worse (:meth:`HammingScheme.drop_unrepairable`).
 
     Returns ``(pad_words, pad_bits, codewords_padded, codewords_dropped)``.
     """
-    word_index, bit = plan_arrays[0], plan_arrays[1]
+    word_index, bit, row = plan_arrays[0], plan_arrays[1], plan_arrays[3]
     bits = memory.spec.bits_per_value
     low_bits = _PAD_BITS.get(bits, max(2, bits // 2))
     wpc = ecc.words_per_codeword(bits)
@@ -536,32 +560,39 @@ def _apply_ecc_padding(
     flips_per_word = dict(
         zip(*np.unique(word_index[surviving], return_counts=True))
     )
+    # Companion flips land in their codeword's own DRAM row (codewords are
+    # aligned within a row), so padding must respect the pattern-scaled
+    # per-row flip cap the throttle stage just enforced.
+    flips_per_row = dict(zip(*np.unique(row[surviving], return_counts=True)))
     impact = np.abs(target_repr - original_values)
     pad_words: list[int] = []
     pad_bits: list[int] = []
     codewords_padded = codewords_dropped = 0
     for cw_id, syn, count in zip(unique.tolist(), syndrome.tolist(), counts.tolist()):
-        if count % 2 == 1 and count >= 3:
-            # Already decodes as a single "correctable" error — but if the
-            # decoder's miscorrection would land on a high bit (a float
-            # exponent, say), pad the syndrome to something harmless below.
-            if _alias_is_safe(ecc, syn, bits, low_bits, wpc):
-                continue
-        if count % 2 == 0 and syn == 0:
-            continue  # even flips with a null syndrome already slip through
+        if ecc.group_passes(count, syn, ecc.alias_is_safe(syn, bits, low_bits, wpc)):
+            continue  # decodes harmlessly as-is
         span = np.arange(cw_id * wpc, min((cw_id + 1) * wpc, memory.num_words))
         in_cw = surviving[(word_index[surviving] // wpc) == cw_id]
+        row_id = int(row[in_cw][0])
+        headroom = (
+            None if row_cap is None else row_cap - flips_per_row.get(row_id, 0)
+        )
         if count == 1:
             # A lone flip would be corrected away.  Best repair: re-encode
-            # the flip's own word through >= 3 feasible flips to a value a
-            # fraction of an LSB off target — zero collateral elsewhere.
+            # the flip's own word through a feasible flip set the decoder
+            # lets through, to a value a fraction of an LSB off target —
+            # zero collateral elsewhere.
             word = int(word_index[in_cw][0])
             mask = None
-            if limit is None or limit >= 3:
+            if limit is None or limit >= 2:
                 mask = _ecc_self_pad(
                     word, memory, original_words, original_values, target_repr,
-                    template, placement, k_total, ecc, wpc, limit,
+                    template, placement, k_total, page_bytes, ecc, wpc, limit,
                 )
+            if mask is not None and headroom is not None:
+                # The self-pad replaces the row's lone flip with popcount(mask).
+                if bin(mask).count("1") - 1 > headroom:
+                    mask = None
             if mask is not None:
                 keep[in_cw] = False
                 codewords_padded += 1
@@ -572,11 +603,14 @@ def _apply_ecc_padding(
                 flips_per_word[word] = flips_per_word.get(word, 0) + int(
                     bin(mask).count("1")
                 )
+                flips_per_row[row_id] = (
+                    flips_per_row.get(row_id, 0) - 1 + int(bin(mask).count("1"))
+                )
                 continue
         taken = set(zip(word_index[in_cw].tolist(), bit[in_cw].tolist()))
         candidates = _codeword_candidates(
             memory, original_words, template, span, taken, impact,
-            low_bits, placement, k_total,
+            low_bits, placement, k_total, page_bytes,
         )
         if limit is not None:
             candidates = [
@@ -586,31 +620,35 @@ def _apply_ecc_padding(
         by_position = {}
         for candidate in candidates:
             by_position.setdefault(int(ecc.positions[candidate[2]]), candidate)
-        if count % 2 == 0:
-            # One companion makes the count odd; landing it exactly on the
-            # syndrome position nulls the syndrome (clean decode).  Failing
-            # that, any companion whose residual syndrome aliases harmlessly.
+        # One companion: landing it exactly on the syndrome position nulls
+        # the syndrome (clean decode).  Failing that, any companion whose
+        # residual group the scheme's decoder lets through.
+        if headroom is None or headroom >= 1:
             exact = by_position.get(syn)
-            if exact is not None:
+            if exact is not None and ecc.group_passes(count + 1, 0, True):
                 chosen = (exact,)
             else:
                 for candidate in candidates:
                     alias = syn ^ int(ecc.positions[candidate[2]])
-                    if _alias_is_safe(ecc, alias, bits, low_bits, span.size):
+                    safe = ecc.alias_is_safe(alias, bits, low_bits, span.size)
+                    if ecc.group_passes(count + 1, alias, safe):
                         chosen = (candidate,)
                         break
-        else:
-            # Odd count (a lone flip, or an unsafe odd group): two companions
-            # whose positions XOR to the syndrome null it — the decoder then
-            # sees a clean codeword.
+        if chosen is None and (headroom is None or headroom >= 2):
+            # Two companions whose positions XOR to the syndrome null it —
+            # the decoder then sees a clean codeword.
             for candidate in candidates:
                 partner = by_position.get(syn ^ int(ecc.positions[candidate[2]]))
-                if partner is not None and partner is not candidate:
+                if (
+                    partner is not None
+                    and partner is not candidate
+                    and ecc.group_passes(count + 2, 0, True)
+                ):
                     chosen = (candidate, partner)
                     break
             if chosen is None:
                 # No nulling pair; search a bounded number of pairs for one
-                # whose three-flip syndrome miscorrects somewhere harmless.
+                # whose padded syndrome miscorrects somewhere harmless.
                 for i, first in enumerate(candidates[:24]):
                     for second in candidates[i + 1 : 24]:
                         alias = (
@@ -618,27 +656,99 @@ def _apply_ecc_padding(
                             ^ int(ecc.positions[first[2]])
                             ^ int(ecc.positions[second[2]])
                         )
-                        if _alias_is_safe(ecc, alias, bits, low_bits, span.size):
+                        safe = ecc.alias_is_safe(alias, bits, low_bits, span.size)
+                        if ecc.group_passes(count + 2, alias, safe):
                             chosen = (first, second)
                             break
                     if chosen is not None:
                         break
         if chosen is None:
-            # Unrepairable codeword.  Leaving it in place is never worse than
-            # dropping it for a single flip (the decoder reverts it either
-            # way) or an even group (the flips land, at the price of an
-            # alarm).  Only an odd group whose miscorrection could hit a
-            # float exponent is pulled — an unbounded collateral value is
-            # worse for the attack than losing the codeword.
-            if count % 2 == 1 and count >= 3 and memory.spec.kind != "fixed":
+            # Unrepairable codeword: the scheme decides whether keeping it
+            # (a correction loss or an alarm) beats dropping it (protecting
+            # a float exponent from an unbounded miscorrection).
+            if ecc.drop_unrepairable(count, memory.spec.kind):
                 keep[in_cw] = False
                 codewords_dropped += 1
+                flips_per_row[row_id] = flips_per_row.get(row_id, 0) - count
             continue
         codewords_padded += 1
         for word, cell_bit, _, _ in chosen:
             pad_words.append(word)
             pad_bits.append(cell_bit)
             flips_per_word[word] = flips_per_word.get(word, 0) + 1
+            flips_per_row[row_id] = flips_per_row.get(row_id, 0) + 1
+    return pad_words, pad_bits, codewords_padded, codewords_dropped
+
+
+def _apply_symbol_padding(
+    plan_arrays, keep, memory, original_values, target_repr, template, ecc,
+    limit, placement, k_total, page_bytes, row_cap=None
+):
+    """Chipkill repair: spread single-symbol codewords over a second symbol.
+
+    A chipkill decoder fully corrects any error pattern confined to one
+    symbol, so a codeword whose flips all live in one symbol is simply
+    undone.  The only way to make the flips *land* is to touch a second
+    symbol — the codeword then raises an alarm but is delivered as-is.  One
+    companion flip on a feasible low-significance cell of a different symbol
+    (preferring the solver's low-impact words) does that; codewords with no
+    reachable second symbol are dropped, which costs nothing — the decoder
+    would have corrected them away regardless.
+
+    Returns ``(pad_words, pad_bits, codewords_padded, codewords_dropped)``.
+    """
+    word_index, bit, row = plan_arrays[0], plan_arrays[1], plan_arrays[3]
+    bits = memory.spec.bits_per_value
+    low_bits = _PAD_BITS.get(bits, max(2, bits // 2))
+    wpc = ecc.words_per_codeword(bits)
+    original_words = memory.read_words()
+    surviving = np.flatnonzero(keep)
+    cw = word_index[surviving] // wpc
+    offsets = (word_index[surviving] % wpc) * bits + bit[surviving]
+    symbols = ecc.symbols_of(offsets)
+
+    flips_per_word = dict(
+        zip(*np.unique(word_index[surviving], return_counts=True))
+    )
+    # Companions land in the codeword's own row: respect the per-row cap.
+    flips_per_row = dict(zip(*np.unique(row[surviving], return_counts=True)))
+    impact = np.abs(target_repr - original_values)
+    pad_words: list[int] = []
+    pad_bits: list[int] = []
+    codewords_padded = codewords_dropped = 0
+    for cw_id in np.unique(cw).tolist():
+        in_group = cw == cw_id
+        touched_symbols = np.unique(symbols[in_group])
+        if touched_symbols.size != 1:
+            continue  # already spans >= 2 symbols: alarms, but lands
+        span = np.arange(cw_id * wpc, min((cw_id + 1) * wpc, memory.num_words))
+        in_cw = surviving[in_group]
+        row_id = int(row[in_cw][0])
+        chosen = None
+        if row_cap is None or flips_per_row.get(row_id, 0) < row_cap:
+            taken = set(zip(word_index[in_cw].tolist(), bit[in_cw].tolist()))
+            candidates = _codeword_candidates(
+                memory, original_words, template, span, taken, impact,
+                low_bits, placement, k_total, page_bytes,
+            )
+            if limit is not None:
+                candidates = [
+                    c for c in candidates if flips_per_word.get(c[0], 0) + 1 <= limit
+                ]
+            symbol = int(touched_symbols[0])
+            chosen = next(
+                (c for c in candidates if int(ecc.symbols_of(c[2])) != symbol), None
+            )
+        if chosen is None:
+            keep[in_cw] = False
+            codewords_dropped += 1
+            flips_per_row[row_id] = flips_per_row.get(row_id, 0) - int(in_cw.size)
+            continue
+        codewords_padded += 1
+        pad_words.append(chosen[0])
+        pad_bits.append(chosen[1])
+        flips_per_word[chosen[0]] = flips_per_word.get(chosen[0], 0) + 1
+        flips_per_row[row_id] = flips_per_row.get(row_id, 0) + 1
     return pad_words, pad_bits, codewords_padded, codewords_dropped
 
 
@@ -666,26 +776,44 @@ def repair_plan(
     budget: HardwareBudget | None = None,
     *,
     template: FlipTemplate | None = None,
-    ecc: SecdedCode | None = None,
+    ecc: EccScheme | None = None,
     massage_frames: int = 64,
+    trr: TrrSampler | None = None,
+    hammer_pattern: "str | HammerPattern | None" = None,
+    max_flips_per_row: int | None = None,
 ) -> PlanRepair:
     """Repair ``plan`` to fit ``budget`` and the device physics.
 
     Stages run in order: page-granular memory massaging (pick the templated
-    frame each page of the region is steered onto), template feasibility (flips on
-    stuck or wrong-polarity cells can never execute, and are re-routed to
-    the closest reachable value), per-word rounding, row-window and
-    row-count budgets, then ECC padding.  The budget stages only ever
-    *remove* flips; template re-routing and ECC repair may additionally
-    *add* flips inside already-touched words/codewords (same rows, so the
-    row budgets stay satisfied).  Callers re-run the margin check on the
-    bit-true model to see what the repair cost (:func:`lower_attack` does).
+    frame each cacheline/page of the region is steered onto), template
+    feasibility (flips on stuck or wrong-polarity cells can never execute,
+    and are re-routed to the closest reachable value), per-word rounding,
+    row-window and row-count budgets, per-row flip throttling (the device's
+    ``max_flips_per_row`` scaled by the hammer pattern's ``flip_yield`` —
+    lowest-impact words of an overfull row revert first), TRR feasibility
+    (victim rows the sampler saves under the chosen hammer pattern can
+    never flip), then ECC padding.  The budget stages only ever *remove*
+    flips; template re-routing and ECC repair may additionally *add* flips
+    inside already-touched words/codewords (same rows, so the row budgets
+    stay satisfied).  Callers re-run the margin check on the bit-true model
+    to see what the repair cost (:func:`lower_attack` does).
 
     ``massage_frames`` is the number of templated physical frames the
-    attacker can choose between per page (1 disables massaging).
+    attacker can choose between per page (1 disables massaging); the page
+    unit is the geometry's ``cacheline_bytes`` when a geometry is attached.
+    ``trr`` and ``hammer_pattern`` activate the mitigation model of
+    :mod:`repro.hardware.device.mitigations`; ``max_flips_per_row`` is the
+    device's per-row controlled-flip yield the pattern scales (enforced
+    only when a pattern is planned against).
     """
     budget = budget or HardwareBudget()
-    untouched = not budget.constrained and template is None and ecc is None
+    untouched = (
+        not budget.constrained
+        and template is None
+        and ecc is None
+        and trr is None
+        and hammer_pattern is None
+    )
     if untouched or not plan.num_flips:
         return PlanRepair(
             plan=plan,
@@ -697,6 +825,7 @@ def repair_plan(
 
     original_values = memory.decoded_values()
     target_repr = memory.representable(target_values)
+    page_bytes = _massage_page_bytes(memory, ecc)
 
     working = plan
     flips_infeasible = 0
@@ -704,11 +833,12 @@ def repair_plan(
     if template is not None:
         if massage_frames > 1:
             placement = _choose_frames(
-                plan, memory, original_values, target_repr, template, massage_frames
+                plan, memory, original_values, target_repr, template,
+                massage_frames, page_bytes,
             )
         working, flips_infeasible, _ = _apply_template(
             plan, memory, original_values, target_repr, template,
-            budget.max_flips_per_word, placement, massage_frames,
+            budget.max_flips_per_word, placement, massage_frames, page_bytes,
         )
 
     arrays = working.as_arrays()
@@ -738,6 +868,45 @@ def repair_plan(
             kept_rows = rows[order[: budget.max_rows]]
             keep &= np.isin(row, kept_rows)
 
+    pattern = None
+    rows_refreshed = 0
+    rows_throttled = 0
+    hammer_rows = 0
+    if hammer_pattern is not None or trr is not None:
+        pattern = get_pattern(hammer_pattern if hammer_pattern is not None else "double-sided")
+        if max_flips_per_row is not None and keep.any():
+            # The pattern's flip_yield scales the device's per-row
+            # controlled-flip cap: splitting (or throttling) the activation
+            # budget costs flips per row.  Overfull rows revert their
+            # lowest-impact words until they fit.
+            cap = pattern.effective_flips_per_row(max_flips_per_row)
+            row_ids, counts = np.unique(row[keep], return_counts=True)
+            for row_id in row_ids[counts > cap].tolist():
+                rows_throttled += 1
+                in_row = keep & (row == row_id)
+                words_in_row = np.unique(word_index[in_row])
+                impacts = np.abs(target_repr - original_values)[words_in_row]
+                remaining = int(np.count_nonzero(in_row))
+                for word in words_in_row[np.lexsort((words_in_row, impacts))].tolist():
+                    if remaining <= cap:
+                        break
+                    word_mask = in_row & (word_index == word)
+                    remaining -= int(np.count_nonzero(word_mask))
+                    keep &= ~word_mask
+        victims = np.unique(row[keep])
+        hammer = plan_hammer(
+            victims,
+            geometry=memory.layout.geometry,
+            pattern=pattern,
+            sampler=trr,
+        )
+        hammer_rows = int(hammer.hammered_rows.size)
+        if trr is not None and victims.size:
+            # Victim rows the tracker saves can never flip under this
+            # pattern — the pattern-dependent replacement for a flat row cap.
+            keep &= np.isin(row, hammer.feasible_victims)
+            rows_refreshed = int(hammer.refreshed_victims.size)
+
     pad_words: list[int] = []
     pad_bits: list[int] = []
     codewords_padded = codewords_dropped = 0
@@ -748,7 +917,13 @@ def repair_plan(
         # on, captured here so it is not recomputed with a second repair.
         pre_ecc_plan = working.select(keep)
     if ecc is not None and keep.any():
-        pad_words, pad_bits, codewords_padded, codewords_dropped = _apply_ecc_padding(
+        pad_stage = (
+            _apply_symbol_padding if ecc.repair_kind == "symbol" else _apply_ecc_padding
+        )
+        row_cap = None
+        if pattern is not None and max_flips_per_row is not None:
+            row_cap = pattern.effective_flips_per_row(max_flips_per_row)
+        pad_words, pad_bits, codewords_padded, codewords_dropped = pad_stage(
             arrays,
             keep,
             memory,
@@ -759,6 +934,8 @@ def repair_plan(
             budget.max_flips_per_word,
             placement,
             massage_frames,
+            page_bytes,
+            row_cap,
         )
 
     repaired = working.select(keep).with_flips(pad_words, pad_bits, memory)
@@ -784,6 +961,10 @@ def repair_plan(
         codewords_dropped=codewords_dropped,
         placement=placement,
         pre_ecc_plan=pre_ecc_plan,
+        hammer_pattern=pattern.name if pattern is not None else None,
+        rows_refreshed=rows_refreshed,
+        rows_throttled=rows_throttled,
+        hammer_rows=hammer_rows,
     )
 
 
@@ -810,6 +991,7 @@ class LoweringReport:
     attacked_model: Sequential
     # Device-model fields (defaults preserve the profile-less pipeline).
     profile: str | None = None
+    hammer_pattern: str | None = None  # pattern the repair planned against
     executed: BitFlipPlan | None = None  # post-ECC effective plan (== plan w/o ECC)
     ecc_summary: "EccSummary | None" = None  # decoder outcome of the repaired plan
     ecc_raw_summary: "EccSummary | None" = None  # decoder outcome w/o ECC repair
@@ -865,6 +1047,10 @@ class LoweringReport:
             "ecc_miscorrected": final.miscorrected if final is not None else 0,
             "unrepaired_success": self.unrepaired_success_rate,
             "unrepaired_keep": self.unrepaired_keep_rate,
+            # Mitigation metrics (zeros when lowered without a hammer pattern).
+            "rows_refreshed": self.repair.rows_refreshed,
+            "rows_throttled": self.repair.rows_throttled,
+            "hammer_rows": self.repair.hammer_rows,
         }
 
 
@@ -898,9 +1084,12 @@ def lower_attack(
     budget: HardwareBudget | None = None,
     profile: "str | DeviceProfile | None" = None,
     template: FlipTemplate | None = None,
-    ecc: SecdedCode | None = None,
+    ecc: EccScheme | None = None,
     template_seed: int = 0,
     massage_frames: int | None = None,
+    hammer_pattern: "str | HammerPattern | None" = None,
+    trr: TrrSampler | None = None,
+    max_flips_per_row: int | None = None,
     eval_set=None,
     clean_accuracy: float | None = None,
     batch_size: int = 256,
@@ -936,6 +1125,18 @@ def lower_attack(
     massage_frames:
         Templated physical frames the attacker can steer each page onto
         (memory massaging); defaults to the profile's value, or 64.
+    hammer_pattern:
+        Hammer pattern to plan against (a name from
+        :func:`repro.hardware.device.list_patterns` or a
+        :class:`~repro.hardware.device.HammerPattern`); defaults to the
+        profile's pattern.  With a TRR-sampler profile, the pattern decides
+        which victim rows can flip at all.
+    trr:
+        TRR sampler override; normally taken from ``profile``.
+    max_flips_per_row:
+        Device per-row controlled-flip yield (normally the profile's);
+        scaled by the pattern's ``flip_yield`` and enforced during repair —
+        overfull rows revert their lowest-impact words.
     eval_set:
         Held-out dataset for the bit-true accuracy numbers.  When ``None``
         the accuracy fields are NaN.
@@ -950,6 +1151,11 @@ def lower_attack(
         budget = budget if budget is not None else device.budget()
         template = template if template is not None else device.template(template_seed)
         ecc = ecc if ecc is not None else device.ecc
+        trr = trr if trr is not None else device.trr
+        if hammer_pattern is None:
+            hammer_pattern = device.hammer_pattern
+        if max_flips_per_row is None:
+            max_flips_per_row = device.max_flips_per_row
         if massage_frames is None:
             massage_frames = device.massage_frames
     massage_frames = 64 if massage_frames is None else int(massage_frames)
@@ -969,6 +1175,7 @@ def lower_attack(
     repair = repair_plan(
         planned, memory, target_values, budget,
         template=template, ecc=ecc, massage_frames=massage_frames,
+        trr=trr, hammer_pattern=hammer_pattern, max_flips_per_row=max_flips_per_row,
     )
 
     attack_plan = result.plan
@@ -1030,6 +1237,7 @@ def lower_attack(
         attacked_accuracy=float(attacked_accuracy),
         attacked_model=model_copy,
         profile=device.name if device is not None else None,
+        hammer_pattern=repair.hammer_pattern,
         executed=executed,
         ecc_summary=ecc_summary,
         ecc_raw_summary=ecc_raw_summary,

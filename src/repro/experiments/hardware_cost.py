@@ -1,13 +1,14 @@
-"""Bit-true hardware cost of the attack: storage × budget × device profile × S.
+"""Bit-true hardware cost: storage × budget × device profile × hammer pattern × S.
 
 The paper argues (§2.3) that minimising the ℓ0 norm is what makes the attack
 executable on real hardware, but reports only the proxy.  This experiment
 closes the loop: every grid cell solves the attack, lowers the modification
 into an exact bit-flip plan for a deployed storage format (float32 / float16 /
 int8) on a *named device profile* (DRAM geometry, per-cell flip template,
-optional SECDED ECC), repairs the plan under the device's physics and a
-hardware budget, and re-measures success rate, keep rate and accuracy drop on
-the *bit-true* modified model.
+optional ECC scheme, optional TRR sampler) under a chosen *hammer pattern*,
+repairs the plan under the device's physics and a hardware budget, and
+re-measures success rate, keep rate and accuracy drop on the *bit-true*
+modified model.
 
 For ECC profiles the table also reports the "raw" success of the unrepaired
 plan — the rate after the memory controller silently corrects isolated flips
@@ -27,9 +28,11 @@ import numpy as np
 from repro.analysis.reporting import (
     BIT_COST_COLUMNS,
     DEVICE_COST_COLUMNS,
+    HAMMER_COST_COLUMNS,
     Table,
     bit_cost_cells,
     device_cost_cells,
+    hammer_cost_cells,
 )
 from repro.attacks.fault_sneaking import FaultSneakingAttack
 from repro.attacks.lowering import HardwareBudget, lower_attack
@@ -50,11 +53,18 @@ from repro.experiments.common import (
     get_setting,
     get_trained_model,
 )
-from repro.hardware.device import get_profile
+from repro.hardware.device import get_pattern, get_profile
 from repro.nn.quantization import STORAGE_FORMATS
 from repro.zoo.registry import ModelRegistry, default_registry
 
-__all__ = ["run", "build_campaign", "assemble", "BUDGET_LEVELS", "DEFAULT_PROFILES"]
+__all__ = [
+    "run",
+    "build_campaign",
+    "assemble",
+    "BUDGET_LEVELS",
+    "DEFAULT_PROFILES",
+    "DEFAULT_PATTERNS",
+]
 
 # Budget levels swept by the grid.  "unlimited" applies only the device's
 # physics (flip template, ECC) with no budget caps, isolating what the device
@@ -65,8 +75,14 @@ BUDGET_LEVELS = ("unlimited", "derived")
 # Device profiles swept by default: a permissive consumer DIMM and the
 # SECDED-protected server DIMM (the pair that shows the ECC repair story).
 # The CLI's --profile flag (or run(profiles=...)) selects others, e.g.
-# ddr4-trr or hbm2-gpu.
+# ddr4-trrespass, ddr5-ondie or server-chipkill.
 DEFAULT_PROFILES = ("ddr3-noecc", "server-ecc")
+
+# Hammer patterns swept by default.  One pattern keeps the default grid the
+# size it always was; --hammer-pattern (repeatable) or run(patterns=...) adds
+# the TRR-evasion patterns, which matter on sampler-based profiles like
+# ddr4-trrespass.
+DEFAULT_PATTERNS = ("double-sided",)
 
 # Fixed anchor count R of every cell (capped by the anchor pool at runtime).
 _R = 100
@@ -85,6 +101,7 @@ def _cell(
     storage: str,
     profile: str,
     budget: str,
+    pattern: str,
 ) -> JobSpec:
     return JobSpec.make(
         "hardware-cost-cell",
@@ -96,6 +113,7 @@ def _cell(
         storage=storage,
         profile=profile,
         budget=budget,
+        pattern=pattern,
         plan_seed=int(seed),
     )
 
@@ -176,6 +194,7 @@ def _hardware_cost_cell_job(
     storage: str,
     profile: str,
     budget: str,
+    pattern: str = "double-sided",
     plan_seed: int,
 ) -> dict:
     """Solve one attack, lower it onto a device and return the cost metrics."""
@@ -204,8 +223,9 @@ def _hardware_cost_cell_job(
         storage=storage,
         profile=profile,
         # "unlimited" overrides the profile-derived budget with no caps; the
-        # device physics (template, ECC) stay active either way.
+        # device physics (template, ECC, TRR sampler) stay active either way.
         budget=HardwareBudget() if budget == "unlimited" else None,
+        hammer_pattern=pattern,
         eval_set=eval_set,
         clean_accuracy=clean_accuracy,
     )
@@ -225,17 +245,21 @@ def build_campaign(
     dataset: str = "mnist_like",
     storages: tuple[str, ...] = STORAGE_FORMATS,
     profiles: tuple[str, ...] = DEFAULT_PROFILES,
+    patterns: tuple[str, ...] = DEFAULT_PATTERNS,
 ) -> Campaign:
-    """Declare one job per (storage, device profile, budget, S) grid point."""
+    """Declare one job per (storage, profile, budget, hammer pattern, S) point."""
     for name in profiles:
         get_profile(name)  # fail fast on unknown profile names
+    for name in patterns:
+        get_pattern(name)  # fail fast on unknown pattern names
     setting = get_setting(scale)
     r = _num_images(setting)
     jobs = [
-        _cell(dataset, scale, seed, s, r, storage, profile, budget)
+        _cell(dataset, scale, seed, s, r, storage, profile, budget, pattern)
         for storage in storages
         for profile in profiles
         for budget in BUDGET_LEVELS
+        for pattern in patterns
         for s in setting.hardware_s_values
         if s <= r
     ]
@@ -248,6 +272,7 @@ def build_campaign(
             "dataset": dataset,
             "storages": tuple(storages),
             "profiles": tuple(profiles),
+            "patterns": tuple(patterns),
         },
     )
 
@@ -257,51 +282,58 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
     setting = get_setting(campaign.scale)
     dataset = campaign.metadata["dataset"]
     profiles = campaign.metadata["profiles"]
+    patterns = campaign.metadata.get("patterns", DEFAULT_PATTERNS)
     r = _num_images(setting)
     table = Table(
         title=(
-            f"Bit-true hardware cost per storage format, device profile and "
-            f"budget ({dataset}, R={r})"
+            f"Bit-true hardware cost per storage format, device profile, "
+            f"budget and hammer pattern ({dataset}, R={r})"
         ),
         columns=[
             "storage",
             "profile",
             "budget",
+            "pattern",
             "S",
             "l0",
             "solver success",
             *BIT_COST_COLUMNS,
             *DEVICE_COST_COLUMNS,
+            *HAMMER_COST_COLUMNS,
         ],
     )
     for storage in campaign.metadata["storages"]:
         for profile in profiles:
             for budget in BUDGET_LEVELS:
-                for s in setting.hardware_s_values:
-                    if s > r:
-                        continue
-                    metrics = results.metrics_for(
-                        _cell(
-                            dataset,
-                            campaign.scale,
-                            campaign.seed,
-                            s,
-                            r,
+                for pattern in patterns:
+                    for s in setting.hardware_s_values:
+                        if s > r:
+                            continue
+                        metrics = results.metrics_for(
+                            _cell(
+                                dataset,
+                                campaign.scale,
+                                campaign.seed,
+                                s,
+                                r,
+                                storage,
+                                profile,
+                                budget,
+                                pattern,
+                            )
+                        )
+                        table.add_row(
                             storage,
                             profile,
                             budget,
+                            pattern,
+                            s,
+                            format_cell_int(metrics["l0"]),
+                            metrics["solver_success"],
+                            *bit_cost_cells(metrics),
+                            *device_cost_cells(metrics),
+                            *hammer_cost_cells(metrics),
                         )
-                    )
-                    table.add_row(
-                        storage,
-                        profile,
-                        budget,
-                        s,
-                        format_cell_int(metrics["l0"]),
-                        metrics["solver_success"],
-                        *bit_cost_cells(metrics),
-                        *device_cost_cells(metrics),
-                    )
     table.add_note(
         "bit-true rates are re-measured on the model rebuilt from the flipped "
         "memory words after template/ECC-aware repair; the solver rate is the "
@@ -322,6 +354,13 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
             f"{name}: {get_profile(name).budget().describe()}" for name in profiles
         )
     )
+    table.add_note(
+        "patterns: " + "; ".join(
+            f"{name} = {get_pattern(name).describe()}" for name in patterns
+        )
+        + " (TRR-sampler profiles flip only the victim rows the pattern "
+        "keeps off the tracker)"
+    )
     return table
 
 
@@ -333,6 +372,7 @@ def run(
     dataset: str = "mnist_like",
     storages: tuple[str, ...] = STORAGE_FORMATS,
     profiles: tuple[str, ...] = DEFAULT_PROFILES,
+    patterns: tuple[str, ...] = DEFAULT_PATTERNS,
     jobs: int = 1,
     executor=None,
     artifact_dir=None,
@@ -350,4 +390,5 @@ def run(
         dataset=dataset,
         storages=storages,
         profiles=profiles,
+        patterns=patterns,
     )

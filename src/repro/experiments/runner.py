@@ -17,10 +17,12 @@ Resume an interrupted campaign (reuses the default artifact store)::
     repro-experiments all --scale paper --jobs 4 --resume
 
 List the registered device profiles, then lower the hardware-cost grid onto
-specific devices::
+specific devices and hammer patterns::
 
     repro-experiments --list-profiles
     repro-experiments hardware_cost --scale ci --profile ddr4-trr --profile server-ecc
+    repro-experiments hardware_cost --scale ci --profile ddr4-trrespass \
+        --hammer-pattern double-sided --hammer-pattern many-sided
 """
 
 from __future__ import annotations
@@ -113,9 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
         "the experiment's built-in pair)",
     )
     parser.add_argument(
+        "--hammer-pattern",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="hammer pattern for the hardware_cost grid (repeatable; default: "
+        "double-sided).  TRR-evasion patterns like many-sided matter on "
+        "sampler-based profiles such as ddr4-trrespass",
+    )
+    parser.add_argument(
         "--list-profiles",
         action="store_true",
-        help="list the registered device profiles and exit",
+        help="list the registered device profiles and hammer patterns, then exit",
     )
     parser.add_argument(
         "--verbose", action="store_true", help="log per-attack progress to stderr"
@@ -126,11 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _profiles_table():
     """Build the table printed by ``--list-profiles``."""
     from repro.analysis.reporting import Table
-    from repro.hardware.device import get_profile, list_profiles
+    from repro.hardware.device import get_pattern, get_profile, list_patterns, list_profiles
 
     table = Table(
         title="Registered device profiles",
-        columns=["name", "geometry", "ecc", "flip prob", "derived budget"],
+        columns=["name", "geometry", "ecc", "trr", "flip prob", "derived budget"],
     )
     for name in list_profiles():
         profile = get_profile(name)
@@ -138,12 +149,18 @@ def _profiles_table():
             name,
             profile.geometry.describe(),
             profile.ecc.describe() if profile.ecc is not None else "none",
+            profile.trr.describe() if profile.trr is not None else "none",
             profile.flip_probability,
             profile.budget().describe(),
         )
     table.add_note(
         "pass --profile NAME (repeatable) to lower the hardware_cost grid "
         "onto specific devices"
+    )
+    table.add_note(
+        "hammer patterns (--hammer-pattern, repeatable): " + "; ".join(
+            f"{name} = {get_pattern(name).description}" for name in list_patterns()
+        )
     )
     return table
 
@@ -168,6 +185,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"unknown device profile(s) {unknown}; registered: "
                 f"{', '.join(list_profiles())}"
             )
+    if args.hammer_pattern:
+        from repro.hardware.device import list_patterns
+
+        unknown = [name for name in args.hammer_pattern if name not in list_patterns()]
+        if unknown:
+            parser.error(
+                f"unknown hammer pattern(s) {unknown}; registered: "
+                f"{', '.join(list_patterns())}"
+            )
 
     store = None
     if args.artifact_dir is not None or args.resume:
@@ -184,6 +210,8 @@ def main(argv: list[str] | None = None) -> int:
         extra = {}
         if args.profile and name == "hardware_cost":
             extra["profiles"] = tuple(args.profile)
+        if args.hammer_pattern and name == "hardware_cost":
+            extra["patterns"] = tuple(args.hammer_pattern)
         campaign = build_campaign(args.scale, seed=args.seed, **extra)
         result = run_campaign(campaign, jobs=args.jobs, executor=args.executor, store=store)
         table = assemble(campaign, result)
@@ -208,6 +236,7 @@ def main(argv: list[str] | None = None) -> int:
                 "executor": stats.executor,
                 "artifact_dir": str(store.directory) if store is not None else None,
                 "profiles": list(args.profile) if args.profile else None,
+                "hammer_patterns": list(args.hammer_pattern) if args.hammer_pattern else None,
             }
             manifest_path = args.output_dir / f"{name}_{args.scale}_manifest.json"
             manifest_path.write_text(

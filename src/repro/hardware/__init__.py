@@ -11,10 +11,12 @@ Module map (data flows top to bottom)::
     memory      ParameterMemoryMap / MemoryLayout — parameters laid out as
       │         raw words at byte addresses (optionally on a DRAM geometry)
       ▼
-    device/     the device model: dram (address bit-slicing, aggressor/victim
-      │         adjacency), templates (per-cell flip polarity), ecc
-      │         (SECDED(72,64) decoder), profiles (named DeviceProfiles that
-      │         derive budgets, templates, layouts, injectors)
+    device/     the device model: dram (address bit-slicing, vendor XOR bank
+      │         maps, aggressor/victim adjacency), templates (per-cell flip
+      │         polarity), ecc (SECDED / DDR5 on-die SEC / chipkill schemes),
+      │         mitigations (TRR samplers and hammer-pattern planners),
+      │         profiles (named DeviceProfiles that derive budgets,
+      │         templates, layouts, injectors)
       ▼
     bitflip     BitFlipPlan / plan_bit_flips — the exact (word, bit) flips
       │         realising a modification, array-backed and vectorised
@@ -45,15 +47,27 @@ from repro.hardware.injectors import (
 from repro.hardware.campaign import CampaignReport, FaultInjectionCampaign
 from repro.hardware.device import (
     DEVICE_PROFILES,
+    HAMMER_PATTERNS,
+    ChipkillCode,
     DeviceProfile,
     DramCoordinates,
     DramGeometry,
+    EccScheme,
     EccSummary,
     FlipTemplate,
+    HammerPattern,
+    HammerPlan,
+    OnDieEcc,
     SecdedCode,
+    TrrSampler,
+    get_pattern,
     get_profile,
+    list_patterns,
     list_profiles,
+    plan_hammer,
+    register_pattern,
     register_profile,
+    vendor_geometry,
 )
 
 __all__ = [
@@ -72,10 +86,22 @@ __all__ = [
     "DeviceProfile",
     "DramCoordinates",
     "DramGeometry",
+    "EccScheme",
     "EccSummary",
-    "FlipTemplate",
     "SecdedCode",
+    "OnDieEcc",
+    "ChipkillCode",
+    "TrrSampler",
+    "HammerPattern",
+    "HammerPlan",
+    "HAMMER_PATTERNS",
+    "FlipTemplate",
+    "get_pattern",
     "get_profile",
+    "list_patterns",
     "list_profiles",
+    "plan_hammer",
+    "register_pattern",
     "register_profile",
+    "vendor_geometry",
 ]

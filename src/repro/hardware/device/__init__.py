@@ -1,21 +1,51 @@
-"""Device-model subsystem: DRAM geometry, flip templates, ECC, profiles.
+"""Device-model subsystem: DRAM geometry, flip templates, ECC, mitigations, profiles.
 
-Three cooperating layers turn "a set of bit flips" into "a set of bit flips
-on a named device":
+Cooperating layers turn "a set of bit flips" into "a set of bit flips on a
+named device":
 
 * :mod:`~repro.hardware.device.dram` — address bit-slicing into
-  channel/rank/bank/row/column and the aggressor/victim row-adjacency model;
+  channel/rank/bank/row/column, vendor bank-hash XOR maps (DRAMA-recovered),
+  cacheline write-back granularity, and the aggressor/victim row-adjacency
+  model;
 * :mod:`~repro.hardware.device.templates` — seeded per-cell flip-polarity
   maps (which cells can flip, and in which direction);
-* :mod:`~repro.hardware.device.ecc` — SECDED(72,64) codeword modelling of an
-  ECC memory controller (correction, alarms, syndrome-aware miscorrection);
+* :mod:`~repro.hardware.device.ecc` — the :class:`EccScheme` protocol and
+  its implementations: SECDED(72,64) controllers, DDR5 on-die SEC(136,128)
+  and symbol-based chipkill;
+* :mod:`~repro.hardware.device.mitigations` — sampler-based TRR trackers
+  and the hammer-pattern planners (double-sided, many-sided/TRRespass,
+  throttled decoys) that decide which victim rows actually flip;
 * :mod:`~repro.hardware.device.profiles` — named :class:`DeviceProfile`
-  bundles (``ddr3-noecc``, ``ddr4-trr``, ``server-ecc``, ``hbm2-gpu``) that
-  derive hardware budgets, templates, layouts and injectors.
+  bundles (``ddr3-noecc``, ``ddr4-trr``, ``ddr4-trrespass``, ``server-ecc``,
+  ``server-chipkill``, ``ddr5-ondie``, ``ddr4-vendor-haswell``, ``hbm2-gpu``)
+  that derive hardware budgets, templates, layouts and injectors.
 """
 
-from repro.hardware.device.dram import DRAM_FIELDS, DramCoordinates, DramGeometry
-from repro.hardware.device.ecc import EccSummary, SecdedCode
+from repro.hardware.device.dram import (
+    DRAM_FIELDS,
+    VENDOR_ADDRESS_MAPS,
+    DramCoordinates,
+    DramGeometry,
+    list_vendor_maps,
+    vendor_geometry,
+)
+from repro.hardware.device.ecc import (
+    ChipkillCode,
+    EccScheme,
+    EccSummary,
+    OnDieEcc,
+    SecdedCode,
+)
+from repro.hardware.device.mitigations import (
+    HAMMER_PATTERNS,
+    HammerPattern,
+    HammerPlan,
+    TrrSampler,
+    get_pattern,
+    list_patterns,
+    plan_hammer,
+    register_pattern,
+)
 from repro.hardware.device.templates import (
     CELL_ONE_TO_ZERO,
     CELL_STUCK,
@@ -34,8 +64,22 @@ __all__ = [
     "DRAM_FIELDS",
     "DramCoordinates",
     "DramGeometry",
+    "VENDOR_ADDRESS_MAPS",
+    "list_vendor_maps",
+    "vendor_geometry",
+    "EccScheme",
     "EccSummary",
     "SecdedCode",
+    "OnDieEcc",
+    "ChipkillCode",
+    "TrrSampler",
+    "HammerPattern",
+    "HammerPlan",
+    "HAMMER_PATTERNS",
+    "register_pattern",
+    "get_pattern",
+    "list_patterns",
+    "plan_hammer",
     "CELL_STUCK",
     "CELL_ZERO_TO_ONE",
     "CELL_ONE_TO_ZERO",

@@ -1,37 +1,50 @@
-"""SECDED(72,64) codeword modelling for ECC-protected parameter memory.
+"""ECC codeword modelling for protected parameter memory.
 
-Server DRAM stores every 64 data bits with 8 check bits of an extended
-Hamming code: a *single* bit error is silently corrected by the memory
-controller (an injected flip is simply undone), a *double* bit error raises
-an uncorrectable-error alarm (the attack is detected), and three or more
-errors of odd parity alias to what the decoder believes is a single error —
-they pass through, at the price of one possible miscorrected bit.
+Three memory-controller ECC schemes are modelled behind one
+:class:`EccScheme` protocol, so the lowering repair path in
+:mod:`repro.attacks.lowering` can dispatch on whichever the device runs:
 
-For the attacker this turns ECC from a wall into a constraint: an isolated
-flip is useless, a pair is noisy, but a *syndrome-aware* group of three or
-more flips whose Hamming-position XOR is zero sails through as if the
-codeword were clean.  :class:`SecdedCode` models exactly this decoder:
-:meth:`SecdedCode.syndromes` computes per-codeword syndromes vectorised, and
-:meth:`SecdedCode.apply_to_plan` turns a planned
+* :class:`SecdedCode` — the SECDED(72,64) extended Hamming code of registered
+  server DIMMs: a *single* bit error is silently corrected (an injected flip
+  is simply undone), a *double* error raises an uncorrectable-error alarm
+  (the attack is detected), and odd groups of three or more flips alias to
+  what the decoder believes is a single error — they pass through, at the
+  price of one possible miscorrected bit.
+* :class:`OnDieEcc` — the on-die SEC(136,128) code of DDR5 devices.  It has
+  *no* double-error detection and no alarm path: the die corrects whatever
+  single error its syndrome names and forwards the word.  A lone flip is
+  undone exactly like SECDED, but a pair (or any larger group) *silently
+  miscorrects* — the decoder flips the bit its syndrome points at and hands
+  the result to the controller as if it were clean.
+* :class:`ChipkillCode` — symbol-based server ECC (one symbol per DRAM
+  chip): any number of flips confined to a *single* 4-bit symbol is fully
+  corrected, while flips spanning two or more symbols raise the alarm.
+
+For the attacker each scheme shapes the plan differently: SECDED wants
+syndrome-aware groups of three, on-die ECC only needs *pairs* with a harmless
+alias (nothing ever alarms), and chipkill forces a choice between losing the
+codeword and accepting an alarm.  Each scheme's
+:meth:`~EccScheme.apply_to_plan` turns a planned
 :class:`~repro.hardware.bitflip.BitFlipPlan` into the *effective* plan after
-the controller has corrected / flagged / miscorrected each codeword.  The
-ECC-aware repair pass in :mod:`repro.attacks.lowering` uses the same model to
-pad vulnerable codewords before execution.
+the controller has corrected / flagged / miscorrected each codeword; the
+ECC-aware repair pass in :mod:`repro.attacks.lowering` uses the same models
+to pad vulnerable codewords before execution.
 
-Only data bits are modelled: the 8 check bits live in the dedicated ECC
-device of the DIMM, outside the attacked parameter region.
+Only data bits are modelled: check bits live in the dedicated ECC device (or
+the on-die ECC array), outside the attacked parameter region.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.hardware.bitflip import BitFlipPlan
 from repro.utils.errors import ConfigurationError
 
-__all__ = ["EccSummary", "SecdedCode"]
+__all__ = ["EccScheme", "EccSummary", "SecdedCode", "OnDieEcc", "ChipkillCode"]
 
 
 def _data_positions(data_bits: int) -> np.ndarray:
@@ -52,8 +65,8 @@ class EccSummary:
     codewords_touched: int = 0
     corrected: int = 0  # single-flip codewords silently undone
     detected: int = 0  # double-error alarms raised (attack noticed)
-    miscorrected: int = 0  # odd >= 3 flips: decoder "corrected" a wrong bit
-    undetected: int = 0  # even flips with zero syndrome: slipped through clean
+    miscorrected: int = 0  # decoder "corrected" a wrong bit
+    undetected: int = 0  # zero-syndrome groups: slipped through clean
     flips_removed: int = 0  # attacker flips undone by correction
     flips_added: int = 0  # collateral flips introduced by miscorrection
 
@@ -74,41 +87,46 @@ class EccSummary:
         }
 
 
-class SecdedCode:
-    """Extended-Hamming SECDED code over ``data_bits`` data bits per codeword.
+@runtime_checkable
+class EccScheme(Protocol):
+    """What the lowering pipeline needs from any modelled ECC scheme.
 
-    The default ``data_bits=64`` gives the SECDED(72,64) code of ECC DIMMs:
-    64 data bits, 7 Hamming check bits plus one overall parity bit.
+    ``repair_kind`` selects the repair strategy in
+    :mod:`repro.attacks.lowering`, and each strategy dereferences members
+    beyond this structural core: ``"hamming"`` repair additionally requires
+    the :class:`HammingScheme` surface (``positions``, ``syndromes``,
+    ``alias_is_safe``, ``group_passes``, ``self_pad_mask``,
+    ``drop_unrepairable``), and ``"symbol"`` repair requires
+    :meth:`ChipkillCode.symbols_of`.  In practice a new scheme should
+    subclass :class:`HammingScheme` (bit-level codes) or follow
+    :class:`ChipkillCode` (symbol-level codes) rather than implement this
+    protocol from scratch.
     """
 
-    def __init__(self, data_bits: int = 64):
+    repair_kind: str
+    data_bits: int  # codeword data width; repair derives placement units from it
+
+    def describe(self) -> str: ...
+
+    def words_per_codeword(self, bits_per_word: int) -> int: ...
+
+    def codewords_of(self, word_indices, bits_per_word: int) -> np.ndarray: ...
+
+    def data_offsets(self, word_indices, bits, bits_per_word: int) -> np.ndarray: ...
+
+    def apply_to_plan(self, plan: BitFlipPlan, memory) -> tuple[BitFlipPlan, EccSummary]: ...
+
+
+class _CodewordScheme:
+    """Shared codeword grouping over ``data_bits`` data bits per codeword."""
+
+    def __init__(self, data_bits: int):
         if data_bits not in (8, 16, 32, 64, 128):
             raise ConfigurationError(
                 f"data_bits must be a power of two in [8, 128], got {data_bits}"
             )
         self.data_bits = int(data_bits)
-        self.positions = _data_positions(self.data_bits)
-        # 7 syndrome bits for 64 data bits, plus the overall parity bit.
-        self.check_bits = int(self.positions.max()).bit_length() + 1
 
-    @property
-    def code_bits(self) -> int:
-        """Total codeword width (data + check bits)."""
-        return self.data_bits + self.check_bits
-
-    def describe(self) -> str:
-        return f"secded({self.code_bits},{self.data_bits})"
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SecdedCode(data_bits={self.data_bits})"
-
-    def __eq__(self, other) -> bool:
-        return isinstance(other, SecdedCode) and other.data_bits == self.data_bits
-
-    def __hash__(self) -> int:
-        return hash(("SecdedCode", self.data_bits))
-
-    # -- codeword grouping -----------------------------------------------------------
     def words_per_codeword(self, bits_per_word: int) -> int:
         """Memory words grouped into one codeword for a given word width."""
         if bits_per_word <= 0 or self.data_bits % bits_per_word:
@@ -128,6 +146,37 @@ class SecdedCode:
         wpc = self.words_per_codeword(bits_per_word)
         return (words % wpc) * bits_per_word + np.asarray(bits, dtype=np.int64)
 
+    def _config(self) -> tuple:
+        """Scalar configuration identifying the scheme (for eq/hash)."""
+        return (self.data_bits,)
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other._config() == self._config()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._config()))
+
+
+class HammingScheme(_CodewordScheme):
+    """Shared Hamming-position machinery of the bit-level ECC schemes.
+
+    Subclasses fix the decoder semantics: :class:`SecdedCode` adds an overall
+    parity bit and a double-error alarm; :class:`OnDieEcc` is correction-only.
+    The ``group_passes`` / ``self_pad_mask`` / ``drop_unrepairable`` hooks are
+    what the lowering repair dispatches on to stay scheme-agnostic.
+    """
+
+    repair_kind = "hamming"
+
+    def __init__(self, data_bits: int):
+        super().__init__(data_bits)
+        self.positions = _data_positions(self.data_bits)
+
+    @property
+    def code_bits(self) -> int:
+        """Total codeword width (data + check bits)."""
+        return self.data_bits + self.check_bits
+
     # -- syndromes ---------------------------------------------------------------------
     def syndromes(
         self, codewords: np.ndarray, data_offsets: np.ndarray
@@ -135,8 +184,8 @@ class SecdedCode:
         """Per-codeword syndrome of a flip set, fully vectorised.
 
         Returns ``(unique_codewords, syndrome, flip_counts)``: the syndrome is
-        the XOR of the Hamming positions of every flipped data bit, and the
-        decoder's parity check is ``flip_counts % 2``.
+        the XOR of the Hamming positions of every flipped data bit, and a
+        parity-protected decoder's parity check is ``flip_counts % 2``.
         """
         codewords = np.asarray(codewords, dtype=np.int64)
         offsets = np.asarray(data_offsets, dtype=np.int64)
@@ -159,7 +208,7 @@ class SecdedCode:
         # plane (one weighted bincount per bit — no sorting).
         counts_full = np.bincount(codewords, minlength=span)
         syndrome_full = np.zeros(span, dtype=np.int64)
-        for b in range(self.check_bits - 1):
+        for b in range(int(self.positions[-1]).bit_length()):
             plane = ((positions >> b) & 1).astype(np.float64)
             parity = np.bincount(codewords, weights=plane, minlength=span)
             syndrome_full |= (parity.astype(np.int64) & 1) << b
@@ -183,6 +232,102 @@ class SecdedCode:
             np.asarray([accum[cw][0] for cw in unique], dtype=np.int64),
             np.asarray([accum[cw][1] for cw in unique], dtype=np.int64),
         )
+
+    # -- repair hooks (used by repro.attacks.lowering) ---------------------------------
+    def alias_is_safe(self, alias: int, bits: int, low_bits: int, span_words: int) -> bool:
+        """Whether the decoder state named by ``alias`` is harmless.
+
+        Shared cases: 0 (the decoder blames a check/parity bit it can fix
+        internally), a check-bit position (lives in the ECC device, not the
+        data), or a data bit in the low-significance range of an in-range
+        word.  Subclasses decide what an out-of-code syndrome means.
+        """
+        if alias == 0:
+            return True
+        if alias > int(self.positions[-1]):
+            return self._out_of_code_is_safe()
+        index = int(np.searchsorted(self.positions, alias))
+        if index >= self.positions.size or self.positions[index] != alias:
+            return True  # check-bit position
+        if index // bits >= span_words:
+            return False  # beyond the memory's last (partial) codeword
+        return index % bits < low_bits
+
+    def _out_of_code_is_safe(self) -> bool:
+        raise NotImplementedError
+
+    def group_passes(self, count: int, syndrome: int, safe: bool) -> bool:
+        """Whether a flip group decodes harmlessly (no correction loss, no
+        alarm, no dangerous miscorrection).  ``safe`` is
+        ``alias_is_safe(syndrome, ...)`` precomputed by the caller."""
+        raise NotImplementedError
+
+    def self_pad_mask(self, flip_counts: np.ndarray, safe: np.ndarray) -> np.ndarray:
+        """Which candidate self-pad flip sets decode harmlessly (vectorised)."""
+        raise NotImplementedError
+
+    def drop_unrepairable(self, count: int, storage_kind: str) -> bool:
+        """Whether an unrepairable flip group is better dropped than kept."""
+        raise NotImplementedError
+
+    def _collateral_flip(
+        self, cw_id: int, syndrome: int, wpc: int, bits: int, num_words: int
+    ) -> tuple[int, int] | None:
+        """The (word, bit) a miscorrecting decoder flips, or ``None``.
+
+        ``None`` when the syndrome names no in-range data bit: zero (parity
+        blamed), beyond the last codeword position, a check-bit position, or
+        a word past the end of the modelled memory.
+        """
+        if syndrome == 0 or syndrome > int(self.positions[-1]):
+            return None
+        index = int(np.searchsorted(self.positions, syndrome))
+        if index >= self.positions.size or self.positions[index] != syndrome:
+            return None  # syndrome points at a check bit
+        word = cw_id * wpc + index // bits
+        if word >= num_words:
+            return None
+        return word, index % bits
+
+
+class SecdedCode(HammingScheme):
+    """Extended-Hamming SECDED code over ``data_bits`` data bits per codeword.
+
+    The default ``data_bits=64`` gives the SECDED(72,64) code of ECC DIMMs:
+    64 data bits, 7 Hamming check bits plus one overall parity bit.
+    """
+
+    def __init__(self, data_bits: int = 64):
+        super().__init__(data_bits)
+        # 7 syndrome bits for 64 data bits, plus the overall parity bit.
+        self.check_bits = int(self.positions.max()).bit_length() + 1
+
+    def describe(self) -> str:
+        return f"secded({self.code_bits},{self.data_bits})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SecdedCode(data_bits={self.data_bits})"
+
+    # -- repair hooks ------------------------------------------------------------------
+    def _out_of_code_is_safe(self) -> bool:
+        # A syndrome outside the codeword is a provable multi-bit error:
+        # real decoders raise the alarm instead of "correcting" it.
+        return False
+
+    def group_passes(self, count: int, syndrome: int, safe: bool) -> bool:
+        if count % 2 == 0:
+            return count > 0 and syndrome == 0  # even + clean syndrome: invisible
+        return count >= 3 and syndrome <= int(self.positions[-1]) and safe
+
+    def self_pad_mask(self, flip_counts: np.ndarray, safe: np.ndarray) -> np.ndarray:
+        return safe & (flip_counts >= 3) & (flip_counts % 2 == 1)
+
+    def drop_unrepairable(self, count: int, storage_kind: str) -> bool:
+        # Leaving an unrepairable codeword is never worse than dropping it
+        # for a single flip (the decoder reverts it either way) or an even
+        # group (the flips land, at the price of an alarm).  Only an odd
+        # group whose miscorrection could hit a float exponent is pulled.
+        return count % 2 == 1 and count >= 3 and storage_kind != "fixed"
 
     # -- decoder behaviour -------------------------------------------------------------
     def apply_to_plan(self, plan: BitFlipPlan, memory) -> tuple[BitFlipPlan, EccSummary]:
@@ -238,17 +383,170 @@ class SecdedCode:
         mis = odd & (counts >= 3) & ~invalid
         summary.miscorrected = int(np.count_nonzero(mis))
         for cw_id, s in zip(unique[mis].tolist(), syndrome[mis].tolist()):
-            if s == 0:
-                continue  # decoder blames the overall parity bit itself
-            index = int(np.searchsorted(self.positions, s))
-            if index >= self.positions.size or self.positions[index] != s:
-                continue  # syndrome points at a check bit
-            word = cw_id * wpc + index // bits
-            if word >= memory.num_words:
-                continue
-            extra_words.append(word)
-            extra_bits.append(index % bits)
+            hit = self._collateral_flip(cw_id, s, wpc, bits, memory.num_words)
+            if hit is not None:
+                extra_words.append(hit[0])
+                extra_bits.append(hit[1])
         if extra_words:
             summary.flips_added = len(extra_words)
             effective = effective.with_flips(extra_words, extra_bits, memory)
         return effective, summary
+
+
+class OnDieEcc(HammingScheme):
+    """DDR5-style on-die SEC code (default SEC(136,128)), correction-only.
+
+    The on-die decoder *corrects then forwards*: it computes the syndrome,
+    flips whichever single bit the syndrome names (if any), and hands the
+    word over — there is no double-error detection and no alarm signal.  A
+    lone injected flip is silently undone, exactly like SECDED; but any
+    larger group with a non-zero syndrome is silently *miscorrected* — the
+    attacker's flips land, plus one collateral flip wherever the syndrome
+    points (nowhere, when it names a check bit).
+    """
+
+    def __init__(self, data_bits: int = 128):
+        super().__init__(data_bits)
+        # SEC only: no overall parity bit on the die.
+        self.check_bits = int(self.positions.max()).bit_length()
+
+    def describe(self) -> str:
+        return f"sec({self.code_bits},{self.data_bits})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OnDieEcc(data_bits={self.data_bits})"
+
+    # -- repair hooks ------------------------------------------------------------------
+    def _out_of_code_is_safe(self) -> bool:
+        # No alarm path exists: a syndrome naming no codeword bit makes the
+        # decoder correct nothing — the data passes through untouched.
+        return True
+
+    def group_passes(self, count: int, syndrome: int, safe: bool) -> bool:
+        # Any group of >= 2 flips whose miscorrection aliases harmlessly
+        # sails through — parity plays no role without a parity bit.
+        return count >= 2 and safe
+
+    def self_pad_mask(self, flip_counts: np.ndarray, safe: np.ndarray) -> np.ndarray:
+        return safe & (flip_counts >= 2)
+
+    def drop_unrepairable(self, count: int, storage_kind: str) -> bool:
+        # An unrepairable group silently miscorrects somewhere dangerous (a
+        # float exponent, say) — with no alarm to trade off, dropping is the
+        # only protection.  A lone flip is merely corrected away: keep it.
+        return count >= 2 and storage_kind != "fixed"
+
+    # -- decoder behaviour -------------------------------------------------------------
+    def apply_to_plan(self, plan: BitFlipPlan, memory) -> tuple[BitFlipPlan, EccSummary]:
+        """Push a plan through the on-die SEC decoder.
+
+        * one flip: corrected away (removed from the effective plan);
+        * two or more flips, zero syndrome: forwarded clean (undetected);
+        * two or more flips, non-zero syndrome: *silently miscorrected* —
+          flips delivered plus one collateral flip where the syndrome points
+          (none when it names a check bit or no codeword bit at all).
+
+        ``detected`` is always 0: this decoder cannot raise an alarm.
+        """
+        bits = memory.spec.bits_per_value
+        summary = EccSummary()
+        if not plan.num_flips:
+            return plan, summary
+
+        word_index, bit, _, _ = plan.as_arrays()
+        cw = self.codewords_of(word_index, bits)
+        offsets = self.data_offsets(word_index, bit, bits)
+        unique, syndrome, counts = self.syndromes(cw, offsets)
+        summary.codewords_touched = int(unique.size)
+
+        corrected = unique[counts == 1]
+        summary.corrected = int(corrected.size)
+        summary.undetected = int(np.count_nonzero((counts >= 2) & (syndrome == 0)))
+        mis = (counts >= 2) & (syndrome != 0)
+        summary.miscorrected = int(np.count_nonzero(mis))
+
+        keep = ~np.isin(cw, corrected)
+        summary.flips_removed = int(np.count_nonzero(~keep))
+        effective = plan.select(keep)
+
+        wpc = self.words_per_codeword(bits)
+        extra_words: list[int] = []
+        extra_bits: list[int] = []
+        for cw_id, s in zip(unique[mis].tolist(), syndrome[mis].tolist()):
+            hit = self._collateral_flip(cw_id, s, wpc, bits, memory.num_words)
+            if hit is not None:
+                extra_words.append(hit[0])
+                extra_bits.append(hit[1])
+        if extra_words:
+            summary.flips_added = len(extra_words)
+            effective = effective.with_flips(extra_words, extra_bits, memory)
+        return effective, summary
+
+
+class ChipkillCode(_CodewordScheme):
+    """Symbol-based chipkill ECC: single-symbol-correct, multi-symbol-detect.
+
+    Server chipkill spreads each codeword across DRAM chips, one ``symbol_bits``
+    symbol per chip, and the code corrects *any* error pattern confined to one
+    symbol (a whole failed chip included).  For the attacker that is a wall
+    with exactly one gap: flips inside a single symbol — however many — are
+    corrected away, and flips spanning two or more symbols raise the alarm
+    but *are delivered* (flagged, not repaired), the same trade SECDED offers
+    on even groups.
+    """
+
+    repair_kind = "symbol"
+
+    def __init__(self, data_bits: int = 64, symbol_bits: int = 4):
+        super().__init__(data_bits)
+        if symbol_bits < 2 or data_bits % symbol_bits:
+            raise ConfigurationError(
+                f"{symbol_bits}-bit symbols do not tile {data_bits} data bits"
+            )
+        self.symbol_bits = int(symbol_bits)
+
+    @property
+    def symbols_per_codeword(self) -> int:
+        return self.data_bits // self.symbol_bits
+
+    def describe(self) -> str:
+        return f"chipkill({self.symbols_per_codeword}x{self.symbol_bits}b)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChipkillCode(data_bits={self.data_bits}, symbol_bits={self.symbol_bits})"
+
+    def _config(self) -> tuple:
+        return (self.data_bits, self.symbol_bits)
+
+    def symbols_of(self, data_offsets) -> np.ndarray:
+        """Symbol index (within the codeword) of each data-bit offset."""
+        return np.asarray(data_offsets, dtype=np.int64) // self.symbol_bits
+
+    def apply_to_plan(self, plan: BitFlipPlan, memory) -> tuple[BitFlipPlan, EccSummary]:
+        """Push a plan through the chipkill decoder.
+
+        Codewords whose flips all live in one symbol are corrected (flips
+        removed); codewords spanning two or more symbols alarm and are
+        delivered as-is.  Nothing is ever miscorrected or silently passed.
+        """
+        bits = memory.spec.bits_per_value
+        summary = EccSummary()
+        if not plan.num_flips:
+            return plan, summary
+
+        word_index, bit, _, _ = plan.as_arrays()
+        cw = self.codewords_of(word_index, bits)
+        offsets = self.data_offsets(word_index, bit, bits)
+        symbols = self.symbols_of(offsets)
+        touched = np.unique(cw * self.symbols_per_codeword + symbols)
+        unique, symbol_counts = np.unique(
+            touched // self.symbols_per_codeword, return_counts=True
+        )
+        summary.codewords_touched = int(unique.size)
+        corrected = unique[symbol_counts == 1]
+        summary.corrected = int(corrected.size)
+        summary.detected = int(np.count_nonzero(symbol_counts >= 2))
+
+        keep = ~np.isin(cw, corrected)
+        summary.flips_removed = int(np.count_nonzero(~keep))
+        return plan.select(keep), summary

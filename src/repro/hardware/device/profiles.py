@@ -11,11 +11,22 @@ named device.
 Shipped profiles (see :data:`DEVICE_PROFILES`):
 
 * ``ddr3-noecc`` — desktop DDR3 DIMM: no mitigation, no ECC, dense flip map.
-* ``ddr4-trr`` — DDR4 with target-row-refresh: sparse usable cells, few
-  hammerable rows before TRR kicks in, bank-XOR hashing.
+* ``ddr4-trr`` — DDR4 with target-row-refresh modelled as a flat row cap:
+  sparse usable cells, few hammerable rows before TRR kicks in.
+* ``ddr4-trrespass`` — DDR4 with a *sampler-based* TRR tracker
+  (:class:`~repro.hardware.device.mitigations.TrrSampler`): no flat cap —
+  which rows flip depends on the hammer pattern (double-sided dies against
+  the tracker, many-sided TRRespass patterns evade it).
 * ``server-ecc`` — registered server DIMM with SECDED(72,64): single flips
   are undone, pairs raise alarms — plans need syndrome-aware repair.
-* ``hbm2-gpu`` — GPU HBM2 stack: many channels, short rows, fast hammering.
+* ``server-chipkill`` — server DIMM with symbol-based chipkill ECC: flips
+  confined to one 4-bit symbol are corrected away, anything wider alarms.
+* ``ddr5-ondie`` — DDR5 with on-die SEC(136,128): no alarm path at all, but
+  lone flips are silently undone and pairs silently miscorrect.
+* ``ddr4-vendor-haswell`` — DDR4 behind the DRAMA-recovered Haswell bank
+  hash (:func:`~repro.hardware.device.dram.vendor_geometry`).
+* ``hbm2-gpu`` — GPU HBM2 stack: many channels, short rows, fast hammering,
+  32-byte cacheline write-back granularity.
 
 Geometries are scaled down (KB-rows, thousands of rows) so the benchmark
 models' parameter regions span many rows and banks; the *structure* — field
@@ -28,8 +39,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.hardware.device.dram import DramGeometry
-from repro.hardware.device.ecc import SecdedCode
+from repro.hardware.device.dram import DramGeometry, vendor_geometry
+from repro.hardware.device.ecc import ChipkillCode, EccScheme, OnDieEcc, SecdedCode
+from repro.hardware.device.mitigations import TrrSampler, get_pattern
 from repro.hardware.device.templates import FlipTemplate
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import derive_seed
@@ -57,7 +69,7 @@ class DeviceProfile:
     geometry: DramGeometry
     flip_probability: float
     polarity_bias: float = 0.5
-    ecc: SecdedCode | None = None
+    ecc: EccScheme | None = None
     seconds_per_row: float = 120.0
     setup_seconds: float = 1800.0
     max_flips_per_row: int = 16
@@ -67,6 +79,12 @@ class DeviceProfile:
     # Templated physical rows the attacker's massaging can steer each victim
     # row onto (1 = no placement control; limited by the templating budget).
     massage_frames: int = 64
+    # Sampler-based TRR tracker; None models either no mitigation or the
+    # legacy flat `max_rows` cap.  With a sampler, which victim rows flip is
+    # pattern-dependent (see repro.hardware.device.mitigations).
+    trr: TrrSampler | None = None
+    # Default hammer pattern the attacker runs on this device.
+    hammer_pattern: str = "double-sided"
 
     def __post_init__(self):
         if not self.name:
@@ -75,6 +93,7 @@ class DeviceProfile:
             raise ConfigurationError("flip_probability must be in (0, 1]")
         if self.massage_frames < 1:
             raise ConfigurationError("massage_frames must be >= 1")
+        get_pattern(self.hammer_pattern)  # fail fast on unknown pattern names
 
     # -- derived components ----------------------------------------------------------
     def budget(self) -> "HardwareBudget":
@@ -120,7 +139,10 @@ class DeviceProfile:
     def describe(self) -> str:
         """One-line summary used by ``repro-experiments --list-profiles``."""
         ecc = self.ecc.describe() if self.ecc is not None else "none"
-        return f"{self.geometry.describe()}, ecc={ecc}"
+        summary = f"{self.geometry.describe()}, ecc={ecc}"
+        if self.trr is not None:
+            summary += f", {self.trr.describe()}"
+        return summary
 
 
 # -- registry ------------------------------------------------------------------------
@@ -193,6 +215,27 @@ register_profile(
 
 register_profile(
     DeviceProfile(
+        name="ddr4-trrespass",
+        description="DDR4 with a sampler-based TRR tracker (pattern-dependent budgets)",
+        geometry=DramGeometry(
+            bank_bits=4, row_bits=13, column_bits=10, bank_xor_row_bits=2
+        ),
+        # Same cell physics as ddr4-trr — but instead of a flat hammerable-row
+        # cap, a TrrSampler decides per hammer pattern which victims flip.
+        flip_probability=0.12,
+        polarity_bias=0.55,
+        seconds_per_row=240.0,
+        setup_seconds=3600.0,
+        max_flips_per_row=8,
+        max_flips_per_word=6,
+        max_rows=None,
+        massage_frames=8,
+        trr=TrrSampler(tracker_size=4, threshold=2),
+    )
+)
+
+register_profile(
+    DeviceProfile(
         name="server-ecc",
         description="Registered server DIMM with SECDED(72,64) ECC",
         geometry=DramGeometry(bank_bits=4, row_bits=13, column_bits=10),
@@ -210,10 +253,63 @@ register_profile(
 
 register_profile(
     DeviceProfile(
+        name="server-chipkill",
+        description="Registered server DIMM with symbol-based chipkill ECC",
+        geometry=DramGeometry(bank_bits=4, row_bits=13, column_bits=10),
+        flip_probability=0.3,
+        polarity_bias=0.5,
+        ecc=ChipkillCode(data_bits=64, symbol_bits=4),
+        seconds_per_row=120.0,
+        setup_seconds=2700.0,
+        max_flips_per_row=16,
+        max_flips_per_word=8,
+        max_rows=64,
+        massage_frames=256,
+    )
+)
+
+register_profile(
+    DeviceProfile(
+        name="ddr5-ondie",
+        description="DDR5 with on-die SEC(136,128) ECC (corrects then forwards)",
+        geometry=DramGeometry(bank_bits=5, row_bits=13, column_bits=10),
+        flip_probability=0.2,
+        polarity_bias=0.5,
+        ecc=OnDieEcc(data_bits=128),
+        seconds_per_row=180.0,
+        setup_seconds=2700.0,
+        max_flips_per_row=12,
+        max_flips_per_word=8,
+        max_rows=48,
+        massage_frames=128,
+    )
+)
+
+register_profile(
+    DeviceProfile(
+        name="ddr4-vendor-haswell",
+        description="DDR4 behind the DRAMA-recovered Haswell bank-address XOR map",
+        geometry=vendor_geometry("drama-haswell"),
+        flip_probability=0.35,
+        polarity_bias=0.5,
+        seconds_per_row=120.0,
+        setup_seconds=1800.0,
+        max_flips_per_row=16,
+        max_flips_per_word=8,
+        max_rows=96,
+        massage_frames=128,
+    )
+)
+
+register_profile(
+    DeviceProfile(
         name="hbm2-gpu",
         description="GPU HBM2 stack: 8 channels, short rows, fast hammering",
         geometry=DramGeometry(
-            channel_bits=3, bank_bits=4, row_bits=11, column_bits=9
+            channel_bits=3, bank_bits=4, row_bits=11, column_bits=9,
+            # GPU memory is written back in 32-byte sectors: massaging can
+            # only steer placement per cacheline-sized block.
+            cacheline_bytes=32,
         ),
         flip_probability=0.35,
         polarity_bias=0.5,

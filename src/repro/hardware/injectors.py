@@ -113,7 +113,10 @@ class RowHammerInjector(Injector):
     of work is an *aggressor activation*, not a victim row: an isolated
     victim needs a double-sided pair (two aggressors), while adjacent victim
     rows share aggressors and are hammered together — two neighbouring
-    victims cost one sandwiching pair, the same as a single victim.
+    victims cost one sandwiching pair, the same as a single victim.  That
+    amortisation must hold for *every* hammer pattern: a many-sided pattern
+    adds decoy rows on top of the shared aggressors, it never re-counts an
+    aggressor once per victim.
 
     Parameters
     ----------
@@ -123,7 +126,9 @@ class RowHammerInjector(Injector):
         aggressor activation costs half of it.
     max_flips_per_row:
         Maximum number of *controlled* flips achievable within a single
-        victim row; rows of the plan needing more are infeasible.
+        victim row; rows of the plan needing more are infeasible.  Patterns
+        that split the activation budget scale this down by their
+        ``flip_yield``.
     setup_seconds:
         One-off memory-templating time.
     geometry:
@@ -157,32 +162,54 @@ class RowHammerInjector(Injector):
         Victims themselves never serve as aggressors, and an aggressor
         sitting between two victims is activated (and paid for) once.
         """
-        victims = np.unique(np.asarray(list(victim_rows), dtype=np.int64))
-        if not victims.size:
-            return np.empty(0, dtype=np.int64)
-        if self.geometry is not None:
-            return self.geometry.aggressor_row_ids(victims)
-        candidates = np.unique(np.concatenate([victims - 1, victims + 1]))
-        candidates = candidates[candidates >= 0]  # row 0 has no row above it
-        return np.setdiff1d(candidates, victims, assume_unique=True)
+        from repro.hardware.device.mitigations import flat_aggressor_rows
 
-    def cost(self, plan: BitFlipPlan) -> InjectionCost:
+        victims = np.unique(np.asarray(list(victim_rows), dtype=np.int64))
+        if victims.size and self.geometry is not None:
+            return self.geometry.aggressor_row_ids(victims)
+        return flat_aggressor_rows(victims)
+
+    def cost(self, plan: BitFlipPlan, *, pattern=None, trr=None) -> InjectionCost:
+        """Estimate the effort of executing ``plan``.
+
+        Parameters
+        ----------
+        pattern:
+            Optional hammer pattern (a name or
+            :class:`~repro.hardware.device.mitigations.HammerPattern`).  The
+            pattern's decoy rows are added to the hammered-row count — each
+            once per bank, never once per victim — and its ``flip_yield``
+            scales the per-row controlled-flip cap.
+        trr:
+            Optional :class:`~repro.hardware.device.mitigations.TrrSampler`.
+            Victim rows the tracker saves make the plan infeasible as
+            planned (the flips in those rows can never land).
+        """
+        from repro.hardware.device.mitigations import get_pattern, plan_hammer
+
         per_row = plan.flips_per_row()
-        overloaded = [row for row, count in per_row.items() if count > self.max_flips_per_row]
-        feasible = not overloaded
-        aggressors = self.aggressor_rows(per_row)
-        time = self.setup_seconds + aggressors.size * self.seconds_per_row / 2.0
-        notes = ""
+        resolved = get_pattern(pattern if pattern is not None else "double-sided")
+        limit = resolved.effective_flips_per_row(self.max_flips_per_row)
+        overloaded = [row for row, count in per_row.items() if count > limit]
+        notes = []
         if overloaded:
-            notes = (
-                f"{len(overloaded)} rows need more than {self.max_flips_per_row} "
-                "controlled flips"
-            )
+            notes.append(f"{len(overloaded)} rows need more than {limit} controlled flips")
+        hammer = plan_hammer(
+            np.asarray(list(per_row), dtype=np.int64),
+            geometry=self.geometry,
+            pattern=resolved,
+            sampler=trr,
+        )
+        hammered = hammer.hammered_rows
+        refreshed = int(hammer.refreshed_victims.size)
+        if refreshed:
+            notes.append(f"TRR refreshes {refreshed} victim rows before they flip")
+        time = self.setup_seconds + hammered.size * self.seconds_per_row / 2.0
         return InjectionCost(
             technique=self.technique,
-            feasible=feasible,
+            feasible=not overloaded and not refreshed,
             time_seconds=time,
-            operations=int(aggressors.size),
+            operations=int(hammered.size),
             bit_flips=plan.num_flips,
-            notes=notes,
+            notes="; ".join(notes),
         )

@@ -245,3 +245,74 @@ class TestHardwareCost:
         serial = hardware_cost.run("smoke", **kwargs)
         parallel = hardware_cost.run("smoke", jobs=2, executor=backend, **kwargs)
         assert parallel.render("csv", digits=9) == serial.render("csv", digits=9)
+
+
+class TestHardwareCostMitigations:
+    """The hammer-pattern campaign axis over the mitigation-aware profiles."""
+
+    PROFILES = ("ddr4-trrespass", "ddr5-ondie", "server-chipkill")
+    PATTERNS = ("double-sided", "many-sided")
+
+    @pytest.fixture(scope="class")
+    def result(self, session_registry):
+        return hardware_cost.run(
+            "smoke",
+            registry=session_registry,
+            seed=0,
+            storages=("int8",),
+            profiles=self.PROFILES,
+            patterns=self.PATTERNS,
+        )
+
+    def test_pattern_axis_spans_the_grid(self, result):
+        assert set(result.column("pattern")) == set(self.PATTERNS)
+        assert set(result.column("profile")) == set(self.PROFILES)
+        per_combo = {}
+        for record in result.to_records():
+            key = (record["profile"], record["pattern"])
+            per_combo[key] = per_combo.get(key, 0) + 1
+        counts = set(per_combo.values())
+        assert len(counts) == 1  # every (profile, pattern) combo is complete
+        assert len(per_combo) == len(self.PROFILES) * len(self.PATTERNS)
+
+    def test_trr_sampler_profile_is_pattern_dependent(self, result):
+        # On the sampler profile double-sided loses rows to the tracker and
+        # many-sided evades it; the pattern-independent profiles must report
+        # identical refreshed-row counts across patterns.
+        refreshed = {}
+        for record in result.to_records():
+            key = (record["profile"], record["pattern"])
+            refreshed[key] = refreshed.get(key, 0) + record["rows refreshed"]
+        assert refreshed[("ddr4-trrespass", "many-sided")] == 0
+        assert refreshed[("ddr5-ondie", "double-sided")] == 0
+        assert refreshed[("server-chipkill", "double-sided")] == 0
+
+    def test_hammer_rows_reported(self, result):
+        for record in result.to_records():
+            if record["bit flips"] > 0:
+                assert record["hammer rows"] > 0
+
+    def test_ondie_never_alarms_chipkill_does(self, result):
+        alarms = {}
+        for record in result.to_records():
+            alarms.setdefault(record["profile"], []).append(record["ecc alarms"])
+        assert all(a == 0 for a in alarms["ddr5-ondie"])
+        assert any(a > 0 for a in alarms["server-chipkill"])
+
+    @pytest.mark.parametrize("backend", ["process-pool"])
+    def test_parallel_matches_serial_with_patterns(
+        self, backend, session_registry, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_CACHE_DIR", str(session_registry.disk_cache.directory)
+        )
+        kwargs = dict(
+            registry=session_registry,
+            seed=0,
+            storages=("int8",),
+            profiles=("ddr4-trrespass",),
+            patterns=self.PATTERNS,
+        )
+        serial = hardware_cost.run("smoke", **kwargs)
+        parallel = hardware_cost.run("smoke", jobs=2, executor=backend, **kwargs)
+        assert parallel.render("csv", digits=9) == serial.render("csv", digits=9)

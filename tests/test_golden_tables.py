@@ -1,0 +1,135 @@
+"""Golden-table regression tests: refactors must not silently move numbers.
+
+Small JSON fixtures under ``tests/golden/`` pin the full cell contents of the
+``table1`` and ``hardware_cost`` smoke-scale tables.  Each test re-runs the
+experiment from scratch and diffs the result against the fixture *cell by
+cell* — integers and strings exactly, floats to a tight relative tolerance
+(the pipeline is deterministic given the seeds; the tolerance only absorbs
+BLAS/libm differences across machines).
+
+When a PR changes reported numbers *intentionally*, regenerate the fixtures
+and review the diff like any other golden update::
+
+    PYTHONPATH=src python tests/test_golden_tables.py --regenerate
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# Relative tolerance for float cells.  Exact re-runs reproduce bit-identical
+# values; the headroom is for cross-platform BLAS rounding only.
+FLOAT_RTOL = 1e-6
+
+
+def _table_payload(table) -> dict:
+    """The comparable content of a Table (title, columns, every cell)."""
+    return {
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [[_canonical(cell) for cell in row] for row in table.rows],
+    }
+
+
+def _canonical(cell):
+    """JSON-safe canonical cell value (NaN encoded as a string marker)."""
+    if isinstance(cell, bool) or cell is None or isinstance(cell, str):
+        return cell
+    if isinstance(cell, int):
+        return int(cell)
+    if isinstance(cell, float):
+        return "__nan__" if math.isnan(cell) else float(cell)
+    return str(cell)
+
+
+def _run_table1(registry):
+    from repro.experiments import table1
+
+    return table1.run("smoke", registry=registry, seed=0)
+
+
+def _run_hardware_cost(registry):
+    from repro.experiments import hardware_cost
+
+    return hardware_cost.run("smoke", registry=registry, seed=0)
+
+
+GOLDEN_TABLES = {
+    "table1_smoke": _run_table1,
+    "hardware_cost_smoke": _run_hardware_cost,
+}
+
+
+def _diff_cells(expected: dict, actual: dict) -> list[str]:
+    """Cell-by-cell differences between a fixture and a fresh run."""
+    problems = []
+    if actual["title"] != expected["title"]:
+        problems.append(f"title changed: {expected['title']!r} -> {actual['title']!r}")
+    if actual["columns"] != expected["columns"]:
+        problems.append(
+            f"columns changed: {expected['columns']} -> {actual['columns']}"
+        )
+        return problems
+    if len(actual["rows"]) != len(expected["rows"]):
+        problems.append(
+            f"row count changed: {len(expected['rows'])} -> {len(actual['rows'])}"
+        )
+        return problems
+    for r, (want_row, got_row) in enumerate(zip(expected["rows"], actual["rows"])):
+        for c, (want, got) in enumerate(zip(want_row, got_row)):
+            if isinstance(want, float) and isinstance(got, float):
+                ok = math.isclose(want, got, rel_tol=FLOAT_RTOL, abs_tol=1e-9)
+            else:
+                ok = want == got
+            if not ok:
+                problems.append(
+                    f"row {r}, column {expected['columns'][c]!r}: "
+                    f"expected {want!r}, got {got!r}"
+                )
+    return problems
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_TABLES))
+def test_golden_table_unchanged(name, session_registry):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"`PYTHONPATH=src python tests/test_golden_tables.py --regenerate`"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    actual = _table_payload(GOLDEN_TABLES[name](session_registry))
+    problems = _diff_cells(expected, actual)
+    assert not problems, (
+        f"{name} drifted from its golden fixture "
+        f"({len(problems)} cells):\n" + "\n".join(problems[:25])
+    )
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    """Re-run the pinned experiments and rewrite the golden fixtures."""
+    from repro.utils.cache import DiskCache
+    from repro.zoo.registry import ModelRegistry
+    import tempfile
+
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(DiskCache(Path(tmp) / "cache"))
+        for name, runner in sorted(GOLDEN_TABLES.items()):
+            payload = _table_payload(runner(registry))
+            path = GOLDEN_DIR / f"{name}.json"
+            path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            print(f"wrote {path} ({len(payload['rows'])} rows)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -68,6 +68,45 @@ class TestRowHammer:
         assert separate.time_seconds == pytest.approx(200.0)
         assert separate.operations == 4
 
+    def test_many_sided_does_not_double_count_shared_aggressors(self):
+        # Regression (PR 4): pattern-aware costing must amortise aggressor
+        # activations shared between adjacent victims of the same bank —
+        # three clustered victims under many-sided cost one sandwiching
+        # pair plus the pattern's decoys, never sides x victims.
+        from repro.hardware.device import TrrSampler, get_pattern
+
+        injector = RowHammerInjector(seconds_per_row=100.0, setup_seconds=0.0)
+        plan = make_plan([(0, 0, 10), (1, 0, 11), (2, 0, 12)])
+        sampler = TrrSampler(tracker_size=2, threshold=2)
+        cost = injector.cost(plan, pattern="many-sided", trr=sampler)
+        decoys = get_pattern("many-sided").decoys_per_bank
+        # Aggressors {9, 13} amortised across the cluster, plus the decoys.
+        assert cost.operations == 2 + decoys
+        assert cost.time_seconds == pytest.approx((2 + decoys) * 50.0)
+
+    def test_pattern_scales_per_row_flip_cap(self):
+        injector = RowHammerInjector(
+            seconds_per_row=100.0, setup_seconds=0.0, max_flips_per_row=4
+        )
+        plan = make_plan([(0, b, 10) for b in range(3)])
+        assert injector.cost(plan).feasible
+        # decoy-throttled retains a quarter of the yield: cap 4 -> 1.
+        throttled = injector.cost(plan, pattern="decoy-throttled")
+        assert not throttled.feasible
+        assert "controlled flips" in throttled.notes
+
+    def test_trr_refreshed_victims_flag_infeasible(self):
+        from repro.hardware.device import TrrSampler
+
+        injector = RowHammerInjector(seconds_per_row=100.0, setup_seconds=0.0)
+        plan = make_plan([(0, 0, 10), (1, 0, 20)])
+        sampler = TrrSampler(tracker_size=8, threshold=2)
+        blocked = injector.cost(plan, pattern="double-sided", trr=sampler)
+        assert not blocked.feasible
+        assert "TRR refreshes" in blocked.notes
+        evaded = injector.cost(plan, pattern="many-sided", trr=sampler)
+        assert evaded.feasible
+
     def test_flat_row_zero_has_single_aggressor(self):
         # Even without a geometry, row -1 does not exist: a victim in row 0
         # can only be hammered from row 1.
