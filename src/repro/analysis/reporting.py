@@ -15,9 +15,11 @@ __all__ = [
     "BIT_COST_COLUMNS",
     "DEVICE_COST_COLUMNS",
     "HAMMER_COST_COLUMNS",
+    "STOCHASTIC_COST_COLUMNS",
     "bit_cost_cells",
     "device_cost_cells",
     "hammer_cost_cells",
+    "stochastic_cost_cells",
     "format_float",
     "render_text",
     "render_markdown",
@@ -94,6 +96,36 @@ _HAMMER_COST_FIELDS = (
 )
 
 
+# Monte-Carlo reporting columns for attacks lowered with trials > 0: the
+# trial count, success/keep rates as mean ± 95 % CI half-width across the
+# sampled executions, the mean attacked accuracy with its CI, and the
+# expected number of planned flips that actually land (the expected kept
+# bits).  All NaN (trials 0) when the cell was lowered deterministically;
+# on probability-1.0 profiles under a full-yield pattern the rate columns
+# equal the deterministic bit-true columns and every CI is exactly 0.
+STOCHASTIC_COST_COLUMNS = (
+    "trials",
+    "mc success",
+    "success ci95",
+    "mc keep",
+    "keep ci95",
+    "mc accuracy",
+    "accuracy ci95",
+    "flips landed",
+)
+
+_STOCHASTIC_COST_FIELDS = (
+    ("mc_trials", int),
+    ("mc_success", float),
+    ("mc_success_ci", float),
+    ("mc_keep", float),
+    ("mc_keep_ci", float),
+    ("mc_accuracy", float),
+    ("mc_accuracy_ci", float),
+    ("mc_flips_landed", float),
+)
+
+
 def _cost_cells(record: dict, fields) -> list:
     cells = []
     for key, kind in fields:
@@ -120,6 +152,11 @@ def device_cost_cells(record: dict) -> list:
 def hammer_cost_cells(record: dict) -> list:
     """Map a lowering-report record onto :data:`HAMMER_COST_COLUMNS` cells."""
     return _cost_cells(record, _HAMMER_COST_FIELDS)
+
+
+def stochastic_cost_cells(record: dict) -> list:
+    """Map a lowering-report record onto :data:`STOCHASTIC_COST_COLUMNS` cells."""
+    return _cost_cells(record, _STOCHASTIC_COST_FIELDS)
 
 
 def format_float(value, *, digits: int = 3) -> str:

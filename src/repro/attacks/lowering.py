@@ -43,10 +43,28 @@ device-physics stages on top of the budgets:
   (:mod:`repro.hardware.device.mitigations`): flips in rows the tracker
   saves are removed, replacing the flat hammerable-row cap with
   pattern-dependent effective budgets.
+
+On a *stochastic* device (``landing_probability < 1`` templates, or a
+:class:`~repro.hardware.device.mitigations.ProbabilisticTrr` tracker) the
+repaired plan is only the attack the adversary *runs*; what actually lands
+varies burst to burst.  ``lower_attack(..., trials=N, rng=seed)`` therefore
+re-executes the repaired plan through ``N`` seeded Monte-Carlo trials — each
+trial samples which flips land (:meth:`FlipTemplate.sample_flips`, scaled by
+the hammer pattern's ``flip_yield``), re-rolls a probabilistic tracker, pushes
+the surviving flips through the ECC decoder, and re-measures the bit-true
+rates — and reports mean ± 95 % CI success/keep/accuracy plus the expected
+landed-flip count in :class:`TrialStatistics`.  The trials are a pure
+function of the seed (``fork_rng`` per trial), so serial and parallel
+campaign runs agree byte for byte, and with probability-1.0 templates under
+a full-yield pattern (the default ``double-sided``) every trial reproduces
+the deterministic plan exactly; reduced-yield patterns scale the landing
+probability by their ``flip_yield``, so their trials sample even on
+otherwise-deterministic devices.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,15 +72,29 @@ import numpy as np
 from repro.attacks.parameter_view import ParameterView
 from repro.hardware.bitflip import BitFlipPlan, plan_bit_flips
 from repro.hardware.device.ecc import EccScheme, EccSummary
-from repro.hardware.device.mitigations import HammerPattern, TrrSampler, get_pattern, plan_hammer
+from repro.hardware.device.mitigations import (
+    HammerPattern,
+    ProbabilisticTrr,
+    TrrSampler,
+    get_pattern,
+    plan_hammer,
+)
 from repro.hardware.device.profiles import DeviceProfile, get_profile
 from repro.hardware.device.templates import FlipTemplate
 from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
 from repro.nn.model import Sequential
 from repro.nn.quantization import QuantizationSpec, dequantize, storage_spec
 from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RandomState, fork_rng
 
-__all__ = ["HardwareBudget", "PlanRepair", "LoweringReport", "repair_plan", "lower_attack"]
+__all__ = [
+    "HardwareBudget",
+    "PlanRepair",
+    "TrialStatistics",
+    "LoweringReport",
+    "repair_plan",
+    "lower_attack",
+]
 
 
 @dataclass(frozen=True)
@@ -307,7 +339,8 @@ def _frames_for(
 
 
 def _choose_frames(
-    plan, memory, original_values, target_repr, template, k_total, page_bytes
+    plan, memory, original_values, target_repr, template, k_total, page_bytes,
+    yield_scale: float = 1.0, optimize_expected: bool = False,
 ) -> dict[int, int]:
     """Page-granular memory massaging: pick the best templated frame per page.
 
@@ -320,6 +353,13 @@ def _choose_frames(
     mirrors what templating attackers actually do: they do not accept the
     OS's placement, they steer victim pages onto physical frames whose flip
     map realises the patch they need.
+
+    With ``optimize_expected`` the descent maximises *expected* progress
+    instead: each feasible flip only closes its error gap with the cell's
+    landing probability (scaled by the pattern's ``yield_scale``), so frames
+    whose feasible cells land reliably outscore frames that merely have the
+    right polarities.  With probability-1.0 templates the two modes are
+    identical.
     """
     word_index = plan.as_arrays()[0]
     words = np.unique(word_index)
@@ -347,9 +387,17 @@ def _choose_frames(
         addresses_grid.ravel(), bits_grid.ravel(), original_bits_grid.ravel(),
         frames_grid.ravel(),
     ).reshape(shape)
+    probabilities = None
+    if optimize_expected:
+        probabilities = template.cell_flip_probabilities(
+            addresses_grid.ravel(), bits_grid.ravel(), frames_grid.ravel(),
+            scale=yield_scale,
+        ).reshape(shape)
 
     # Greedy descent: walk bits most-significant first, taking any feasible
-    # flip that moves the stored value closer to the target.
+    # flip that moves the stored value closer to the target.  In expected
+    # mode the error only shrinks by the flip's landing probability, so a
+    # frame accumulates score in proportion to how reliably its cells land.
     dtype = spec.storage_dtype()
     current = np.broadcast_to(original_grid[None, :], (k_total, num_words)).copy()
     target = target_repr[words]
@@ -357,6 +405,9 @@ def _choose_frames(
     for b in range(bits - 1, -1, -1):
         candidate = np.bitwise_xor(current, dtype.type(1 << b))
         candidate_error = np.abs(dequantize(candidate, spec) - target[None, :])
+        if probabilities is not None:
+            p = probabilities[:, :, b]
+            candidate_error = p * candidate_error + (1.0 - p) * error
         better = feasible[:, :, b] & (candidate_error < error)
         current = np.where(better, candidate, current)
         error = np.where(better, candidate_error, error)
@@ -778,9 +829,10 @@ def repair_plan(
     template: FlipTemplate | None = None,
     ecc: EccScheme | None = None,
     massage_frames: int = 64,
-    trr: TrrSampler | None = None,
+    trr: "TrrSampler | ProbabilisticTrr | None" = None,
     hammer_pattern: "str | HammerPattern | None" = None,
     max_flips_per_row: int | None = None,
+    optimize_expected: bool = False,
 ) -> PlanRepair:
     """Repair ``plan`` to fit ``budget`` and the device physics.
 
@@ -804,7 +856,10 @@ def repair_plan(
     ``trr`` and ``hammer_pattern`` activate the mitigation model of
     :mod:`repro.hardware.device.mitigations`; ``max_flips_per_row`` is the
     device's per-row controlled-flip yield the pattern scales (enforced
-    only when a pattern is planned against).
+    only when a pattern is planned against).  ``optimize_expected`` makes
+    the massaging stage maximise *expected* progress under the template's
+    per-cell landing probabilities instead of assuming every feasible flip
+    lands (identical on probability-1.0 templates).
     """
     budget = budget or HardwareBudget()
     untouched = (
@@ -826,6 +881,14 @@ def repair_plan(
     original_values = memory.decoded_values()
     target_repr = memory.representable(target_values)
     page_bytes = _massage_page_bytes(memory, ecc)
+    # Resolve the hammer pattern up front: its flip_yield scales both the
+    # per-row throttle below and (in expected mode) the landing probabilities
+    # the massaging stage optimises against.
+    pattern = None
+    if hammer_pattern is not None or trr is not None:
+        pattern = get_pattern(
+            hammer_pattern if hammer_pattern is not None else "double-sided"
+        )
 
     working = plan
     flips_infeasible = 0
@@ -835,6 +898,8 @@ def repair_plan(
             placement = _choose_frames(
                 plan, memory, original_values, target_repr, template,
                 massage_frames, page_bytes,
+                yield_scale=pattern.flip_yield if pattern is not None else 1.0,
+                optimize_expected=optimize_expected,
             )
         working, flips_infeasible, _ = _apply_template(
             plan, memory, original_values, target_repr, template,
@@ -868,12 +933,10 @@ def repair_plan(
             kept_rows = rows[order[: budget.max_rows]]
             keep &= np.isin(row, kept_rows)
 
-    pattern = None
     rows_refreshed = 0
     rows_throttled = 0
     hammer_rows = 0
-    if hammer_pattern is not None or trr is not None:
-        pattern = get_pattern(hammer_pattern if hammer_pattern is not None else "double-sided")
+    if pattern is not None:
         if max_flips_per_row is not None and keep.any():
             # The pattern's flip_yield scales the device's per-row
             # controlled-flip cap: splitting (or throttling) the activation
@@ -968,6 +1031,198 @@ def repair_plan(
     )
 
 
+@dataclass(frozen=True)
+class TrialStatistics:
+    """Aggregate outcome of seeded Monte-Carlo lowering trials.
+
+    One entry per trial: the bit-true success/keep rate of the sampled
+    outcome, the attacked accuracy (NaN without an eval set) and how many of
+    the repaired plan's flips actually landed.  The summary properties report
+    the mean and a 95 % normal-approximation confidence half-width (0.0 with
+    fewer than two trials — a single trial has no spread to estimate).
+    """
+
+    trials: int
+    success_rates: np.ndarray
+    keep_rates: np.ndarray
+    accuracies: np.ndarray
+    flips_landed: np.ndarray
+
+    @staticmethod
+    def _mean(values: np.ndarray) -> float:
+        values = values[np.isfinite(values)]
+        return float(values.mean()) if values.size else float("nan")
+
+    @staticmethod
+    def _ci(values: np.ndarray) -> float:
+        values = values[np.isfinite(values)]
+        if values.size < 2:
+            return 0.0 if values.size else float("nan")
+        if np.all(values == values[0]):
+            # Identical outcomes have no spread; np.std would return ~1e-16
+            # of rounding noise, which golden tables must never pin.
+            return 0.0
+        return float(1.96 * values.std(ddof=1) / math.sqrt(values.size))
+
+    @property
+    def success_rate(self) -> float:
+        return self._mean(self.success_rates)
+
+    @property
+    def success_ci(self) -> float:
+        return self._ci(self.success_rates)
+
+    @property
+    def keep_rate(self) -> float:
+        return self._mean(self.keep_rates)
+
+    @property
+    def keep_ci(self) -> float:
+        return self._ci(self.keep_rates)
+
+    @property
+    def accuracy(self) -> float:
+        return self._mean(self.accuracies)
+
+    @property
+    def accuracy_ci(self) -> float:
+        return self._ci(self.accuracies)
+
+    @property
+    def expected_flips_landed(self) -> float:
+        """Expected kept bits: mean landed-flip count across trials."""
+        return self._mean(self.flips_landed.astype(np.float64))
+
+    @property
+    def flips_landed_ci(self) -> float:
+        return self._ci(self.flips_landed.astype(np.float64))
+
+    def as_dict(self) -> dict:
+        return {
+            "mc_trials": self.trials,
+            "mc_success": self.success_rate,
+            "mc_success_ci": self.success_ci,
+            "mc_keep": self.keep_rate,
+            "mc_keep_ci": self.keep_ci,
+            "mc_accuracy": self.accuracy,
+            "mc_accuracy_ci": self.accuracy_ci,
+            "mc_flips_landed": self.expected_flips_landed,
+            "mc_flips_landed_ci": self.flips_landed_ci,
+        }
+
+
+# NaN-valued placeholder merged into LoweringReport.as_dict when no trials
+# ran, so the metric schema (and the campaign CSV schema built on it) is
+# stable.  Derived from an empty TrialStatistics rather than hand-written so
+# the trials/no-trials record schemas can never drift apart.
+_NO_TRIALS = TrialStatistics(
+    trials=0,
+    success_rates=np.empty(0),
+    keep_rates=np.empty(0),
+    accuracies=np.empty(0),
+    flips_landed=np.empty(0, dtype=np.int64),
+).as_dict()
+
+
+def _run_trials(
+    victim: Sequential,
+    selector,
+    repair: PlanRepair,
+    spec: QuantizationSpec,
+    layout: MemoryLayout,
+    template: FlipTemplate | None,
+    ecc: EccScheme | None,
+    trr,
+    pattern: HammerPattern | None,
+    massage_frames: int,
+    page_bytes: int,
+    trials: int,
+    rng,
+    attack_plan,
+    eval_set,
+    batch_size: int,
+) -> TrialStatistics:
+    """Seeded Monte-Carlo execution of a repaired plan.
+
+    Each trial forks its own generator from the master ``rng`` (an int seed,
+    a Generator, or None for fresh entropy), samples which of the repaired
+    plan's flips land, re-rolls a probabilistic TRR tracker against the
+    surviving victim rows, pushes the outcome through the ECC decoder, and
+    re-measures the attack on the resulting bit-true model.  Everything
+    downstream of the seed is deterministic, so equal seeds give equal
+    statistics in any process or executor.
+    """
+    plan = repair.plan
+    _, bit, address, row = plan.as_arrays()
+    frames = _frames_for(address, repair.placement, massage_frames, page_bytes)
+    yield_scale = pattern.flip_yield if pattern is not None else 1.0
+    # Trial-invariant sampling inputs, hoisted out of the loop: feasibility
+    # and per-cell probabilities depend only on the repaired plan, the
+    # template and the chosen placement — every trial starts from the same
+    # pristine words, so only the Bernoulli draws vary.  The draws below are
+    # exactly what sample_flips would consume, in the same order.
+    feasible = probabilities = None
+    if template is not None and plan.num_flips:
+        pristine = ParameterMemoryMap(
+            ParameterView(victim.copy(), selector), spec=spec, layout=layout
+        )
+        feasible = template.feasible_mask(plan, pristine.read_words(), frames)
+        probabilities = template.cell_flip_probabilities(
+            address, bit, frames, scale=yield_scale
+        )
+    success = np.empty(trials)
+    keep = np.empty(trials)
+    accuracy = np.full(trials, float("nan"))
+    landed = np.empty(trials, dtype=np.int64)
+    for t, trial_rng in enumerate(fork_rng(RandomState(rng), trials)):
+        model = victim.copy()
+        memory = ParameterMemoryMap(
+            ParameterView(model, selector), spec=spec, layout=layout
+        )
+        if feasible is not None:
+            mask = feasible & (trial_rng.random(probabilities.shape) < probabilities)
+        else:
+            mask = np.ones(plan.num_flips, dtype=bool)
+        if isinstance(trr, ProbabilisticTrr) and pattern is not None and plan.num_flips:
+            # The attacker planned against one expected tracker outcome; at
+            # execution time the sampler re-rolls, and victims it catches
+            # this trial are refreshed before their flips land.  The tracker
+            # samples from everything the attacker *hammers* — the full
+            # repaired plan's rows — not from the rows whose flips happened
+            # to land: flips landing is an outcome of hammering, never an
+            # input to it.
+            hammer = plan_hammer(
+                np.unique(row),
+                geometry=memory.layout.geometry,
+                pattern=pattern,
+                sampler=trr,
+                rng=trial_rng,
+            )
+            mask &= np.isin(row, hammer.feasible_victims)
+        trial_plan = plan.select(mask)
+        landed[t] = trial_plan.num_flips
+        if ecc is not None:
+            executed, _ = ecc.apply_to_plan(trial_plan, memory)
+        else:
+            executed = trial_plan
+        memory.apply_plan(executed)
+        memory.flush_to_model()
+        success_mask, keep_mask, _ = _attack_rates(model, attack_plan)
+        success[t] = float(success_mask.mean()) if success_mask.size else 1.0
+        keep[t] = float(keep_mask.mean()) if keep_mask.size else 1.0
+        if eval_set is not None:
+            accuracy[t] = model.evaluate(
+                eval_set.images, eval_set.labels, batch_size=batch_size
+            )
+    return TrialStatistics(
+        trials=trials,
+        success_rates=success,
+        keep_rates=keep,
+        accuracies=accuracy,
+        flips_landed=landed,
+    )
+
+
 @dataclass
 class LoweringReport:
     """Bit-true outcome of lowering one attack result into memory.
@@ -997,6 +1252,9 @@ class LoweringReport:
     ecc_raw_summary: "EccSummary | None" = None  # decoder outcome w/o ECC repair
     unrepaired_success_rate: float = float("nan")
     unrepaired_keep_rate: float = float("nan")
+    # Monte-Carlo statistics of lower_attack(..., trials=N) (None when the
+    # lowering ran deterministically).
+    trial_stats: "TrialStatistics | None" = None
 
     @property
     def storage(self) -> str:
@@ -1051,6 +1309,12 @@ class LoweringReport:
             "rows_refreshed": self.repair.rows_refreshed,
             "rows_throttled": self.repair.rows_throttled,
             "hammer_rows": self.repair.hammer_rows,
+            # Monte-Carlo metrics (NaN when lowered deterministically).
+            **(
+                self.trial_stats.as_dict()
+                if self.trial_stats is not None
+                else _NO_TRIALS
+            ),
         }
 
 
@@ -1088,8 +1352,11 @@ def lower_attack(
     template_seed: int = 0,
     massage_frames: int | None = None,
     hammer_pattern: "str | HammerPattern | None" = None,
-    trr: TrrSampler | None = None,
+    trr: "TrrSampler | ProbabilisticTrr | None" = None,
     max_flips_per_row: int | None = None,
+    trials: int = 0,
+    rng: "int | np.random.Generator | None" = None,
+    expected_repair: bool = False,
     eval_set=None,
     clean_accuracy: float | None = None,
     batch_size: int = 256,
@@ -1137,6 +1404,21 @@ def lower_attack(
         Device per-row controlled-flip yield (normally the profile's);
         scaled by the pattern's ``flip_yield`` and enforced during repair —
         overfull rows revert their lowest-impact words.
+    trials:
+        Monte-Carlo executions of the repaired plan (0 = deterministic
+        lowering only).  Each trial samples which flips land from the
+        template's per-cell landing probabilities and re-rolls any
+        :class:`~repro.hardware.device.mitigations.ProbabilisticTrr`
+        tracker; the report's ``trial_stats`` then carries success/keep/
+        accuracy rates with 95 % confidence intervals and the expected
+        landed-flip count.
+    rng:
+        Seed (or Generator) of the trials; equal seeds reproduce identical
+        statistics in any process.  ``None`` draws fresh entropy — fine
+        interactively, never for campaign cells.
+    expected_repair:
+        Make the massaging stage maximise *expected* success under the
+        per-cell landing probabilities (no-op on probability-1.0 templates).
     eval_set:
         Held-out dataset for the bit-true accuracy numbers.  When ``None``
         the accuracy fields are NaN.
@@ -1144,6 +1426,8 @@ def lower_attack(
         Pre-computed clean accuracy on ``eval_set`` (avoids re-evaluating the
         clean model in sweeps).
     """
+    if trials < 0:
+        raise ConfigurationError(f"trials must be >= 0, got {trials}")
     spec = storage_spec(storage)
     device = get_profile(profile) if profile is not None else None
     if device is not None:
@@ -1176,9 +1460,37 @@ def lower_attack(
         planned, memory, target_values, budget,
         template=template, ecc=ecc, massage_frames=massage_frames,
         trr=trr, hammer_pattern=hammer_pattern, max_flips_per_row=max_flips_per_row,
+        optimize_expected=expected_repair,
     )
 
     attack_plan = result.plan
+    trial_stats = None
+    if trials > 0:
+        # The trials simulate exactly the pattern the plan was repaired
+        # against, as recorded by the repair itself.
+        trial_pattern = (
+            get_pattern(repair.hammer_pattern)
+            if repair.hammer_pattern is not None
+            else None
+        )
+        trial_stats = _run_trials(
+            victim,
+            result.view.selector,
+            repair,
+            spec,
+            memory.layout,
+            template,
+            ecc,
+            trr,
+            trial_pattern,
+            massage_frames,
+            _massage_page_bytes(memory, ecc),
+            trials,
+            rng,
+            attack_plan,
+            eval_set,
+            batch_size,
+        )
     ecc_summary = ecc_raw_summary = None
     unrepaired_success = unrepaired_keep = float("nan")
     if ecc is not None:
@@ -1243,4 +1555,5 @@ def lower_attack(
         ecc_raw_summary=ecc_raw_summary,
         unrepaired_success_rate=unrepaired_success,
         unrepaired_keep_rate=unrepaired_keep,
+        trial_stats=trial_stats,
     )

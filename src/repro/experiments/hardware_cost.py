@@ -15,6 +15,17 @@ plan — the rate after the memory controller silently corrects isolated flips
 away — next to the repaired rate, showing what the syndrome-aware re-routing
 pass buys.
 
+On top of the deterministic lowering, every cell runs ``--trials`` seeded
+Monte-Carlo executions of its repaired plan (per-cell flip sampling and
+probabilistic-TRR re-rolls — the stochastic fault model) and reports
+rate ± 95 % CI columns.  The per-cell trial seed is derived from
+``--flip-seed`` and the cell's own identity with
+:func:`repro.utils.rng.derive_seed`, so the statistics are byte-identical
+between serial and ``--jobs N`` runs and across resumes; on deterministic
+(probability-1.0) profiles under a full-yield pattern every trial reproduces
+the deterministic columns exactly and the CIs are 0 (reduced-yield patterns
+scale the landing probability by their ``flip_yield``).
+
 Each cell is an independent campaign job, so the grid parallelises under
 ``--jobs N`` and memoizes per cell exactly like the paper's tables.
 """
@@ -29,10 +40,12 @@ from repro.analysis.reporting import (
     BIT_COST_COLUMNS,
     DEVICE_COST_COLUMNS,
     HAMMER_COST_COLUMNS,
+    STOCHASTIC_COST_COLUMNS,
     Table,
     bit_cost_cells,
     device_cost_cells,
     hammer_cost_cells,
+    stochastic_cost_cells,
 )
 from repro.attacks.fault_sneaking import FaultSneakingAttack
 from repro.attacks.lowering import HardwareBudget, lower_attack
@@ -55,6 +68,8 @@ from repro.experiments.common import (
 )
 from repro.hardware.device import get_pattern, get_profile
 from repro.nn.quantization import STORAGE_FORMATS
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import derive_seed
 from repro.zoo.registry import ModelRegistry, default_registry
 
 __all__ = [
@@ -64,6 +79,7 @@ __all__ = [
     "BUDGET_LEVELS",
     "DEFAULT_PROFILES",
     "DEFAULT_PATTERNS",
+    "DEFAULT_TRIALS",
 ]
 
 # Budget levels swept by the grid.  "unlimited" applies only the device's
@@ -84,6 +100,12 @@ DEFAULT_PROFILES = ("ddr3-noecc", "server-ecc")
 # ddr4-trrespass.
 DEFAULT_PATTERNS = ("double-sided",)
 
+# Monte-Carlo trials per cell.  Three is enough to exercise the stochastic
+# machinery and pin the probability-1.0-equals-deterministic property in the
+# golden tables without noticeably slowing the grid; campaigns studying the
+# stochastic-* profiles raise it via --trials.
+DEFAULT_TRIALS = 3
+
 # Fixed anchor count R of every cell (capped by the anchor pool at runtime).
 _R = 100
 
@@ -102,6 +124,8 @@ def _cell(
     profile: str,
     budget: str,
     pattern: str,
+    trials: int,
+    flip_seed: int,
 ) -> JobSpec:
     return JobSpec.make(
         "hardware-cost-cell",
@@ -115,6 +139,8 @@ def _cell(
         budget=budget,
         pattern=pattern,
         plan_seed=int(seed),
+        trials=int(trials),
+        flip_seed=int(flip_seed),
     )
 
 
@@ -196,6 +222,8 @@ def _hardware_cost_cell_job(
     budget: str,
     pattern: str = "double-sided",
     plan_seed: int,
+    trials: int = 0,
+    flip_seed: int = 0,
 ) -> dict:
     """Solve one attack, lower it onto a device and return the cost metrics."""
     trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
@@ -226,6 +254,22 @@ def _hardware_cost_cell_job(
         # device physics (template, ECC, TRR sampler) stay active either way.
         budget=HardwareBudget() if budget == "unlimited" else None,
         hammer_pattern=pattern,
+        trials=trials,
+        # One trial stream per cell: folding the full cell identity into the
+        # seed keeps cells independent while staying a pure function of the
+        # job parameters — the serial/parallel byte-identity contract.
+        rng=derive_seed(
+            "hardware-cost-flips",
+            int(flip_seed),
+            dataset,
+            scale,
+            int(seed),
+            int(s),
+            storage,
+            profile,
+            budget,
+            pattern,
+        ),
         eval_set=eval_set,
         clean_accuracy=clean_accuracy,
     )
@@ -246,16 +290,28 @@ def build_campaign(
     storages: tuple[str, ...] = STORAGE_FORMATS,
     profiles: tuple[str, ...] = DEFAULT_PROFILES,
     patterns: tuple[str, ...] = DEFAULT_PATTERNS,
+    trials: int = DEFAULT_TRIALS,
+    flip_seed: int = 0,
 ) -> Campaign:
-    """Declare one job per (storage, profile, budget, hammer pattern, S) point."""
+    """Declare one job per (storage, profile, budget, hammer pattern, S) point.
+
+    ``trials`` Monte-Carlo executions run inside every cell (0 disables the
+    stochastic columns); ``flip_seed`` shifts every cell's trial stream at
+    once — the campaign axis the CI seed matrix sweeps.
+    """
     for name in profiles:
         get_profile(name)  # fail fast on unknown profile names
     for name in patterns:
         get_pattern(name)  # fail fast on unknown pattern names
+    if trials < 0:
+        raise ConfigurationError(f"trials must be >= 0, got {trials}")
     setting = get_setting(scale)
     r = _num_images(setting)
     jobs = [
-        _cell(dataset, scale, seed, s, r, storage, profile, budget, pattern)
+        _cell(
+            dataset, scale, seed, s, r, storage, profile, budget, pattern,
+            trials, flip_seed,
+        )
         for storage in storages
         for profile in profiles
         for budget in BUDGET_LEVELS
@@ -273,6 +329,8 @@ def build_campaign(
             "storages": tuple(storages),
             "profiles": tuple(profiles),
             "patterns": tuple(patterns),
+            "trials": int(trials),
+            "flip_seed": int(flip_seed),
         },
     )
 
@@ -283,6 +341,8 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
     dataset = campaign.metadata["dataset"]
     profiles = campaign.metadata["profiles"]
     patterns = campaign.metadata.get("patterns", DEFAULT_PATTERNS)
+    trials = campaign.metadata.get("trials", 0)
+    flip_seed = campaign.metadata.get("flip_seed", 0)
     r = _num_images(setting)
     table = Table(
         title=(
@@ -300,6 +360,7 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
             *BIT_COST_COLUMNS,
             *DEVICE_COST_COLUMNS,
             *HAMMER_COST_COLUMNS,
+            *STOCHASTIC_COST_COLUMNS,
         ],
     )
     for storage in campaign.metadata["storages"]:
@@ -320,6 +381,8 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
                                 profile,
                                 budget,
                                 pattern,
+                                trials,
+                                flip_seed,
                             )
                         )
                         table.add_row(
@@ -333,6 +396,7 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
                             *bit_cost_cells(metrics),
                             *device_cost_cells(metrics),
                             *hammer_cost_cells(metrics),
+                            *stochastic_cost_cells(metrics),
                         )
     table.add_note(
         "bit-true rates are re-measured on the model rebuilt from the flipped "
@@ -361,6 +425,17 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
         + " (TRR-sampler profiles flip only the victim rows the pattern "
         "keeps off the tracker)"
     )
+    if trials:
+        table.add_note(
+            f"mc columns: {trials} seeded Monte-Carlo executions per cell "
+            f"(flip-seed {flip_seed}); rates are mean ± 95% CI half-width, "
+            "'flips landed' is the expected landed-flip count.  Under "
+            "full-yield patterns (double-sided), probability-1.0 profiles "
+            "reproduce the bit-true columns with 0 CI; reduced-yield "
+            "patterns scale the landing probability by their flip_yield."
+        )
+    else:
+        table.add_note("mc columns are NaN: the grid ran with --trials 0.")
     return table
 
 
@@ -373,6 +448,8 @@ def run(
     storages: tuple[str, ...] = STORAGE_FORMATS,
     profiles: tuple[str, ...] = DEFAULT_PROFILES,
     patterns: tuple[str, ...] = DEFAULT_PATTERNS,
+    trials: int = DEFAULT_TRIALS,
+    flip_seed: int = 0,
     jobs: int = 1,
     executor=None,
     artifact_dir=None,
@@ -391,4 +468,6 @@ def run(
         storages=storages,
         profiles=profiles,
         patterns=patterns,
+        trials=trials,
+        flip_seed=flip_seed,
     )

@@ -23,6 +23,12 @@ specific devices and hammer patterns::
     repro-experiments hardware_cost --scale ci --profile ddr4-trr --profile server-ecc
     repro-experiments hardware_cost --scale ci --profile ddr4-trrespass \
         --hammer-pattern double-sided --hammer-pattern many-sided
+
+Monte-Carlo the stochastic profiles: more trials per cell, and a different
+flip seed for an independent replication of the whole grid::
+
+    repro-experiments hardware_cost --scale ci --profile stochastic-trrespass \
+        --trials 32 --flip-seed 1
 """
 
 from __future__ import annotations
@@ -124,6 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
         "sampler-based profiles such as ddr4-trrespass",
     )
     parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Monte-Carlo executions per hardware_cost cell (default: the "
+        "experiment's built-in count; 0 disables the stochastic columns)",
+    )
+    parser.add_argument(
+        "--flip-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seed of the per-cell Monte-Carlo flip sampling in hardware_cost "
+        "(default: 0).  Same seed = byte-identical tables, different seeds = "
+        "independent replications",
+    )
+    parser.add_argument(
         "--list-profiles",
         action="store_true",
         help="list the registered device profiles and hammer patterns, then exit",
@@ -141,7 +164,15 @@ def _profiles_table():
 
     table = Table(
         title="Registered device profiles",
-        columns=["name", "geometry", "ecc", "trr", "flip prob", "derived budget"],
+        columns=[
+            "name",
+            "geometry",
+            "ecc",
+            "trr",
+            "flip prob",
+            "landing prob",
+            "derived budget",
+        ],
     )
     for name in list_profiles():
         profile = get_profile(name)
@@ -151,6 +182,7 @@ def _profiles_table():
             profile.ecc.describe() if profile.ecc is not None else "none",
             profile.trr.describe() if profile.trr is not None else "none",
             profile.flip_probability,
+            profile.landing_probability,
             profile.budget().describe(),
         )
     table.add_note(
@@ -161,6 +193,14 @@ def _profiles_table():
         "hammer patterns (--hammer-pattern, repeatable): " + "; ".join(
             f"{name} = {get_pattern(name).description}" for name in list_patterns()
         )
+    )
+    table.add_note(
+        "'flip prob' is the fraction of templatable cells; 'landing prob' is "
+        "the per-burst probability a feasible flip lands — profiles below 1.0 "
+        "(the stochastic-* variants) are Monte-Carlo sampled, and the trr "
+        "column shows whether the tracker is a deterministic priority queue "
+        "(trr) or a per-activation sampler (trr-sampling).  Sweep them with "
+        "--trials / --flip-seed."
     )
     return table
 
@@ -194,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"unknown hammer pattern(s) {unknown}; registered: "
                 f"{', '.join(list_patterns())}"
             )
+    if args.trials is not None and args.trials < 0:
+        parser.error(f"--trials must be >= 0, got {args.trials}")
 
     store = None
     if args.artifact_dir is not None or args.resume:
@@ -212,6 +254,10 @@ def main(argv: list[str] | None = None) -> int:
             extra["profiles"] = tuple(args.profile)
         if args.hammer_pattern and name == "hardware_cost":
             extra["patterns"] = tuple(args.hammer_pattern)
+        if args.trials is not None and name == "hardware_cost":
+            extra["trials"] = args.trials
+        if args.flip_seed is not None and name == "hardware_cost":
+            extra["flip_seed"] = args.flip_seed
         campaign = build_campaign(args.scale, seed=args.seed, **extra)
         result = run_campaign(campaign, jobs=args.jobs, executor=args.executor, store=store)
         table = assemble(campaign, result)
@@ -237,6 +283,8 @@ def main(argv: list[str] | None = None) -> int:
                 "artifact_dir": str(store.directory) if store is not None else None,
                 "profiles": list(args.profile) if args.profile else None,
                 "hammer_patterns": list(args.hammer_pattern) if args.hammer_pattern else None,
+                "trials": args.trials,
+                "flip_seed": args.flip_seed,
             }
             manifest_path = args.output_dir / f"{name}_{args.scale}_manifest.json"
             manifest_path.write_text(

@@ -58,6 +58,7 @@ from repro.hardware.device import (
     HammerPattern,
     HammerPlan,
     OnDieEcc,
+    ProbabilisticTrr,
     SecdedCode,
     TrrSampler,
     get_pattern,
@@ -92,6 +93,7 @@ __all__ = [
     "OnDieEcc",
     "ChipkillCode",
     "TrrSampler",
+    "ProbabilisticTrr",
     "HammerPattern",
     "HammerPlan",
     "HAMMER_PATTERNS",

@@ -8,17 +8,22 @@ named device":
   cacheline write-back granularity, and the aggressor/victim row-adjacency
   model;
 * :mod:`~repro.hardware.device.templates` — seeded per-cell flip-polarity
-  maps (which cells can flip, and in which direction);
+  maps (which cells can flip, and in which direction) plus per-cell landing
+  probabilities and Monte-Carlo flip sampling (which flips land in one
+  hammer burst);
 * :mod:`~repro.hardware.device.ecc` — the :class:`EccScheme` protocol and
   its implementations: SECDED(72,64) controllers, DDR5 on-die SEC(136,128)
   and symbol-based chipkill;
-* :mod:`~repro.hardware.device.mitigations` — sampler-based TRR trackers
-  and the hammer-pattern planners (double-sided, many-sided/TRRespass,
-  throttled decoys) that decide which victim rows actually flip;
+* :mod:`~repro.hardware.device.mitigations` — TRR trackers (the
+  deterministic :class:`TrrSampler` priority queue and the per-activation
+  sampling :class:`ProbabilisticTrr`) and the hammer-pattern planners
+  (double-sided, many-sided/TRRespass, throttled decoys) that decide which
+  victim rows actually flip;
 * :mod:`~repro.hardware.device.profiles` — named :class:`DeviceProfile`
   bundles (``ddr3-noecc``, ``ddr4-trr``, ``ddr4-trrespass``, ``server-ecc``,
-  ``server-chipkill``, ``ddr5-ondie``, ``ddr4-vendor-haswell``, ``hbm2-gpu``)
-  that derive hardware budgets, templates, layouts and injectors.
+  ``server-chipkill``, ``ddr5-ondie``, ``ddr4-vendor-haswell``, ``hbm2-gpu``,
+  plus the Monte-Carlo ``stochastic-*`` variants) that derive hardware
+  budgets, templates, layouts and injectors.
 """
 
 from repro.hardware.device.dram import (
@@ -40,6 +45,7 @@ from repro.hardware.device.mitigations import (
     HAMMER_PATTERNS,
     HammerPattern,
     HammerPlan,
+    ProbabilisticTrr,
     TrrSampler,
     get_pattern,
     list_patterns,
@@ -73,6 +79,7 @@ __all__ = [
     "OnDieEcc",
     "ChipkillCode",
     "TrrSampler",
+    "ProbabilisticTrr",
     "HammerPattern",
     "HammerPlan",
     "HAMMER_PATTERNS",

@@ -14,6 +14,19 @@ broken towards lower row ids), and rows hammered below its activation
 ``threshold`` are never sampled at all.  A victim row flips only when *none*
 of its aggressors are tracked.
 
+Real in-DRAM trackers are *samplers*, not priority queues: each row
+activation has a small probability of being latched into the tracker, so a
+row's chance of being caught grows with how often it is activated but never
+reaches certainty — the attack's outcome is a success *rate*, not a boolean.
+:class:`ProbabilisticTrr` models that: per activation it samples with
+``sample_probability``, a row is a candidate when at least one of its
+activations was sampled, and per bank the ``tracker_size`` earliest-sampled
+candidates win.  Draws come from a caller-supplied
+:class:`numpy.random.Generator` (Monte-Carlo trials pass a per-trial one) or,
+when none is given, from a generator derived from the sampler's own ``seed``
+and the exact row/weight/bank inputs — so the single-shot repair path is
+deterministic and byte-identical across processes.
+
 :class:`HammerPattern` describes one access pattern the attacker can run —
 how hard the true aggressors are hammered, how many decoy rows per bank are
 hammered alongside them to soak up tracker entries, and the fraction of the
@@ -53,6 +66,7 @@ if TYPE_CHECKING:  # annotation-only: keeps this module import-light
 
 __all__ = [
     "TrrSampler",
+    "ProbabilisticTrr",
     "HammerPattern",
     "HammerPlan",
     "HAMMER_PATTERNS",
@@ -62,6 +76,29 @@ __all__ = [
     "flat_aggressor_rows",
     "plan_hammer",
 ]
+
+
+def _top_k_per_bank(
+    rows: np.ndarray, key: np.ndarray, banks: np.ndarray, k: int
+) -> np.ndarray:
+    """Rows winning the per-bank top-``k`` tracker contention.
+
+    Candidates are ranked within their bank by ascending ``key`` (ties
+    towards lower row ids) and the first ``k`` per bank win; the winners are
+    returned sorted.  Both tracker models share this selection — only the
+    ranking key differs (descending weight vs first-sample time).
+    """
+    if not rows.size:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((rows, key, banks))
+    sorted_banks = banks[order]
+    starts = np.flatnonzero(
+        np.concatenate([[True], sorted_banks[1:] != sorted_banks[:-1]])
+    )
+    rank_in_bank = np.arange(sorted_banks.size) - np.repeat(
+        starts, np.diff(np.append(starts, sorted_banks.size))
+    )
+    return np.sort(rows[order][rank_in_bank < k])
 
 
 @dataclass(frozen=True)
@@ -94,30 +131,126 @@ class TrrSampler:
         return f"trr({self.tracker_size}/bank, threshold {self.threshold})"
 
     def tracked_rows(
-        self, rows: np.ndarray, weights: np.ndarray, banks: np.ndarray
+        self,
+        rows: np.ndarray,
+        weights: np.ndarray,
+        banks: np.ndarray,
+        rng: "np.random.Generator | None" = None,
     ) -> np.ndarray:
         """Rows the tracker catches, given per-row activation weights.
 
         Per bank: among the rows with ``weight >= threshold``, the
         ``tracker_size`` highest-weight rows (ties towards lower row id).
+        ``rng`` is accepted (and ignored) so :func:`plan_hammer` can dispatch
+        deterministic and probabilistic samplers through one call.
         """
         rows = np.asarray(rows, dtype=np.int64)
         weights = np.asarray(weights, dtype=np.int64)
         banks = np.asarray(banks, dtype=np.int64)
         eligible = weights >= self.threshold
         rows, weights, banks = rows[eligible], weights[eligible], banks[eligible]
-        if not rows.size:
-            return np.empty(0, dtype=np.int64)
-        # Sort by (bank, -weight, row); the first tracker_size rows per bank win.
-        order = np.lexsort((rows, -weights, banks))
-        sorted_banks = banks[order]
-        starts = np.flatnonzero(
-            np.concatenate([[True], sorted_banks[1:] != sorted_banks[:-1]])
+        # Highest weight wins: rank by descending weight within each bank.
+        return _top_k_per_bank(rows, -weights, banks, self.tracker_size)
+
+
+@dataclass(frozen=True)
+class ProbabilisticTrr:
+    """Sampling model of a per-bank TRR aggressor tracker.
+
+    Hardware trackers latch a row on a randomly *sampled* activation rather
+    than maintaining exact counts, so a row activated ``a`` times is caught
+    with probability ``1 - (1 - p)**a`` — heavily-hammered rows are caught
+    almost surely, throttled rows mostly slip through, and nothing is certain.
+
+    Parameters
+    ----------
+    tracker_size:
+        Tracked rows per bank.  When more rows are sampled than fit, the
+        earliest-sampled candidates hold their entries — first-sample times
+        are exponential with rate proportional to each row's activation
+        count, so heavily hammered rows win the contention.
+    sample_probability:
+        Probability that any single activation is sampled into the tracker.
+    activations_per_weight:
+        Activations one unit of :class:`HammerPattern` weight represents;
+        converts the pattern's relative weights into activation counts.
+    seed:
+        Seed of the derived generator used when no ``rng`` is passed to
+        :meth:`tracked_rows`; the single-shot (non-Monte-Carlo) repair path
+        is then a pure function of ``(seed, rows, weights, banks)`` and is
+        byte-identical across processes and campaign executors.
+    """
+
+    tracker_size: int = 4
+    sample_probability: float = 0.02
+    activations_per_weight: int = 64
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.tracker_size < 1:
+            raise ConfigurationError("tracker_size must be >= 1")
+        if not 0.0 < self.sample_probability <= 1.0:
+            raise ConfigurationError("sample_probability must be in (0, 1]")
+        if self.activations_per_weight < 1:
+            raise ConfigurationError("activations_per_weight must be >= 1")
+        if self.seed < 0:
+            raise ConfigurationError("seed must be non-negative")
+
+    def describe(self) -> str:
+        return (
+            f"trr-sampling({self.tracker_size}/bank, "
+            f"p={self.sample_probability:g}/act)"
         )
-        rank_in_bank = np.arange(sorted_banks.size) - np.repeat(
-            starts, np.diff(np.append(starts, sorted_banks.size))
-        )
-        return np.sort(rows[order][rank_in_bank < self.tracker_size])
+
+    def catch_probabilities(self, weights: np.ndarray) -> np.ndarray:
+        """Probability each row is sampled at least once, given its weight."""
+        activations = np.asarray(weights, dtype=np.float64) * self.activations_per_weight
+        return 1.0 - np.power(1.0 - self.sample_probability, activations)
+
+    def tracked_rows(
+        self,
+        rows: np.ndarray,
+        weights: np.ndarray,
+        banks: np.ndarray,
+        rng: "np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """One sampled tracker outcome: which hammered rows get caught.
+
+        Each row is a candidate with its catch probability; per bank the
+        ``tracker_size`` candidates with the earliest first-sample time
+        occupy the tracker.  The first-sample time is an independent
+        exponential draw with rate proportional to the row's activation
+        count — heavily hammered rows are sampled earlier and hold their
+        entries against lightly hammered ones, which is exactly the
+        contention TRRespass decoys exploit.  Exactly ``2 * len(rows)``
+        uniforms are consumed from ``rng`` whatever the outcome, so equal
+        generator states give identical trackers.  Without an ``rng`` the
+        draws come from a generator derived from ``seed`` and the inputs via
+        :func:`repro.utils.rng.derive_seed` — deterministic, but independent
+        across distinct hammer plans.
+        """
+        from repro.utils.rng import derive_seed
+
+        rows = np.asarray(rows, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        banks = np.asarray(banks, dtype=np.int64)
+        if rng is None:
+            rng = np.random.default_rng(
+                derive_seed(
+                    "probabilistic-trr",
+                    self.seed,
+                    rows.tolist(),
+                    weights.tolist(),
+                    banks.tolist(),
+                )
+            )
+        draws = rng.random((2, rows.size))
+        caught = draws[0] < self.catch_probabilities(weights)
+        activations = weights.astype(np.float64) * self.activations_per_weight
+        times = -np.log1p(-draws[1]) / np.maximum(activations, 1.0)
+        rows, times, banks = rows[caught], times[caught], banks[caught]
+        # Earliest first-sample time wins its bank's tracker entries.
+        return _top_k_per_bank(rows, times, banks, self.tracker_size)
 
 
 @dataclass(frozen=True)
@@ -185,7 +318,7 @@ class HammerPlan:
     """
 
     pattern: HammerPattern
-    sampler: TrrSampler | None
+    sampler: "TrrSampler | ProbabilisticTrr | None"
     victims: np.ndarray
     aggressors: np.ndarray
     decoys: np.ndarray
@@ -337,7 +470,8 @@ def plan_hammer(
     *,
     geometry: "DramGeometry | None" = None,
     pattern: "str | HammerPattern" = "double-sided",
-    sampler: TrrSampler | None = None,
+    sampler: "TrrSampler | ProbabilisticTrr | None" = None,
+    rng: "np.random.Generator | None" = None,
 ) -> HammerPlan:
     """Plan one hammer pattern against a victim-row set under a TRR sampler.
 
@@ -348,7 +482,10 @@ def plan_hammer(
     pattern is what it is; the sampler only decides who gets *tracked*.
     Without a ``sampler`` every victim is feasible; with one, the tracker
     picks its rows from everything the pattern hammers and a victim
-    survives only if none of its aggressors are tracked.
+    survives only if none of its aggressors are tracked.  ``sampler`` may be
+    the deterministic :class:`TrrSampler` or a :class:`ProbabilisticTrr`;
+    ``rng`` (consumed only by the latter) selects one Monte-Carlo tracker
+    outcome — omit it for the seed-derived deterministic draw.
     """
     pattern = get_pattern(pattern)
     victims = np.unique(np.asarray(victim_row_ids, dtype=np.int64))
@@ -391,7 +528,9 @@ def plan_hammer(
             np.full(decoys.size, pattern.decoy_weight, dtype=np.int64),
         ]
     )
-    tracked = sampler.tracked_rows(hammered, weights, _bank_of(hammered, geometry))
+    tracked = sampler.tracked_rows(
+        hammered, weights, _bank_of(hammered, geometry), rng=rng
+    )
 
     # A victim flips only when no adjacent aggressor is being TRR-tracked:
     # a tracked aggressor's neighbours are refreshed before they can flip.

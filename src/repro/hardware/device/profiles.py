@@ -27,6 +27,11 @@ Shipped profiles (see :data:`DEVICE_PROFILES`):
   hash (:func:`~repro.hardware.device.dram.vendor_geometry`).
 * ``hbm2-gpu`` — GPU HBM2 stack: many channels, short rows, fast hammering,
   32-byte cacheline write-back granularity.
+* ``stochastic-*`` — Monte-Carlo variants of the above with per-cell flip
+  *landing* probabilities below 1.0 (and, on ``stochastic-trrespass``, a
+  sampling :class:`~repro.hardware.device.mitigations.ProbabilisticTrr`
+  tracker): lowering onto them with ``trials > 0`` reports success *rates*
+  with confidence intervals instead of a deterministic boolean outcome.
 
 Geometries are scaled down (KB-rows, thousands of rows) so the benchmark
 models' parameter regions span many rows and banks; the *structure* — field
@@ -36,12 +41,12 @@ as the seed experiment shrank ``row_bytes`` to keep row budgets meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.hardware.device.dram import DramGeometry, vendor_geometry
 from repro.hardware.device.ecc import ChipkillCode, EccScheme, OnDieEcc, SecdedCode
-from repro.hardware.device.mitigations import TrrSampler, get_pattern
+from repro.hardware.device.mitigations import ProbabilisticTrr, TrrSampler, get_pattern
 from repro.hardware.device.templates import FlipTemplate
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import derive_seed
@@ -79,18 +84,25 @@ class DeviceProfile:
     # Templated physical rows the attacker's massaging can steer each victim
     # row onto (1 = no placement control; limited by the templating budget).
     massage_frames: int = 64
-    # Sampler-based TRR tracker; None models either no mitigation or the
-    # legacy flat `max_rows` cap.  With a sampler, which victim rows flip is
-    # pattern-dependent (see repro.hardware.device.mitigations).
-    trr: TrrSampler | None = None
+    # TRR tracker: the deterministic TrrSampler, a sampling ProbabilisticTrr,
+    # or None for either no mitigation or the legacy flat `max_rows` cap.
+    # With a tracker, which victim rows flip is pattern-dependent (see
+    # repro.hardware.device.mitigations).
+    trr: "TrrSampler | ProbabilisticTrr | None" = None
     # Default hammer pattern the attacker runs on this device.
     hammer_pattern: str = "double-sided"
+    # Base probability that a feasible cell flips in one hammer burst; 1.0 is
+    # the deterministic model, < 1.0 makes lowering Monte-Carlo-sampled (the
+    # stochastic-* profiles).
+    landing_probability: float = 1.0
 
     def __post_init__(self):
         if not self.name:
             raise ConfigurationError("profile name must be non-empty")
         if not 0.0 < self.flip_probability <= 1.0:
             raise ConfigurationError("flip_probability must be in (0, 1]")
+        if not 0.0 < self.landing_probability <= 1.0:
+            raise ConfigurationError("landing_probability must be in (0, 1]")
         if self.massage_frames < 1:
             raise ConfigurationError("massage_frames must be >= 1")
         get_pattern(self.hammer_pattern)  # fail fast on unknown pattern names
@@ -117,6 +129,7 @@ class DeviceProfile:
             seed=derive_seed("flip-template", self.name, int(seed)),
             flip_probability=self.flip_probability,
             polarity_bias=self.polarity_bias,
+            landing_probability=self.landing_probability,
         )
 
     def injector(self) -> "RowHammerInjector":
@@ -142,6 +155,8 @@ class DeviceProfile:
         summary = f"{self.geometry.describe()}, ecc={ecc}"
         if self.trr is not None:
             summary += f", {self.trr.describe()}"
+        if self.landing_probability < 1.0:
+            summary += f", flip landing p={self.landing_probability:g}"
         return summary
 
 
@@ -298,6 +313,42 @@ register_profile(
         max_flips_per_word=8,
         max_rows=96,
         massage_frames=128,
+    )
+)
+
+# Monte-Carlo variants of the deterministic devices: identical geometry and
+# cell physics, but feasible cells land with per-cell probability < 1 in any
+# one hammer burst (and stochastic-trrespass swaps the deterministic TRR
+# priority queue for a sampling tracker).  These are what the --trials /
+# --flip-seed campaign axes of the hardware_cost experiment are for.
+register_profile(
+    replace(
+        DEVICE_PROFILES["ddr3-noecc"],
+        name="stochastic-ddr3",
+        description="ddr3-noecc with Monte-Carlo flip sampling (landing p = 0.75)",
+        landing_probability=0.75,
+    )
+)
+
+register_profile(
+    replace(
+        DEVICE_PROFILES["server-ecc"],
+        name="stochastic-server-ecc",
+        description="server-ecc with Monte-Carlo flip sampling (landing p = 0.85)",
+        landing_probability=0.85,
+    )
+)
+
+register_profile(
+    replace(
+        DEVICE_PROFILES["ddr4-trrespass"],
+        name="stochastic-trrespass",
+        description=(
+            "ddr4-trrespass with a sampling TRR tracker and Monte-Carlo flip "
+            "sampling (landing p = 0.85)"
+        ),
+        landing_probability=0.85,
+        trr=ProbabilisticTrr(tracker_size=4, sample_probability=0.02, seed=0),
     )
 )
 

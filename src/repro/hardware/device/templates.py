@@ -19,6 +19,20 @@ A planned bit flip is *feasible* only where its direction (taken from the
 original stored bit) matches the cell state; :meth:`FlipTemplate.feasible_mask`
 computes that per flip of a :class:`~repro.hardware.bitflip.BitFlipPlan`.
 
+Feasibility is the *deterministic* half of the model.  Real hammering is
+probabilistic on top of it: a feasible cell flips in any one hammer burst
+with some per-cell probability (charge retention varies cell to cell, and
+patterns that split their activation budget land fewer flips).
+:meth:`FlipTemplate.cell_flip_probabilities` derives that per-cell landing
+probability from the same counter-based hash — ``landing_probability``
+(scaled by a pattern's ``flip_yield``) sets the base rate and a hashed
+per-cell exponent spreads cells around it — and
+:meth:`FlipTemplate.sample_flips` draws one Monte-Carlo outcome per planned
+flip from a caller-supplied :class:`numpy.random.Generator`.  A base
+probability of exactly 1.0 makes every per-cell probability exactly 1.0, so
+``sample_flips`` then reproduces ``feasible_mask`` bit for bit and the
+deterministic pipeline is the probability-1.0 special case.
+
 Every lookup accepts an optional ``frames`` array modelling *memory
 massaging*: attackers do not accept wherever the OS happens to place the
 victim's rows — they steer each row onto one of many templated physical rows
@@ -86,11 +100,16 @@ class FlipTemplate:
     polarity_bias:
         Probability that a flippable cell is an anti-cell (0→1) rather than
         a true cell (1→0).
+    landing_probability:
+        Base probability that a *feasible* cell actually flips in one hammer
+        burst.  1.0 (the default) is the deterministic model: every feasible
+        flip lands, and :meth:`sample_flips` equals :meth:`feasible_mask`.
     """
 
     seed: int
     flip_probability: float = 0.5
     polarity_bias: float = 0.5
+    landing_probability: float = 1.0
 
     def __post_init__(self):
         if self.seed < 0:
@@ -99,6 +118,8 @@ class FlipTemplate:
             raise ConfigurationError("flip_probability must be in [0, 1]")
         if not 0.0 <= self.polarity_bias <= 1.0:
             raise ConfigurationError("polarity_bias must be in [0, 1]")
+        if not 0.0 < self.landing_probability <= 1.0:
+            raise ConfigurationError("landing_probability must be in (0, 1]")
 
     @property
     def _seed_mix(self) -> np.uint64:
@@ -191,6 +212,61 @@ class FlipTemplate:
         word_index, bit, address, _ = plan.as_arrays()
         original_bits = (np.asarray(original_words)[word_index].astype(np.int64) >> bit) & 1
         return self.feasible_cells(address, bit, original_bits, frames)
+
+    # -- stochastic sampling ---------------------------------------------------------
+    def cell_flip_probabilities(self, addresses, bits, frames=None, *, scale=1.0):
+        """Per-cell probability that a feasible flip lands in one hammer burst.
+
+        The base rate is ``landing_probability * scale`` (``scale`` is how a
+        :class:`~repro.hardware.device.mitigations.HammerPattern` feeds its
+        ``flip_yield`` in: splitting or throttling the activation budget costs
+        landing probability, not just per-row flip count).  Cells vary around
+        the base through a hashed exponent in ``[0.5, 2)`` — weak cells land
+        more reliably, marginal cells less — drawn from the same splitmix64
+        stream as the polarity map, so the probability map is as lazy,
+        deterministic and process-stable as the template itself.  A base of
+        exactly 1.0 yields exactly 1.0 everywhere (``1**e == 1``), which is
+        what makes the deterministic pipeline the probability-1.0 special
+        case of the sampled one.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        bits = np.asarray(bits, dtype=np.int64)
+        base = min(max(float(self.landing_probability) * float(scale), 0.0), 1.0)
+        if base >= 1.0:
+            return np.ones(np.broadcast(addresses, bits).shape, dtype=np.float64)
+        cell = (addresses.astype(np.uint64) << np.uint64(3)) + bits.astype(np.uint64)
+        if frames is not None:
+            cell = cell ^ _splitmix64(np.asarray(frames, dtype=np.int64).astype(np.uint64))
+        mixed = _splitmix64(cell ^ self._seed_mix)
+        # The low 16 bits are the only slice not already spent on the flip /
+        # polarity draws; map them to an exponent in [0.5, 2).
+        u = (mixed & np.uint64(0xFFFF)).astype(np.float64) / float(1 << 16)
+        return np.power(base, np.exp2(2.0 * u - 1.0))
+
+    def sample_flips(
+        self,
+        plan: BitFlipPlan,
+        original_words: np.ndarray,
+        rng: np.random.Generator,
+        frames=None,
+        *,
+        scale=1.0,
+    ) -> np.ndarray:
+        """One Monte-Carlo outcome of hammering a plan: which flips land.
+
+        A flip lands when its cell is feasible (:meth:`feasible_mask`) *and*
+        its Bernoulli draw from ``rng`` clears the cell's landing probability.
+        Exactly ``plan.num_flips`` uniforms are consumed from ``rng``
+        regardless of feasibility, so equal generator states give identical
+        samples — the same-seed determinism contract the Monte-Carlo trials
+        in :func:`repro.attacks.lowering.lower_attack` rely on.  With a base
+        probability of 1.0 every draw clears (uniforms live in ``[0, 1)``)
+        and the sample equals ``feasible_mask`` bit for bit.
+        """
+        feasible = self.feasible_mask(plan, original_words, frames)
+        _, bit, address, _ = plan.as_arrays()
+        probabilities = self.cell_flip_probabilities(address, bit, frames, scale=scale)
+        return feasible & (rng.random(probabilities.shape) < probabilities)
 
     def feasible_mask_reference(
         self, plan: BitFlipPlan, original_words: np.ndarray, frames=None

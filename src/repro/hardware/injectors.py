@@ -34,7 +34,16 @@ __all__ = ["InjectionCost", "Injector", "LaserBeamInjector", "RowHammerInjector"
 
 @dataclass(frozen=True)
 class InjectionCost:
-    """Estimated effort of executing a bit-flip plan."""
+    """Estimated effort of executing a bit-flip plan.
+
+    ``hammer_seconds`` is the pattern-dependent hammering effort (the part of
+    ``time_seconds`` that is not one-off setup); ``refresh_windows`` counts
+    the tREFW-sized hammer bursts the plan needs, and ``refresh_feasible`` is
+    whether every burst fits its refresh window at all — rowhammer races the
+    refresh interval, and a plan whose aggressors cannot accumulate enough
+    activations before the victim is refreshed can never complete.  Both stay
+    at their benign defaults for techniques without refresh timing (laser).
+    """
 
     technique: str
     feasible: bool
@@ -42,6 +51,9 @@ class InjectionCost:
     operations: int
     bit_flips: int
     notes: str = ""
+    hammer_seconds: float = 0.0
+    refresh_windows: int = 0
+    refresh_feasible: bool = True
 
     def as_dict(self) -> dict:
         return {
@@ -51,6 +63,9 @@ class InjectionCost:
             "operations": self.operations,
             "bit_flips": self.bit_flips,
             "notes": self.notes,
+            "hammer_seconds": self.hammer_seconds,
+            "refresh_windows": self.refresh_windows,
+            "refresh_feasible": self.refresh_feasible,
         }
 
 
@@ -137,6 +152,22 @@ class RowHammerInjector(Injector):
         ids, rows at a bank edge have a single usable aggressor, and rows in
         different banks never share one.  Without it, rows are treated as a
         flat sequence (the legacy ``row_bytes``-window model).
+    refresh_window_s:
+        Refresh period of any one row (tREFW: 8192 refresh commands issued
+        one per tREFI ≈ 7.8 µs ⇒ 64 ms).  A victim must see enough aggressor
+        activations *within one window* — afterwards it is recharged and the
+        accumulated disturbance is gone.
+    row_cycle_s:
+        Time of one row activation cycle (tRC).  ``refresh_window_s /
+        row_cycle_s`` is the per-bank activation budget of one window, split
+        across everything the pattern hammers in that bank in proportion to
+        its weights.
+    min_activations:
+        Activations an aggressor needs within one refresh window for its
+        victims to flip.  Banks whose per-window aggressor share falls below
+        it even for a single aggressor make the plan refresh-infeasible;
+        otherwise aggressors are hammered in per-window batches and the cost
+        reports how many windows the slowest bank needs.
     """
 
     technique = "rowhammer"
@@ -148,13 +179,21 @@ class RowHammerInjector(Injector):
         max_flips_per_row: int = 16,
         setup_seconds: float = 1800.0,
         geometry: "DramGeometry | None" = None,
+        refresh_window_s: float = 0.064,
+        row_cycle_s: float = 45e-9,
+        min_activations: int = 50_000,
     ):
         if seconds_per_row <= 0 or max_flips_per_row <= 0 or setup_seconds < 0:
             raise ConfigurationError("rowhammer injector parameters must be positive")
+        if refresh_window_s <= 0 or row_cycle_s <= 0 or min_activations < 1:
+            raise ConfigurationError("rowhammer refresh parameters must be positive")
         self.seconds_per_row = float(seconds_per_row)
         self.max_flips_per_row = int(max_flips_per_row)
         self.setup_seconds = float(setup_seconds)
         self.geometry = geometry
+        self.refresh_window_s = float(refresh_window_s)
+        self.row_cycle_s = float(row_cycle_s)
+        self.min_activations = int(min_activations)
 
     def aggressor_rows(self, victim_rows) -> np.ndarray:
         """Distinct aggressor rows needed for a set of victim rows.
@@ -169,6 +208,37 @@ class RowHammerInjector(Injector):
             return self.geometry.aggressor_row_ids(victims)
         return flat_aggressor_rows(victims)
 
+    def refresh_schedule(self, hammer) -> tuple[int, bool]:
+        """Fit a hammer plan into tREFW windows: ``(windows, feasible)``.
+
+        One refresh window offers ``refresh_window_s / row_cycle_s``
+        activations per bank, split across a batch of aggressors plus the
+        pattern's decoys in proportion to their weights (decoys must run in
+        the *same* window — their whole job is soaking the tracker while the
+        aggressors hammer).  The largest batch whose aggressors still reach
+        ``min_activations`` bounds how many aggressors a bank can serve per
+        window; aggressors beyond it wait for the next window.  Returns the
+        window count of the slowest bank (banks hammer in parallel) and
+        whether every bank can serve even one aggressor per window — when
+        not, the victims are refreshed before the disturbance accumulates
+        and no number of windows helps.
+        """
+        from repro.hardware.device.mitigations import _bank_of
+
+        pattern = hammer.pattern
+        window_slots = self.refresh_window_s / self.row_cycle_s
+        # Largest aggressor batch b s.t. window_slots * aw / (b*aw + D*dw)
+        # >= min_activations, i.e. b <= window_slots/min - D*dw/aw.
+        decoy_load = pattern.decoys_per_bank * pattern.decoy_weight
+        batch = int(window_slots / self.min_activations - decoy_load / pattern.aggressor_weight)
+        aggressor_banks = _bank_of(hammer.aggressors, self.geometry)
+        if not aggressor_banks.size:
+            return 0, True
+        if batch < 1:
+            return 0, False
+        _, per_bank = np.unique(aggressor_banks, return_counts=True)
+        return int(np.max(-(-per_bank // batch))), True
+
     def cost(self, plan: BitFlipPlan, *, pattern=None, trr=None) -> InjectionCost:
         """Estimate the effort of executing ``plan``.
 
@@ -181,7 +251,9 @@ class RowHammerInjector(Injector):
             once per bank, never once per victim — and its ``flip_yield``
             scales the per-row controlled-flip cap.
         trr:
-            Optional :class:`~repro.hardware.device.mitigations.TrrSampler`.
+            Optional TRR tracker
+            (:class:`~repro.hardware.device.mitigations.TrrSampler` or
+            :class:`~repro.hardware.device.mitigations.ProbabilisticTrr`).
             Victim rows the tracker saves make the plan infeasible as
             planned (the flips in those rows can never land).
         """
@@ -204,12 +276,22 @@ class RowHammerInjector(Injector):
         refreshed = int(hammer.refreshed_victims.size)
         if refreshed:
             notes.append(f"TRR refreshes {refreshed} victim rows before they flip")
-        time = self.setup_seconds + hammered.size * self.seconds_per_row / 2.0
+        windows, refresh_feasible = self.refresh_schedule(hammer)
+        if not refresh_feasible:
+            notes.append(
+                f"aggressors cannot reach {self.min_activations} activations "
+                f"within one {self.refresh_window_s * 1e3:g} ms refresh window "
+                f"under pattern {resolved.name!r}"
+            )
+        hammer_seconds = hammered.size * self.seconds_per_row / 2.0
         return InjectionCost(
             technique=self.technique,
-            feasible=not overloaded and not refreshed,
-            time_seconds=time,
+            feasible=not overloaded and not refreshed and refresh_feasible,
+            time_seconds=self.setup_seconds + hammer_seconds,
             operations=int(hammered.size),
             bit_flips=plan.num_flips,
             notes="; ".join(notes),
+            hammer_seconds=hammer_seconds,
+            refresh_windows=windows,
+            refresh_feasible=refresh_feasible,
         )

@@ -173,6 +173,34 @@ class TestDeviceProfileFlags:
         assert "sram-9000" in err
         assert "server-ecc" in err  # the error lists the registered names
 
+    def test_list_profiles_surfaces_stochastic_info(self, capsys):
+        # Campaign users must be able to discover the stochastic profiles:
+        # the listing shows each profile's flip-landing probability and
+        # whether its tracker samples per activation.
+        from repro.hardware.device import get_profile
+
+        assert main(["--list-profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "landing prob" in out
+        assert "stochastic-trrespass" in out
+        assert get_profile("stochastic-trrespass").trr.describe() in out
+        assert "--trials" in out and "--flip-seed" in out
+
+    def test_trials_and_flip_seed_flags_parse(self):
+        args = build_parser().parse_args(
+            ["hardware_cost", "--trials", "8", "--flip-seed", "3"]
+        )
+        assert args.trials == 8
+        assert args.flip_seed == 3
+        # Unset flags stay None so the experiment's defaults win.
+        default = build_parser().parse_args(["hardware_cost"])
+        assert default.trials is None and default.flip_seed is None
+
+    def test_negative_trials_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["hardware_cost", "--trials", "-1"])
+        assert "--trials must be >= 0" in capsys.readouterr().err
+
     def test_profile_passthrough_serial_matches_jobs(self, tmp_path, monkeypatch):
         # Runner UX satellite: the same --profile grid must produce
         # byte-identical tables whether run serially or with --jobs N.

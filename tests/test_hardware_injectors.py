@@ -150,3 +150,86 @@ class TestRowHammer:
         assert cost.feasible
         assert cost.time_seconds == pytest.approx(42.0)
         assert cost.bit_flips == 0
+        assert cost.hammer_seconds == 0.0
+        assert cost.refresh_windows == 0
+        assert cost.refresh_feasible
+
+    def test_invalid_refresh_config(self):
+        with pytest.raises(ConfigurationError):
+            RowHammerInjector(refresh_window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RowHammerInjector(min_activations=0)
+
+
+class TestRefreshWindowTiming:
+    """Regression pins for the tREFW-derived time model of rowhammer cost.
+
+    The numbers are intentionally hard-coded: the amortised hammer time and
+    window counts of the shipped patterns on the ``ddr4-trrespass`` device
+    are part of the reported tables, and a refactor that silently moves them
+    must fail here.
+    """
+
+    # Three clustered victims in bank 0 of the ddr4-trrespass geometry:
+    # the sandwiching aggressor pair {9, 13} is shared across the cluster.
+    PLAN = make_plan([(0, 0, 10), (1, 0, 11), (2, 0, 12)])
+
+    @pytest.fixture()
+    def injector(self):
+        from repro.hardware.device import get_profile
+
+        return get_profile("ddr4-trrespass").injector()
+
+    def test_double_sided_amortised_hammer_time(self, injector):
+        cost = injector.cost(self.PLAN, pattern="double-sided")
+        # 2 shared aggressors at 240 s per double-sided pair: 2 * 240 / 2.
+        assert cost.hammer_seconds == pytest.approx(240.0)
+        assert cost.time_seconds == pytest.approx(3600.0 + 240.0)
+        # Default window budget: 0.064 s / 45 ns = ~1.42 M activations, so a
+        # bank serves 28 aggressors per window; 2 aggressors fit in one.
+        assert cost.refresh_windows == 1
+        assert cost.refresh_feasible
+
+    def test_many_sided_pays_decoy_hammer_time(self, injector):
+        cost = injector.cost(self.PLAN, pattern="many-sided")
+        # The same 2 aggressors plus 8 decoys in the touched bank.
+        assert cost.operations == 10
+        assert cost.hammer_seconds == pytest.approx(10 * 240.0 / 2.0)
+        # Decoys soak 8 * 6 weight units of every window, leaving room for
+        # floor(28.4 - 24) = 4 aggressors per window: still one window.
+        assert cost.refresh_windows == 1
+        assert cost.refresh_feasible
+
+    def test_spread_plan_needs_multiple_windows(self, injector):
+        # Six isolated victims need 12 aggressors; at 28 per window that is
+        # still one window, but a tighter activation floor forces batching.
+        plan = make_plan([(i, 0, 10 * (i + 1)) for i in range(6)])
+        tight = RowHammerInjector(
+            seconds_per_row=injector.seconds_per_row,
+            setup_seconds=injector.setup_seconds,
+            geometry=injector.geometry,
+            min_activations=300_000,  # ~4.7 aggressors per window -> batch 4
+        )
+        cost = tight.cost(plan, pattern="double-sided")
+        assert cost.refresh_windows == 3  # ceil(12 / 4)
+        assert cost.refresh_feasible
+
+    def test_refresh_infeasible_plan_is_flagged_deterministically(self, injector):
+        # Under many-sided the decoys alone eat the window budget when each
+        # aggressor must accumulate 100 k activations: even one aggressor
+        # cannot finish before its victims are refreshed.
+        tight = RowHammerInjector(
+            seconds_per_row=injector.seconds_per_row,
+            setup_seconds=injector.setup_seconds,
+            geometry=injector.geometry,
+            min_activations=100_000,
+        )
+        first = tight.cost(self.PLAN, pattern="many-sided")
+        second = tight.cost(self.PLAN, pattern="many-sided")
+        assert not first.feasible
+        assert not first.refresh_feasible
+        assert first.refresh_windows == 0
+        assert "refresh window" in first.notes
+        assert first == second  # flagged deterministically, not sampled
+        # The same plan double-sided has no decoy load and stays feasible.
+        assert tight.cost(self.PLAN, pattern="double-sided").refresh_feasible
