@@ -33,7 +33,9 @@ from repro.experiments.campaign import (
     ArtifactStore,
     Campaign,
     CampaignResult,
+    ExecutorConfig,
     JobSpec,
+    make_executor,
     run_campaign,
 )
 from repro.experiments.common import (
@@ -55,6 +57,11 @@ from repro.experiments import (
     table3,
     table4,
 )
+
+# The campaign service (typed wire protocol, dispatcher, worker fleet).  The
+# import also registers the built-in "service-selftest" job kind, which
+# worker *subprocesses* need to find through _ensure_registrations().
+from repro.experiments import service  # noqa: E402
 
 EXPERIMENTS = {
     "table1": table1.run,

@@ -17,12 +17,16 @@ memoized and resumed uniformly:
 * :class:`ArtifactStore` — content-hash-keyed on-disk memoization of job
   results built on :class:`repro.utils.cache.DiskCache`; re-runs and resumed
   campaigns skip completed cells.
-* Executors — serial in-process execution, a ``multiprocessing.Pool``
-  backend and a ``concurrent.futures.ProcessPoolExecutor`` backend, selected
-  by :func:`make_executor` from the runner's ``--jobs`` / ``--executor``
-  flags.
+* Executors — four backends behind one :class:`ExecutorConfig` +
+  :func:`make_executor` factory and one ``run(campaign, *, registry,
+  on_event)`` contract: serial in-process execution, a
+  ``multiprocessing.Pool``, a ``concurrent.futures.ProcessPoolExecutor``,
+  and the socket-attached worker fleet of
+  :mod:`repro.experiments.service`.  The old positional constructors
+  survive as deprecation shims.
 * :func:`run_campaign` — dedupe, artifact lookup, victim-model warm-up,
-  dispatch, incremental artifact writes and a structured manifest.
+  dispatch, incremental artifact writes and a structured manifest
+  (:meth:`CampaignResult.write_manifest`).
 
 Determinism: each job derives its own seed from its spec via
 :func:`repro.utils.rng.derive_seed` before executing, and every random
@@ -32,14 +36,16 @@ and parallel runs produce identical tables cell for cell.
 
 from __future__ import annotations
 
+import json
 import math
 import multiprocessing
 import random
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
 import numpy as np
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
@@ -59,6 +65,8 @@ __all__ = [
     "Campaign",
     "CampaignStats",
     "CampaignResult",
+    "ExecutorConfig",
+    "Executor",
     "SerialExecutor",
     "MultiprocessingExecutor",
     "FuturesExecutor",
@@ -70,7 +78,7 @@ __all__ = [
 
 _LOGGER = get_logger("experiments.campaign")
 
-EXECUTOR_BACKENDS = ("serial", "multiprocessing", "process-pool")
+EXECUTOR_BACKENDS = ("serial", "multiprocessing", "process-pool", "fleet")
 
 
 # -- job specs and results -----------------------------------------------------------
@@ -202,11 +210,17 @@ class ArtifactStore:
     artifact.  Loading verifies the stored kind against the requesting spec,
     so a (astronomically unlikely) hash collision degrades to a cache miss
     rather than a wrong table cell.
+
+    The directory is sharded two levels deep by hash prefix
+    (``ab/cd/abcd....json``), so a store holding millions of memoized cells
+    keeps O(1) per-entry lookups instead of degrading with one giant flat
+    directory; entries written by pre-sharding versions are still found at
+    their flat paths.
     """
 
     def __init__(self, directory: str | Path | None = None, *, enabled: bool = True):
         base = Path(directory) if directory is not None else default_artifact_dir()
-        self.cache = DiskCache(base, enabled=enabled)
+        self.cache = DiskCache(base, enabled=enabled, shard_levels=2)
 
     @property
     def directory(self) -> Path:
@@ -297,40 +311,153 @@ def _execute_spec(spec: JobSpec) -> JobResult:
     return execute_job(spec, registry=_WORKER_REGISTRY)
 
 
-class SerialExecutor:
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """One configuration object for every executor backend.
+
+    The three in-process backends read ``backend``/``jobs``/``cache_dir``
+    only; the remaining fields configure the socket-attached worker fleet
+    (:mod:`repro.experiments.service`).  Construct one of these and hand it
+    to :func:`make_executor` — the per-class positional constructors are
+    deprecated.
+    """
+
+    backend: str = "serial"
+    jobs: int = 1
+    cache_dir: str | None = None
+    # -- fleet-only settings ---------------------------------------------------------
+    artifact_dir: str | None = None  # workers write results through this store
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral
+    lease_seconds: float = 30.0
+    heartbeat_seconds: float = 1.0
+    max_attempts: int = 3
+    spawn_workers: bool = True  # False = wait for externally attached workers
+
+    def __post_init__(self):
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ConfigurationError(
+                f"unknown executor backend {self.backend!r}; valid backends: "
+                f"{', '.join(EXECUTOR_BACKENDS)}"
+            )
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+
+class Executor:
+    """Base class of all campaign executors: one config, one run contract.
+
+    Subclasses set ``name``/``parallel`` and implement
+    ``run(campaign, *, registry=None, on_event=None)``, yielding one
+    :class:`JobResult` per pending job (any order).  ``campaign`` may be a
+    :class:`Campaign` (its deduplicated jobs run) or an iterable of
+    :class:`JobSpec`; ``on_event`` is an optional callable receiving
+    structured progress dictionaries (the seed of ROADMAP item 5's event
+    bus).
+
+    Constructing a subclass with the historical positional signature
+    ``(jobs, cache_dir)`` still works but emits a
+    :class:`DeprecationWarning`; pass an :class:`ExecutorConfig` instead.
+    """
+
+    name = "abstract"
+    parallel = False
+
+    def __init__(
+        self, config: ExecutorConfig | int | None = None, cache_dir: str | None = None
+    ):
+        if isinstance(config, ExecutorConfig):
+            if cache_dir is not None:
+                raise ConfigurationError(
+                    "pass cache_dir inside ExecutorConfig, not alongside it"
+                )
+            if config.backend != self.name:
+                config = replace(config, backend=self.name)
+        elif config is None and cache_dir is None:
+            config = ExecutorConfig(backend=self.name)
+        else:
+            warnings.warn(
+                f"{type(self).__name__}(jobs, cache_dir) is deprecated; build an "
+                f"ExecutorConfig(backend={self.name!r}, jobs=..., cache_dir=...) "
+                "and pass it to make_executor() or the constructor",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            jobs = 1 if config is None else config
+            if not isinstance(jobs, int) or isinstance(jobs, bool):
+                raise ConfigurationError(
+                    f"jobs must be an integer, got {type(jobs).__name__}"
+                )
+            config = ExecutorConfig(backend=self.name, jobs=jobs, cache_dir=cache_dir)
+        self.config = config
+
+    @property
+    def jobs(self) -> int:
+        """Degree of parallelism this executor reports in campaign stats."""
+        return self.config.jobs
+
+    @property
+    def cache_dir(self) -> str | None:
+        """Model-cache override handed to worker processes."""
+        return self.config.cache_dir
+
+    @staticmethod
+    def _pending_specs(campaign) -> list[JobSpec]:
+        """Normalise the ``run`` argument to a job list."""
+        if isinstance(campaign, Campaign):
+            return campaign.unique_jobs()
+        return list(campaign)
+
+    @staticmethod
+    def _emit(on_event, event: str, **detail) -> None:
+        if on_event is not None:
+            payload = {"event": event}
+            payload.update(detail)
+            on_event(payload)
+
+    def run(
+        self, campaign, *, registry: ModelRegistry | None = None, on_event=None
+    ) -> Iterator[JobResult]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
     """Run every job in the current process, in submission order."""
 
     name = "serial"
     parallel = False
 
-    def __init__(self, jobs: int = 1, cache_dir: str | None = None):
-        self.jobs = 1
+    @property
+    def jobs(self) -> int:
+        return 1
 
     def run(
-        self, specs: Iterable[JobSpec], *, registry: ModelRegistry | None = None
+        self, campaign, *, registry: ModelRegistry | None = None, on_event=None
     ) -> Iterator[JobResult]:
-        """Yield one result per spec as it completes."""
-        for spec in specs:
-            yield execute_job(spec, registry=registry)
+        """Yield one result per job as it completes."""
+        for spec in self._pending_specs(campaign):
+            self._emit(on_event, "job-started", key=spec.key, kind=spec.kind)
+            result = execute_job(spec, registry=registry)
+            self._emit(
+                on_event, "job-done", key=result.key, kind=result.kind,
+                elapsed=result.elapsed,
+            )
+            yield result
 
 
-class MultiprocessingExecutor:
+class MultiprocessingExecutor(Executor):
     """Fan jobs out to a ``multiprocessing.Pool`` of worker processes."""
 
     name = "multiprocessing"
     parallel = True
 
-    def __init__(self, jobs: int, cache_dir: str | None = None):
-        if jobs < 1:
-            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-        self.jobs = jobs
-        self.cache_dir = cache_dir
-
     def run(
-        self, specs: Iterable[JobSpec], *, registry: ModelRegistry | None = None
+        self, campaign, *, registry: ModelRegistry | None = None, on_event=None
     ) -> Iterator[JobResult]:
         """Yield results as workers complete them (unordered)."""
-        specs = list(specs)
+        specs = self._pending_specs(campaign)
         with multiprocessing.Pool(
             processes=min(self.jobs, max(len(specs), 1)),
             initializer=_init_worker,
@@ -338,30 +465,29 @@ class MultiprocessingExecutor:
         ) as pool:
             # Unordered: results are keyed by spec hash, so arrival order is
             # irrelevant and the parent can persist each artifact immediately.
-            yield from pool.imap_unordered(_execute_spec, specs)
+            for result in pool.imap_unordered(_execute_spec, specs):
+                self._emit(
+                    on_event, "job-done", key=result.key, kind=result.kind,
+                    elapsed=result.elapsed,
+                )
+                yield result
 
     def _initargs(self, registry: ModelRegistry | None) -> tuple[str | None, bool]:
         cache_dir, cache_disabled = _worker_registry_config(registry)
         return (self.cache_dir or cache_dir, cache_disabled)
 
 
-class FuturesExecutor:
+class FuturesExecutor(Executor):
     """Fan jobs out through ``concurrent.futures.ProcessPoolExecutor``."""
 
     name = "process-pool"
     parallel = True
 
-    def __init__(self, jobs: int, cache_dir: str | None = None):
-        if jobs < 1:
-            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-        self.jobs = jobs
-        self.cache_dir = cache_dir
-
     def run(
-        self, specs: Iterable[JobSpec], *, registry: ModelRegistry | None = None
+        self, campaign, *, registry: ModelRegistry | None = None, on_event=None
     ) -> Iterator[JobResult]:
         """Yield results as workers complete them (unordered)."""
-        specs = list(specs)
+        specs = self._pending_specs(campaign)
         cache_dir, cache_disabled = _worker_registry_config(registry)
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, max(len(specs), 1)),
@@ -372,28 +498,61 @@ class FuturesExecutor:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    yield future.result()
+                    result = future.result()
+                    self._emit(
+                        on_event, "job-done", key=result.key, kind=result.kind,
+                        elapsed=result.elapsed,
+                    )
+                    yield result
 
 
-def make_executor(jobs: int = 1, backend: str | None = None, cache_dir: str | None = None):
-    """Build an executor from the runner's ``--jobs`` / ``--executor`` flags.
+def _executor_class(backend: str):
+    if backend == "fleet":
+        # Imported lazily: the service package depends on this module.
+        from repro.experiments.service.fleet import FleetExecutor
 
-    ``backend=None`` selects serial execution for ``jobs <= 1`` and the
-    ``concurrent.futures`` process pool otherwise.
+        return FleetExecutor
+    return {
+        "serial": SerialExecutor,
+        "multiprocessing": MultiprocessingExecutor,
+        "process-pool": FuturesExecutor,
+    }[backend]
+
+
+def make_executor(
+    config: ExecutorConfig | int | None = None,
+    backend: str | None = None,
+    cache_dir: str | None = None,
+    *,
+    jobs: int | None = None,
+):
+    """Build an executor from an :class:`ExecutorConfig`.
+
+    The historical ``make_executor(jobs, backend, cache_dir)`` call shape is
+    still accepted: it is normalised into a config, with ``backend=None``
+    selecting serial execution for ``jobs <= 1`` and the
+    ``concurrent.futures`` process pool otherwise.  Unknown backends raise
+    :class:`~repro.utils.errors.ConfigurationError` (a :class:`ValueError`)
+    naming the valid choices.
     """
-    if jobs < 1:
-        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    if backend is None:
-        backend = "serial" if jobs <= 1 else "process-pool"
-    if backend == "serial":
-        return SerialExecutor(jobs, cache_dir)
-    if backend == "multiprocessing":
-        return MultiprocessingExecutor(jobs, cache_dir)
-    if backend == "process-pool":
-        return FuturesExecutor(jobs, cache_dir)
-    raise ConfigurationError(
-        f"unknown executor backend {backend!r}; expected one of {EXECUTOR_BACKENDS}"
-    )
+    if isinstance(config, ExecutorConfig):
+        if backend is not None or cache_dir is not None or jobs is not None:
+            raise ConfigurationError(
+                "make_executor(config) takes no extra arguments; put backend/"
+                "jobs/cache_dir inside the ExecutorConfig"
+            )
+    else:
+        legacy_jobs = jobs if jobs is not None else config
+        if legacy_jobs is None:
+            legacy_jobs = 1
+        if not isinstance(legacy_jobs, int) or isinstance(legacy_jobs, bool):
+            raise ConfigurationError(
+                f"jobs must be an integer, got {type(legacy_jobs).__name__}"
+            )
+        if backend is None:
+            backend = "serial" if legacy_jobs <= 1 else "process-pool"
+        config = ExecutorConfig(backend=backend, jobs=legacy_jobs, cache_dir=cache_dir)
+    return _executor_class(config.backend)(config)
 
 
 # -- campaigns -----------------------------------------------------------------------
@@ -500,6 +659,60 @@ class CampaignResult:
             "jobs": jobs_detail,
         }
 
+    def canonical_manifest(self) -> dict:
+        """Executor-independent view of the run: identities and numbers only.
+
+        Two runs of the same campaign — serial, process pool, or a worker
+        fleet with members dying mid-run — must produce byte-identical
+        canonical manifests: jobs are sorted by content hash and volatile
+        fields (timings, cache hits, executor identity) are excluded, while
+        every metric value is included (NaN as ``null``, the store's
+        convention).  This is the artifact the service's acceptance checks
+        diff.
+        """
+        jobs_detail = []
+        by_key = {spec.key: spec for spec in self.campaign.jobs}
+        for key in sorted(by_key):
+            spec = by_key[key]
+            result = self.results.get(key)
+            detail = spec.as_dict()
+            detail["status"] = "missing" if result is None else "completed"
+            if result is not None:
+                detail["metrics"] = {
+                    name: None if math.isnan(value) else value
+                    for name, value in sorted(result.metrics.items())
+                }
+            jobs_detail.append(detail)
+        return {
+            "campaign": self.campaign.name,
+            "scale": self.campaign.scale,
+            "seed": self.campaign.seed,
+            "total_jobs": self.stats.total,
+            "jobs": jobs_detail,
+        }
+
+    def write_manifest(
+        self, path: str | Path, *, command: dict | None = None, canonical: bool = False
+    ) -> Path:
+        """Write the run manifest as indented, sorted, strict JSON.
+
+        The one manifest-serialisation code path shared by the CLI runner and
+        the campaign service.  ``command`` attaches the invoking command line
+        (ignored for canonical manifests, which must stay run-independent);
+        ``canonical=True`` writes :meth:`canonical_manifest` instead of the
+        full :meth:`manifest`.
+        """
+        payload = self.canonical_manifest() if canonical else self.manifest()
+        if command is not None and not canonical:
+            payload["command"] = dict(command)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
 
 def _warm_model_caches(campaign: Campaign, pending, registry: ModelRegistry | None) -> None:
     """Train every victim model the pending jobs need before fanning out.
@@ -527,6 +740,7 @@ def run_campaign(
     jobs: int = 1,
     executor=None,
     store: ArtifactStore | None = None,
+    on_event=None,
 ) -> CampaignResult:
     """Execute a campaign and return its results and statistics.
 
@@ -538,17 +752,24 @@ def run_campaign(
         Model registry for victim models.  Serial execution uses it directly;
         parallel executors give each worker a registry sharing its disk cache.
     jobs, executor:
-        Parallelism degree and backend.  ``executor`` may be a backend name
-        (see :data:`EXECUTOR_BACKENDS`), an executor instance, or ``None`` to
+        Parallelism degree and backend.  ``executor`` may be an
+        :class:`ExecutorConfig`, a backend name (see
+        :data:`EXECUTOR_BACKENDS`), an executor instance, or ``None`` to
         choose from ``jobs``.
     store:
         Optional artifact store.  Completed cells found in the store are not
         re-executed; freshly executed cells are persisted one by one, so an
         interrupted campaign resumes where it stopped.
+    on_event:
+        Optional callback receiving structured progress dictionaries
+        (cache hits, job completions, fleet worker attach/detach).  Fleet
+        events arrive from a background thread.
     """
     started = time.perf_counter()
     store = store if store is not None else ArtifactStore(enabled=False)
-    if executor is None or isinstance(executor, str):
+    if isinstance(executor, ExecutorConfig):
+        executor = make_executor(executor)
+    elif executor is None or isinstance(executor, str):
         executor = make_executor(jobs=jobs, backend=executor)
 
     unique = campaign.unique_jobs()
@@ -558,6 +779,7 @@ def run_campaign(
         cached = store.load(spec)
         if cached is not None:
             results[spec.key] = cached
+            Executor._emit(on_event, "job-cached", key=spec.key, kind=spec.kind)
         else:
             pending.append(spec)
     cache_hits = len(results)
@@ -575,7 +797,7 @@ def run_campaign(
     warmup_reaches_workers = registry is None or registry.disk_cache.enabled
     if pending and executor.parallel and warmup_reaches_workers:
         _warm_model_caches(campaign, pending, registry)
-    for result in executor.run(pending, registry=registry):
+    for result in executor.run(pending, registry=registry, on_event=on_event):
         store.store(result)
         results[result.key] = result
 

@@ -29,12 +29,21 @@ flip seed for an independent replication of the whole grid::
 
     repro-experiments hardware_cost --scale ci --profile stochastic-trrespass \
         --trials 32 --flip-seed 1
+
+Run a campaign on the worker fleet: a dispatcher plus N socket-attached
+worker processes (byte-identical to the serial tables)::
+
+    repro-experiments hardware_cost --scale ci --executor fleet --workers 2
+
+With ``--workers 0`` the dispatcher spawns nothing and waits for workers
+started by hand (attach and detach them while the campaign runs)::
+
+    python -m repro.experiments.service --host 127.0.0.1 --port <port> &
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -43,6 +52,8 @@ from repro.experiments import CAMPAIGNS
 from repro.experiments.campaign import (
     EXECUTOR_BACKENDS,
     ArtifactStore,
+    ExecutorConfig,
+    make_executor,
     run_campaign,
 )
 from repro.utils.logging import set_verbosity
@@ -87,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=list(EXECUTOR_BACKENDS),
         help="executor backend (default: serial for --jobs 1, process-pool otherwise)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="socket-attached worker processes for --executor fleet "
+        "(default: 2; 0 = spawn none and wait for externally started "
+        "workers to attach)",
     )
     parser.add_argument(
         "--artifact-dir",
@@ -236,6 +256,11 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.trials is not None and args.trials < 0:
         parser.error(f"--trials must be >= 0, got {args.trials}")
+    if args.workers is not None:
+        if args.executor != "fleet":
+            parser.error("--workers requires --executor fleet")
+        if args.workers < 0:
+            parser.error(f"--workers must be >= 0, got {args.workers}")
 
     store = None
     if args.artifact_dir is not None or args.resume:
@@ -244,6 +269,18 @@ def main(argv: list[str] | None = None) -> int:
         store = ArtifactStore(args.artifact_dir)
     if args.output_dir is not None:
         args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    executor = args.executor
+    if args.executor == "fleet":
+        workers = 2 if args.workers is None else args.workers
+        executor = make_executor(
+            ExecutorConfig(
+                backend="fleet",
+                jobs=max(workers, 1),
+                artifact_dir=str(store.directory) if store is not None else None,
+                spawn_workers=workers > 0,
+            )
+        )
 
     names = sorted(CAMPAIGNS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -259,7 +296,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.flip_seed is not None and name == "hardware_cost":
             extra["flip_seed"] = args.flip_seed
         campaign = build_campaign(args.scale, seed=args.seed, **extra)
-        result = run_campaign(campaign, jobs=args.jobs, executor=args.executor, store=store)
+        result = run_campaign(campaign, jobs=args.jobs, executor=executor, store=store)
         table = assemble(campaign, result)
         elapsed = time.time() - started
         stats = result.stats
@@ -273,25 +310,29 @@ def main(argv: list[str] | None = None) -> int:
         if args.output_dir is not None:
             path = args.output_dir / f"{name}_{args.scale}.csv"
             table.save(path, "csv")
-            manifest = result.manifest()
-            manifest["command"] = {
-                "experiment": name,
-                "scale": args.scale,
-                "seed": args.seed,
-                "jobs": args.jobs,
-                "executor": stats.executor,
-                "artifact_dir": str(store.directory) if store is not None else None,
-                "profiles": list(args.profile) if args.profile else None,
-                "hammer_patterns": list(args.hammer_pattern) if args.hammer_pattern else None,
-                "trials": args.trials,
-                "flip_seed": args.flip_seed,
-            }
-            manifest_path = args.output_dir / f"{name}_{args.scale}_manifest.json"
-            manifest_path.write_text(
-                json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            manifest_path = result.write_manifest(
+                args.output_dir / f"{name}_{args.scale}_manifest.json",
+                command={
+                    "experiment": name,
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "jobs": args.jobs,
+                    "executor": stats.executor,
+                    "workers": args.workers,
+                    "artifact_dir": str(store.directory) if store is not None else None,
+                    "profiles": list(args.profile) if args.profile else None,
+                    "hammer_patterns": list(args.hammer_pattern) if args.hammer_pattern else None,
+                    "trials": args.trials,
+                    "flip_seed": args.flip_seed,
+                },
+            )
+            canonical_path = result.write_manifest(
+                args.output_dir / f"{name}_{args.scale}_manifest.canonical.json",
+                canonical=True,
             )
             print(f"[saved {path}]", file=sys.stderr)
             print(f"[saved {manifest_path}]", file=sys.stderr)
+            print(f"[saved {canonical_path}]", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,12 @@
+"""``python -m repro.experiments.service`` — run one detachable worker.
+
+A thin delegate to :func:`repro.experiments.service.worker.main`.  Spawning
+through the package (rather than ``-m repro.experiments.service.worker``)
+avoids runpy re-executing the worker module under the name ``__main__``
+after the package import already loaded it.
+"""
+
+from repro.experiments.service.worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

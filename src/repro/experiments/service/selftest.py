@@ -1,0 +1,32 @@
+"""Built-in diagnostic job kind for exercising the fleet path cheaply.
+
+Lives in its own module (imported exactly once, via the package) rather than
+in ``worker.py``: running ``python -m repro.experiments.service.worker``
+loads that file a second time under the name ``__main__``, and a job kind
+registered there would collide with its package-imported twin.
+
+Worker *subprocesses* only see job kinds registered at package import time,
+so test-local kinds cannot cross the socket; this one ships with the package
+and lets the fleet tests and smoke checks drive the full
+dispatcher/worker/requeue machinery without training a model.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.campaign import register_job
+
+__all__ = ["SELFTEST_KIND"]
+
+SELFTEST_KIND = "service-selftest"
+
+
+@register_job(SELFTEST_KIND)
+def _selftest_job(*, registry=None, value, sleep=0.0, fail=False):
+    """Cheap arithmetic job with an optional delay and forced failure."""
+    if fail:
+        raise RuntimeError(f"selftest failure requested for value={value}")
+    if sleep:
+        time.sleep(float(sleep))
+    return {"value": float(value), "square": float(value) * float(value)}

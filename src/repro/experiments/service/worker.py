@@ -1,0 +1,264 @@
+"""Campaign worker: attach to a dispatcher over TCP and execute jobs.
+
+A worker is one process that connects to a running
+:class:`~repro.experiments.service.dispatcher.Dispatcher`, announces itself
+with :class:`~.protocol.WorkerHello`, and then executes every
+:class:`~.protocol.JobClaim` it is granted through the same
+:func:`repro.experiments.campaign.execute_job` path the in-process executors
+use — each job re-derives its seed from its spec, so a fleet of divergent
+workers converges on the exact tables a serial run produces.
+
+Execution runs on a helper thread so the asyncio loop keeps sending
+heartbeats while a long ADMM solve holds the CPU; the heartbeats carry the
+current job key and extend its lease.  Results are written through the
+artifact store *before* the :class:`~.protocol.JobDone` frame is sent, so a
+dispatcher crash never loses a finished cell.
+
+Run standalone (detachable: start and stop workers while a campaign runs)::
+
+    python -m repro.experiments.service --host 127.0.0.1 --port 7777
+
+or programmatically via :func:`run_worker` /
+:func:`repro.experiments.service.fleet.spawn_worker_process`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+from repro.experiments.campaign import ArtifactStore, JobSpec, execute_job
+from repro.experiments.service.protocol import (
+    MAX_FRAME_BYTES,
+    Heartbeat,
+    JobClaim,
+    JobDone,
+    JobFailed,
+    ProtocolError,
+    WorkerGoodbye,
+    WorkerHello,
+    decode_frame,
+    encode_frame,
+    encode_metrics,
+)
+from repro.utils.cache import DiskCache
+from repro.utils.logging import get_logger, set_verbosity
+from repro.zoo.registry import ModelRegistry
+
+__all__ = ["Worker", "run_worker", "main"]
+
+_LOGGER = get_logger("experiments.service.worker")
+
+
+class Worker:
+    """One socket-attached campaign worker.
+
+    Parameters
+    ----------
+    host, port:
+        Dispatcher address.
+    worker_id:
+        Stable identity on the wire; defaults to ``worker-<pid>``.
+    cache_dir, cache_disabled:
+        Model-registry disk cache the worker's jobs load victim models from
+        (the same contract as the pool executors' ``_init_worker``).
+    artifact_dir:
+        When given, finished results are written through an
+        :class:`~repro.experiments.campaign.ArtifactStore` rooted there
+        before the JobDone frame is sent.
+    heartbeat_seconds:
+        Interval of the liveness beacon that extends job leases.
+    max_jobs:
+        Detach gracefully (WorkerGoodbye) after this many completed claims;
+        ``None`` means serve until the dispatcher closes the connection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        worker_id: str | None = None,
+        cache_dir: str | None = None,
+        cache_disabled: bool = False,
+        artifact_dir: str | None = None,
+        heartbeat_seconds: float = 1.0,
+        max_jobs: int | None = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self.heartbeat_seconds = float(heartbeat_seconds)
+        self.max_jobs = max_jobs
+        if cache_disabled:
+            self.registry: ModelRegistry | None = ModelRegistry(DiskCache(enabled=False))
+        elif cache_dir is not None:
+            self.registry = ModelRegistry(DiskCache(cache_dir))
+        else:
+            self.registry = None
+        self.store = ArtifactStore(artifact_dir) if artifact_dir is not None else None
+        self.jobs_completed = 0
+        self._current_key = ""
+
+    async def run(self) -> int:
+        """Attach, serve claims until detached; returns jobs completed."""
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_FRAME_BYTES
+        )
+        executor = ThreadPoolExecutor(max_workers=1)
+        heartbeat: asyncio.Task | None = None
+        try:
+            writer.write(encode_frame(WorkerHello(worker_id=self.worker_id, pid=os.getpid())))
+            await writer.drain()
+            heartbeat = asyncio.get_running_loop().create_task(self._beat(writer))
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_frame(line)
+                except ProtocolError as exc:
+                    _LOGGER.warning("dropping bad frame from dispatcher: %s", exc)
+                    continue
+                if not isinstance(message, JobClaim):
+                    _LOGGER.warning("ignoring unexpected %s frame", message.TYPE_NAME)
+                    continue
+                await self._execute_claim(message, writer, executor)
+                if self.max_jobs is not None and self.jobs_completed >= self.max_jobs:
+                    writer.write(
+                        encode_frame(
+                            WorkerGoodbye(worker_id=self.worker_id, reason="max-jobs")
+                        )
+                    )
+                    await writer.drain()
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if heartbeat is not None:
+                heartbeat.cancel()
+            executor.shutdown(wait=False, cancel_futures=True)
+            writer.close()
+        return self.jobs_completed
+
+    async def _execute_claim(
+        self,
+        claim: JobClaim,
+        writer: asyncio.StreamWriter,
+        executor: ThreadPoolExecutor,
+    ) -> None:
+        spec = JobSpec.make(claim.kind, **claim.params)
+        self._current_key = claim.job_key
+        try:
+            if spec.key != claim.job_key:
+                raise ProtocolError(
+                    f"claim integrity failure: dispatcher key {claim.job_key} != "
+                    f"locally recomputed key {spec.key}"
+                )
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                executor, partial(execute_job, spec, registry=self.registry)
+            )
+            if self.store is not None:
+                self.store.store(result)
+            reply = JobDone(
+                worker_id=self.worker_id,
+                job_key=claim.job_key,
+                metrics=encode_metrics(result.metrics),
+                elapsed=result.elapsed,
+            )
+            self.jobs_completed += 1
+        except Exception as exc:  # noqa: BLE001 - reported to the dispatcher
+            reply = JobFailed(
+                worker_id=self.worker_id,
+                job_key=claim.job_key,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback.format_exc(),
+            )
+        finally:
+            self._current_key = ""
+        writer.write(encode_frame(reply))
+        await writer.drain()
+
+    async def _beat(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.heartbeat_seconds)
+                writer.write(
+                    encode_frame(
+                        Heartbeat(worker_id=self.worker_id, job_key=self._current_key)
+                    )
+                )
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+
+
+def run_worker(
+    host: str,
+    port: int,
+    **kwargs,
+) -> int:
+    """Synchronous wrapper: attach one worker and serve until detached."""
+    return asyncio.run(Worker(host, port, **kwargs).run())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for a standalone, detachable worker process."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.service",
+        description="Attach one campaign worker to a running dispatcher.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="dispatcher host")
+    parser.add_argument("--port", type=int, required=True, help="dispatcher port")
+    parser.add_argument("--worker-id", default=None, help="wire identity (default: worker-<pid>)")
+    parser.add_argument(
+        "--cache-dir", default=None, help="model-registry disk cache directory"
+    )
+    parser.add_argument(
+        "--cache-disabled",
+        action="store_true",
+        help="run with the model disk cache disabled (forced retraining)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="write finished results through an artifact store rooted here",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="heartbeat interval (default: 1.0)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="detach gracefully after N completed jobs",
+    )
+    parser.add_argument("--verbose", action="store_true", help="log job progress to stderr")
+    args = parser.parse_args(argv)
+    set_verbosity("info" if args.verbose else "warning")
+    completed = run_worker(
+        args.host,
+        args.port,
+        worker_id=args.worker_id,
+        cache_dir=args.cache_dir,
+        cache_disabled=args.cache_disabled,
+        artifact_dir=args.artifact_dir,
+        heartbeat_seconds=args.heartbeat,
+        max_jobs=args.max_jobs,
+    )
+    _LOGGER.info("worker detached after %d job(s)", completed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -88,14 +88,47 @@ class DiskCache:
     enabled:
         When ``False`` every lookup misses and writes are dropped, which is
         convenient for tests.
+    shard_levels:
+        Number of two-hex-character directory levels between the root and
+        each entry (``0`` keeps the historical flat layout).  A store of
+        millions of memoized campaign cells keeps O(1) lookups with two
+        levels (``ab/cd/abcd....json``); without sharding a single flat
+        directory degrades on most filesystems.  Lookups in a sharded cache
+        fall back to the flat path, so pre-existing flat stores stay
+        readable in place.
     """
 
-    def __init__(self, directory: str | Path | None = None, *, enabled: bool = True):
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        enabled: bool = True,
+        shard_levels: int = 0,
+    ):
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.enabled = enabled
+        if shard_levels < 0 or shard_levels > 4:
+            raise ValueError(f"shard_levels must be in [0, 4], got {shard_levels}")
+        self.shard_levels = shard_levels
+
+    def _entry_path(self, key: str, suffix: str) -> Path:
+        base = self.directory
+        for level in range(self.shard_levels):
+            base = base / key[2 * level : 2 * level + 2]
+        return base / f"{key}{suffix}"
+
+    def _lookup_path(self, key: str, suffix: str) -> Path:
+        """Resolve reads: the sharded path, or the legacy flat one if only
+        that exists (stores written before sharding was enabled)."""
+        path = self._entry_path(key, suffix)
+        if self.shard_levels and not path.exists():
+            flat = self.directory / f"{key}{suffix}"
+            if flat.exists():
+                return flat
+        return path
 
     def _path_for(self, key: str) -> Path:
-        return self.directory / f"{key}.npz"
+        return self._lookup_path(key, ".npz")
 
     def key_for(self, config: dict) -> str:
         """Return the cache key for a configuration dictionary."""
@@ -121,9 +154,9 @@ class DiskCache:
         """Atomically store a dictionary of arrays under ``key``."""
         if not self.enabled:
             return
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path_for(key)
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".npz.tmp")
+        path = self._entry_path(key, ".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **arrays)
@@ -139,7 +172,7 @@ class DiskCache:
     # but live in ``.json`` files so they stay human-inspectable.
 
     def _json_path_for(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+        return self._lookup_path(key, ".json")
 
     def contains_json(self, key: str) -> bool:
         """Return whether a JSON entry exists for ``key``."""
@@ -165,10 +198,10 @@ class DiskCache:
         """
         if not self.enabled:
             return
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._json_path_for(key)
+        path = self._entry_path(key, ".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
         encoded = json.dumps(payload, sort_keys=True, default=str, allow_nan=False)
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".json.tmp")
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".json.tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(encoded)
@@ -184,7 +217,8 @@ class DiskCache:
             return 0
         removed = 0
         for pattern in ("*.npz", "*.json"):
-            for entry in self.directory.glob(pattern):
+            # rglob covers the flat layout and every shard level.
+            for entry in self.directory.rglob(pattern):
                 entry.unlink()
                 removed += 1
         return removed

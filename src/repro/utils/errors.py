@@ -9,8 +9,14 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
-class ConfigurationError(ReproError):
-    """An object was configured with invalid or inconsistent options."""
+class ConfigurationError(ReproError, ValueError):
+    """An object was configured with invalid or inconsistent options.
+
+    Also a :class:`ValueError`: an invalid option *is* an invalid value, and
+    callers holding only standard-library expectations (e.g. the campaign
+    executor factory's unknown-backend rejection) can catch it without
+    importing this module.
+    """
 
 
 class ShapeError(ReproError):

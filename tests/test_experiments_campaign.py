@@ -15,6 +15,7 @@ from repro.experiments.campaign import (
     EXECUTOR_BACKENDS,
     ArtifactStore,
     Campaign,
+    ExecutorConfig,
     FuturesExecutor,
     JobSpec,
     MultiprocessingExecutor,
@@ -118,6 +119,93 @@ class TestMakeExecutor:
         with pytest.raises(ConfigurationError):
             make_executor(0)
 
+    def test_unknown_backend_is_a_value_error_naming_the_choices(self):
+        # The redesigned API contract: unknown backends raise a ValueError
+        # whose message lists every valid backend.
+        with pytest.raises(ValueError) as excinfo:
+            make_executor(2, "threads")
+        for backend in EXECUTOR_BACKENDS:
+            assert backend in str(excinfo.value)
+
+
+class TestExecutorConfig:
+    def test_defaults(self):
+        config = ExecutorConfig()
+        assert config.backend == "serial"
+        assert config.jobs == 1
+        assert config.cache_dir is None
+        assert config.spawn_workers is True
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig(backend="threads")
+
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig(jobs=0)
+
+    def test_nonpositive_max_attempts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig(backend="fleet", max_attempts=0)
+
+    def test_config_selects_backend_class(self):
+        pairs = [
+            ("serial", SerialExecutor),
+            ("multiprocessing", MultiprocessingExecutor),
+            ("process-pool", FuturesExecutor),
+        ]
+        for backend, cls in pairs:
+            executor = make_executor(ExecutorConfig(backend=backend, jobs=2))
+            assert isinstance(executor, cls)
+            assert executor.config.backend == backend
+
+    def test_fleet_backend_resolves(self):
+        from repro.experiments.service.fleet import FleetExecutor
+
+        executor = make_executor(ExecutorConfig(backend="fleet", jobs=2))
+        assert isinstance(executor, FleetExecutor)
+        assert executor.jobs == 2
+        assert executor.parallel
+
+    def test_config_rejects_extra_make_executor_arguments(self):
+        with pytest.raises(ConfigurationError):
+            make_executor(ExecutorConfig(), backend="serial")
+        with pytest.raises(ConfigurationError):
+            make_executor(ExecutorConfig(), jobs=2)
+
+    def test_constructor_rejects_cache_dir_alongside_config(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SerialExecutor(ExecutorConfig(), str(tmp_path))
+
+    def test_run_campaign_accepts_a_config(self):
+        campaign = _echo_campaign([1, 2])
+        result = run_campaign(campaign, executor=ExecutorConfig(backend="serial"))
+        assert result.stats.executor == "serial"
+        assert result.stats.total == 2
+
+
+class TestDeprecatedConstructors:
+    @pytest.mark.parametrize(
+        "cls", [SerialExecutor, MultiprocessingExecutor, FuturesExecutor]
+    )
+    def test_positional_jobs_warns_but_works(self, cls):
+        with pytest.warns(DeprecationWarning, match="ExecutorConfig"):
+            executor = cls(2)
+        assert executor.config.jobs == 2
+        assert executor.config.backend == cls.name
+
+    def test_positional_cache_dir_survives_the_shim(self, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            executor = FuturesExecutor(2, str(tmp_path))
+        assert executor.cache_dir == str(tmp_path)
+
+    def test_config_construction_does_not_warn(self, recwarn):
+        SerialExecutor(ExecutorConfig())
+        SerialExecutor()
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
 
 class TestExecutorBackends:
     @pytest.mark.parametrize("backend", ["serial", "multiprocessing", "process-pool"])
@@ -202,6 +290,48 @@ class TestRunCampaign:
         # The manifest must be JSON-serialisable as-is.
         json.dumps(manifest)
 
+    def test_write_manifest(self, tmp_path):
+        result = run_campaign(_echo_campaign([1, 2]))
+        path = result.write_manifest(
+            tmp_path / "deep" / "manifest.json", command={"experiment": "test"}
+        )
+        payload = json.loads(path.read_text())
+        assert payload["command"] == {"experiment": "test"}
+        assert payload["stats"]["total_jobs"] == 2
+        assert path.read_text().endswith("\n")
+
+    def test_canonical_manifest_is_executor_independent(self):
+        campaign = _echo_campaign([1, 2, 3])
+        serial = run_campaign(campaign, executor="serial")
+        pooled = run_campaign(campaign, jobs=2, executor="process-pool")
+        assert json.dumps(serial.canonical_manifest(), sort_keys=True) == json.dumps(
+            pooled.canonical_manifest(), sort_keys=True
+        )
+        # The full manifests differ (executor identity, timings)...
+        assert serial.manifest()["stats"]["executor"] == "serial"
+        assert pooled.manifest()["stats"]["executor"] == "process-pool"
+        # ...and the canonical view keeps jobs sorted by content hash.
+        keys = [job["key"] for job in serial.canonical_manifest()["jobs"]]
+        assert keys == sorted(keys)
+
+    def test_canonical_manifest_encodes_nan_as_null(self, tmp_path):
+        campaign = Campaign(
+            name="nan", scale="smoke", seed=0, jobs=(JobSpec.make("test-nan"),)
+        )
+        result = run_campaign(campaign)
+        path = result.write_manifest(tmp_path / "canonical.json", canonical=True)
+        payload = json.loads(path.read_text())
+        assert payload["jobs"][0]["metrics"]["value"] is None
+        assert payload["jobs"][0]["metrics"]["other"] == 1.0
+        assert "NaN" not in path.read_text()
+
+    def test_write_manifest_canonical_ignores_command(self, tmp_path):
+        result = run_campaign(_echo_campaign([1]))
+        path = result.write_manifest(
+            tmp_path / "canonical.json", command={"x": 1}, canonical=True
+        )
+        assert "command" not in json.loads(path.read_text())
+
 
 @register_job("test-nan")
 def _nan_job(*, registry=None):
@@ -215,8 +345,10 @@ class TestArtifactStore:
         store = ArtifactStore(tmp_path)
         spec = JobSpec.make("test-nan")
         store.store(execute_job(spec))
-        # The artifact on disk is strict JSON (no bare NaN token)...
-        raw = (tmp_path / f"{spec.key}.json").read_text()
+        # The artifact on disk is strict JSON (no bare NaN token), filed in
+        # the store's two-level content-hash shard...
+        key = spec.key
+        raw = (tmp_path / key[:2] / key[2:4] / f"{key}.json").read_text()
         assert "NaN" not in raw
         json.loads(raw)
         # ...and the sentinel survives the round trip.

@@ -65,6 +65,25 @@ class TestParser:
         assert args.experiment is None
         assert args.list_profiles is True
 
+    def test_fleet_flags_parse(self):
+        args = build_parser().parse_args(
+            ["table1", "--executor", "fleet", "--workers", "3"]
+        )
+        assert args.executor == "fleet"
+        assert args.workers == 3
+        # Unset --workers stays None so the fleet default (2) wins.
+        assert build_parser().parse_args(["table1"]).workers is None
+
+    def test_workers_requires_fleet_executor(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--workers", "2"])
+        assert "--workers requires --executor fleet" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--executor", "fleet", "--workers", "-1"])
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
 
 class TestMain:
     def test_runs_single_experiment(self, capsys, tmp_path, monkeypatch):
@@ -217,3 +236,36 @@ class TestDeviceProfileFlags:
             (parallel_dir / "hardware_cost_smoke_manifest.json").read_text()
         )
         assert manifest["command"]["profiles"] == ["server-ecc"]
+
+
+class TestFleetCli:
+    def test_fleet_run_matches_serial_byte_for_byte(self, tmp_path, monkeypatch):
+        # The campaign-service acceptance check, end to end through the CLI:
+        # a dispatcher plus two socket-attached worker processes must emit
+        # the same CSV and canonical manifest bytes as the serial run.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        serial_dir = tmp_path / "serial"
+        fleet_dir = tmp_path / "fleet"
+        base = [
+            "hardware_cost", "--scale", "smoke",
+            "--profile", "ddr3-noecc", "--trials", "0",
+        ]
+        assert main(base + ["--output-dir", str(serial_dir)]) == 0
+        assert main(
+            base
+            + ["--executor", "fleet", "--workers", "2", "--output-dir", str(fleet_dir)]
+        ) == 0
+        assert (serial_dir / "hardware_cost_smoke.csv").read_bytes() == (
+            fleet_dir / "hardware_cost_smoke.csv"
+        ).read_bytes()
+        assert (
+            serial_dir / "hardware_cost_smoke_manifest.canonical.json"
+        ).read_bytes() == (
+            fleet_dir / "hardware_cost_smoke_manifest.canonical.json"
+        ).read_bytes()
+        manifest = json.loads(
+            (fleet_dir / "hardware_cost_smoke_manifest.json").read_text()
+        )
+        assert manifest["stats"]["executor"] == "fleet"
+        assert manifest["stats"]["jobs"] == 2
+        assert manifest["command"]["workers"] == 2

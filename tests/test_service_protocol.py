@@ -1,0 +1,212 @@
+"""Tests for the campaign service wire protocol.
+
+The property tests (hypothesis) assert the central protocol guarantee: every
+registered message type round-trips through ``to_json`` / ``decode_message``
+bit for bit, for arbitrary JSON-native field values.  The unit tests cover
+the typed rejection paths: unknown type names, future/unsupported versions,
+and malformed payloads.
+"""
+
+import dataclasses
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.service.protocol import (
+    MAX_FRAME_BYTES,
+    Heartbeat,
+    JobClaim,
+    JobDone,
+    JobFailed,
+    JobSubmit,
+    MalformedMessage,
+    ProtocolError,
+    UnknownMessageType,
+    UnsupportedVersion,
+    WorkerGoodbye,
+    WorkerHello,
+    decode_frame,
+    decode_message,
+    decode_metrics,
+    encode_frame,
+    encode_metrics,
+    message_types,
+)
+
+ALL_TYPES = [
+    WorkerHello,
+    WorkerGoodbye,
+    Heartbeat,
+    JobSubmit,
+    JobClaim,
+    JobDone,
+    JobFailed,
+]
+
+# -- strategies ----------------------------------------------------------------------
+
+wire_text = st.text(max_size=40)
+wire_int = st.integers(min_value=-(2**53), max_value=2**53)
+wire_float = st.floats(allow_nan=False, allow_infinity=False, width=64)
+# Scalar grid parameters: what JobSpec params actually hold.
+wire_scalar = st.one_of(st.none(), st.booleans(), wire_int, wire_float, wire_text)
+wire_dict = st.dictionaries(st.text(max_size=20), wire_scalar, max_size=6)
+
+_FIELD_STRATEGIES = {"str": wire_text, "int": wire_int, "float": wire_float, "dict": wire_dict}
+
+
+def message_strategy(cls):
+    """Build a hypothesis strategy generating instances of one message type."""
+    kwargs = {
+        field.name: _FIELD_STRATEGIES[field.type]
+        for field in dataclasses.fields(cls)
+    }
+    return st.builds(cls, **kwargs)
+
+
+any_message = st.one_of([message_strategy(cls) for cls in ALL_TYPES])
+
+
+# -- properties ----------------------------------------------------------------------
+
+
+class TestRoundTripProperties:
+    @given(message=any_message)
+    @settings(max_examples=200, deadline=None)
+    def test_json_round_trip_is_bit_identical(self, message):
+        encoded = message.to_json()
+        decoded = decode_message(encoded)
+        assert decoded == message
+        assert decoded.to_json() == encoded
+
+    @given(message=any_message)
+    @settings(max_examples=50, deadline=None)
+    def test_frame_round_trip(self, message):
+        frame = encode_frame(message)
+        assert frame.endswith(b"\n")
+        assert b"\n" not in frame[:-1]  # one message per line, no embedded newlines
+        assert decode_frame(frame) == message
+
+    @given(message=any_message)
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_is_canonical(self, message):
+        payload = json.loads(message.to_json())
+        assert list(payload) == sorted(payload)
+        assert payload["TypeName"] == message.TYPE_NAME
+        assert payload["Version"] == message.VERSION
+
+    @given(message=any_message, version=st.text(st.characters(codec="ascii"), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_any_unlisted_version_is_rejected(self, message, version):
+        payload = json.loads(message.to_json())
+        payload["Version"] = version
+        if version in type(message).SUPPORTED_VERSIONS:
+            assert decode_message(json.dumps(payload)) == message
+        else:
+            with pytest.raises(UnsupportedVersion):
+                decode_message(json.dumps(payload))
+
+    @given(
+        metrics=st.dictionaries(
+            st.text(max_size=20),
+            st.one_of(st.just(float("nan")), wire_float),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_metric_nan_sentinels_survive_the_wire(self, metrics):
+        decoded = decode_metrics(json.loads(json.dumps(encode_metrics(metrics))))
+        assert set(decoded) == set(metrics)
+        for name, value in metrics.items():
+            if math.isnan(value):
+                assert math.isnan(decoded[name])
+            else:
+                assert decoded[name] == value
+
+
+# -- typed rejections ----------------------------------------------------------------
+
+
+class TestRejections:
+    def test_registry_lists_all_types(self):
+        names = message_types()
+        assert set(names) >= {cls.TYPE_NAME for cls in ALL_TYPES}
+        assert list(names) == sorted(names)
+
+    def test_unknown_type_name(self):
+        payload = {"TypeName": "campaign.job.nope", "Version": "100"}
+        with pytest.raises(UnknownMessageType, match="campaign.job.nope"):
+            decode_message(json.dumps(payload))
+
+    @pytest.mark.parametrize("version", ["101", "999", "200"])
+    def test_future_version_rejected(self, version):
+        payload = json.loads(Heartbeat(worker_id="w", job_key="").to_json())
+        payload["Version"] = version
+        with pytest.raises(UnsupportedVersion, match="future"):
+            decode_message(json.dumps(payload))
+
+    def test_stale_version_rejected(self):
+        payload = json.loads(Heartbeat(worker_id="w", job_key="").to_json())
+        payload["Version"] = "099"
+        with pytest.raises(UnsupportedVersion, match="unsupported"):
+            decode_message(json.dumps(payload))
+
+    def test_invalid_json(self):
+        with pytest.raises(MalformedMessage, match="not valid JSON"):
+            decode_message(b"{nope")
+
+    def test_non_object_payload(self):
+        with pytest.raises(MalformedMessage, match="object"):
+            decode_message(json.dumps([1, 2, 3]))
+
+    def test_missing_type_name(self):
+        with pytest.raises(MalformedMessage, match="TypeName"):
+            decode_message(json.dumps({"Version": "100"}))
+
+    def test_missing_field(self):
+        payload = json.loads(WorkerHello(worker_id="w", pid=1).to_json())
+        del payload["pid"]
+        with pytest.raises(MalformedMessage, match="missing field"):
+            decode_message(json.dumps(payload))
+
+    def test_unknown_field(self):
+        payload = json.loads(WorkerHello(worker_id="w", pid=1).to_json())
+        payload["shoe_size"] = 43
+        with pytest.raises(MalformedMessage, match="unknown field"):
+            decode_message(json.dumps(payload))
+
+    def test_wrong_field_type(self):
+        payload = json.loads(WorkerHello(worker_id="w", pid=1).to_json())
+        payload["pid"] = "not-a-pid"
+        with pytest.raises(MalformedMessage, match="pid"):
+            decode_message(json.dumps(payload))
+
+    def test_bool_is_not_a_wire_integer(self):
+        payload = json.loads(WorkerHello(worker_id="w", pid=1).to_json())
+        payload["pid"] = True
+        with pytest.raises(MalformedMessage, match="pid"):
+            decode_message(json.dumps(payload))
+
+    def test_nan_field_cannot_be_encoded(self):
+        claim = JobClaim(
+            job_key="k", kind="kind", params={}, lease_seconds=float("nan"), attempt=1
+        )
+        with pytest.raises(MalformedMessage, match="non-JSON-native"):
+            claim.to_json()
+
+    def test_oversized_frame_rejected_on_encode(self):
+        message = JobSubmit(kind="k", params={"blob": "x" * MAX_FRAME_BYTES})
+        with pytest.raises(MalformedMessage, match="exceeds"):
+            encode_frame(message)
+
+    def test_oversized_frame_rejected_on_decode(self):
+        with pytest.raises(MalformedMessage, match="exceeds"):
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_errors_are_value_errors(self):
+        for exc_type in (UnknownMessageType, UnsupportedVersion, MalformedMessage):
+            assert issubclass(exc_type, ProtocolError)
+            assert issubclass(exc_type, ValueError)

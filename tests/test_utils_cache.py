@@ -164,3 +164,50 @@ class TestJsonEntries:
         assert cache.clear() == 2
         assert not cache.contains("npz-key")
         assert not cache.contains_json("json-key")
+
+
+class TestSharding:
+    KEY = "abcdef0123456789deadbeef"
+
+    def test_two_level_layout(self, tmp_path):
+        cache = DiskCache(tmp_path, shard_levels=2)
+        cache.store_json(self.KEY, {"a": 1})
+        expected = tmp_path / "ab" / "cd" / f"{self.KEY}.json"
+        assert expected.exists()
+        assert cache.load_json(self.KEY) == {"a": 1}
+
+    def test_npz_entries_shard_too(self, tmp_path):
+        cache = DiskCache(tmp_path, shard_levels=1)
+        cache.store(self.KEY, {"w": np.arange(3.0)})
+        assert (tmp_path / "ab" / f"{self.KEY}.npz").exists()
+        loaded = cache.load(self.KEY)
+        np.testing.assert_array_equal(loaded["w"], np.arange(3.0))
+
+    def test_flat_layout_unchanged_by_default(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store_json(self.KEY, {"a": 1})
+        assert (tmp_path / f"{self.KEY}.json").exists()
+
+    def test_legacy_flat_entry_readable_from_sharded_cache(self, tmp_path):
+        # A store written before sharding was enabled stays readable in place.
+        DiskCache(tmp_path).store_json(self.KEY, {"a": 1})
+        sharded = DiskCache(tmp_path, shard_levels=2)
+        assert sharded.contains_json(self.KEY)
+        assert sharded.load_json(self.KEY) == {"a": 1}
+        # New writes go to the sharded location; it then wins over the relic.
+        sharded.store_json(self.KEY, {"a": 2})
+        assert (tmp_path / "ab" / "cd" / f"{self.KEY}.json").exists()
+        assert sharded.load_json(self.KEY) == {"a": 2}
+
+    def test_clear_reaches_all_shards(self, tmp_path):
+        cache = DiskCache(tmp_path, shard_levels=2)
+        cache.store_json(self.KEY, {"a": 1})
+        cache.store("ffeeddccbbaa998877665544", {"w": np.ones(1)})
+        DiskCache(tmp_path).store_json("0123456789abcdef01234567", {"b": 2})
+        assert cache.clear() == 3
+
+    def test_invalid_shard_levels_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="shard_levels"):
+            DiskCache(tmp_path, shard_levels=-1)
+        with pytest.raises(ValueError, match="shard_levels"):
+            DiskCache(tmp_path, shard_levels=5)
