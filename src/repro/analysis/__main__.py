@@ -1,0 +1,11 @@
+"""``python -m repro.analysis`` — run the repro-lint static checker.
+
+A thin delegate to :func:`repro.analysis.lint.cli.main`, mirroring the
+``python -m repro.experiments.service`` pattern: invoking through the
+package keeps runpy from re-importing the CLI module under ``__main__``.
+"""
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""repro-lint: repo-specific static analysis for determinism and purity.
+
+The platform's core invariant — byte-identical tables across serial,
+``--jobs N`` and fleet execution — plus the versioned wire protocol of the
+campaign service are enforced here at merge time instead of being discovered
+by end-to-end byte-diff tests after the fact.
+
+==================  ================================================================
+Module              Responsibility
+==================  ================================================================
+``rules``           AST rules RPL001/002/003/005/006 (randomness, wall clock,
+                    unordered collections, asyncio hygiene, job purity)
+``protocol_schema`` RPL004: wire-message conformance + schema-drift gate
+                    against ``tests/golden/protocol_schema.json``
+``pragmas``         line-level ``# repro: allow-*`` suppressions
+``findings``        finding/report model, text and JSON rendering
+``cli``             ``python -m repro.analysis`` / ``repro-lint`` entry point
+==================  ================================================================
+
+Run from the repository root::
+
+    python -m repro.analysis                # check src/ + protocol schema
+    python -m repro.analysis --list-rules   # rule and pragma reference
+    python -m repro.analysis --update-snapshot  # intentional schema change
+"""
+
+from repro.analysis.lint.cli import main, run_lint
+from repro.analysis.lint.findings import Finding, Report
+from repro.analysis.lint.pragmas import KNOWN_TAGS, scan_pragmas
+from repro.analysis.lint.protocol_schema import (
+    build_protocol_schema,
+    check_protocol_conformance,
+    compare_schema,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.analysis.lint.rules import RULES, check_file, check_source
+
+__all__ = [
+    "Finding",
+    "Report",
+    "RULES",
+    "KNOWN_TAGS",
+    "check_file",
+    "check_source",
+    "scan_pragmas",
+    "build_protocol_schema",
+    "check_protocol_conformance",
+    "compare_schema",
+    "load_snapshot",
+    "write_snapshot",
+    "run_lint",
+    "main",
+]

@@ -1,0 +1,201 @@
+"""repro-lint command line: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  ``--report`` writes the
+JSON form of the run (uploaded as a CI artifact); ``--update-snapshot``
+regenerates the committed wire-protocol schema baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.lint.findings import Finding, Report
+from repro.analysis.lint.protocol_schema import (
+    SNAPSHOT_PATH,
+    build_protocol_schema,
+    check_protocol_conformance,
+    compare_schema,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.analysis.lint.pragmas import KNOWN_TAGS
+from repro.analysis.lint.rules import RULES, check_file
+
+__all__ = ["main", "build_parser", "run_lint"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Repo-specific static analysis: determinism, purity, asyncio "
+            "hygiene and wire-protocol schema drift."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to check (default: src/)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all), e.g. RPL001,RPL003",
+    )
+    parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"protocol schema snapshot file (default: {SNAPSHOT_PATH})",
+    )
+    parser.add_argument(
+        "--update-snapshot",
+        action="store_true",
+        help="regenerate the protocol schema snapshot and exit",
+    )
+    parser.add_argument(
+        "--no-schema",
+        action="store_true",
+        help="skip the protocol conformance and schema-drift checks (RPL004)",
+    )
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to this file (CI artifact)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and pragma tags, then exit"
+    )
+    return parser
+
+
+def _collect_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                entry for entry in sorted(path.rglob("*.py")) if "__pycache__" not in entry.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _render_rules() -> str:
+    lines = ["rule    pragma tag        summary", "-" * 72]
+    for info in RULES.values():
+        lines.append(f"{info.rule:<7} {info.tag:<17} {info.summary}")
+    lines.append("")
+    lines.append(
+        "pragma syntax: trailing '# repro: <tag>[, <tag>...]' on the line; "
+        f"tags: {', '.join(sorted(KNOWN_TAGS))}"
+    )
+    return "\n".join(lines)
+
+
+def run_lint(
+    paths: list[str],
+    *,
+    select: set[str] | None = None,
+    snapshot_path: Path | None = None,
+    schema_checks: bool = True,
+) -> Report:
+    """Run the checker over ``paths`` and return the aggregated report."""
+    report = Report()
+    files = _collect_files(paths)
+    report.checked_files = len(files)
+    for path in files:
+        report.extend(check_file(str(path), select=select))
+    if schema_checks and (select is None or "RPL004" in select):
+        report.extend(check_protocol_conformance())
+        snapshot_path = snapshot_path if snapshot_path is not None else SNAPSHOT_PATH
+        snapshot = load_snapshot(snapshot_path)
+        if snapshot is None:
+            report.extend([_missing_snapshot_finding(snapshot_path)])
+        else:
+            findings, notices = compare_schema(
+                snapshot, build_protocol_schema(), snapshot_path=snapshot_path
+            )
+            report.extend(findings)
+            report.notices.extend(notices)
+    return report
+
+
+def _missing_snapshot_finding(snapshot_path: Path) -> Finding:
+    return Finding(
+        rule="RPL004",
+        path=str(snapshot_path),
+        line=0,
+        message=(
+            "protocol schema snapshot not found; generate it with "
+            "python -m repro.analysis --update-snapshot"
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+
+    snapshot_path = args.snapshot if args.snapshot is not None else SNAPSHOT_PATH
+    if args.update_snapshot:
+        conformance = check_protocol_conformance()
+        if conformance:
+            for finding in conformance:
+                print(finding.render(), file=sys.stderr)
+            print("refusing to snapshot a non-conformant protocol", file=sys.stderr)
+            return 1
+        path = write_snapshot(snapshot_path)
+        print(f"wrote protocol schema snapshot: {path}")
+        return 0
+
+    select: set[str] | None = None
+    if args.select:
+        select = {rule.strip().upper() for rule in args.select.split(",") if rule.strip()}
+        unknown = sorted(select - set(RULES))
+        if unknown:
+            parser.error(f"unknown rule id(s) {unknown}; known: {', '.join(RULES)}")
+
+    paths = args.paths or ["src"]
+    missing = [raw for raw in paths if not Path(raw).exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {missing}")
+
+    report = run_lint(
+        paths,
+        select=select,
+        snapshot_path=snapshot_path,
+        schema_checks=not args.no_schema,
+    )
+    if args.format == "json":
+        sys.stdout.write(report.render_json())
+    else:
+        print(report.render_text())
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(report.render_json(), encoding="utf-8")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Finding model and report rendering for the repro-lint checker.
+
+A *finding* is one rule violation anchored to a file and line.  Findings are
+plain data so the checker can render them as human-readable text, as a JSON
+report for CI artifacts, and as fixture expectations in the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``rule`` is the stable identifier (``RPL001``..``RPL006``, or ``RPL000``
+    for meta problems such as unknown pragma tags); ``path`` is the file as
+    given to the checker; ``line`` is 1-based (0 for whole-file/whole-class
+    findings that have no meaningful source line).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-report form of the finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line: RULE message``)."""
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: {self.rule} {self.message}"
+
+
+@dataclass
+class Report:
+    """Aggregated result of one checker run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    notices: list[str] = field(default_factory=list)
+
+    def extend(self, findings: list[Finding]) -> None:
+        """Append findings from one file or one check stage."""
+        self.findings.extend(findings)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (no findings; notices do not fail)."""
+        return not self.findings
+
+    def sorted_findings(self) -> list[Finding]:
+        """Findings ordered by path, line, rule for stable output."""
+        return sorted(self.findings, key=lambda f: (f.path, f.line, f.rule))
+
+    def rule_counts(self) -> dict[str, int]:
+        """Number of findings per rule identifier."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-report form of the whole run."""
+        return {
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "rule_counts": self.rule_counts(),
+            "findings": [finding.as_dict() for finding in self.sorted_findings()],
+            "notices": list(self.notices),
+        }
+
+    def render_text(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [finding.render() for finding in self.sorted_findings()]
+        lines.extend(f"note: {notice}" for notice in self.notices)
+        summary = (
+            f"repro-lint: {len(self.findings)} finding(s) in "
+            f"{self.checked_files} file(s)"
+        )
+        if self.findings:
+            summary += " — " + ", ".join(
+                f"{rule} x{count}" for rule, count in self.rule_counts().items()
+            )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Machine-readable report (sorted keys, indented)."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,91 @@
+"""Suppression pragmas for repro-lint.
+
+A line can opt out of specific rules with a trailing comment::
+
+    started = time.time()  # repro: allow-wallclock
+
+Multiple tags are comma-separated (``# repro: allow-wallclock,
+allow-unordered``); ``allow-all`` silences every rule on the line.  Tags are
+deliberately narrow — each maps to exactly one rule family — so a pragma
+documents *which* invariant the line is exempt from.  Unknown tags are
+themselves reported (``RPL000``) so a typo cannot silently disable a rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["KNOWN_TAGS", "PragmaMap", "scan_pragmas"]
+
+# Tag -> rule family it suppresses (documented in --list-rules and README).
+KNOWN_TAGS = {
+    "allow-unseeded": "RPL001",
+    "allow-wallclock": "RPL002",
+    "allow-unordered": "RPL003",
+    "allow-blocking": "RPL005",
+    "allow-impure": "RPL006",
+    "allow-all": "*",
+}
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<tags>.+)$")
+
+
+class PragmaMap:
+    """Per-line pragma tags for one source file."""
+
+    def __init__(self, tags_by_line: dict[int, frozenset[str]]):
+        self._tags_by_line = tags_by_line
+
+    def allows(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed on 1-based ``line``."""
+        tags = self._tags_by_line.get(line, frozenset())
+        if "allow-all" in tags:
+            return True
+        return any(KNOWN_TAGS.get(tag) == rule for tag in tags)
+
+    def __len__(self) -> int:
+        return len(self._tags_by_line)
+
+
+def scan_pragmas(source: str, path: str) -> tuple[PragmaMap, list[Finding]]:
+    """Extract ``# repro:`` pragmas from ``source``.
+
+    Returns the per-line pragma map plus RPL000 findings for malformed or
+    unknown tags.  Tokenisation failures are ignored here — the caller
+    reports syntax errors when parsing the AST.
+    """
+    tags_by_line: dict[int, frozenset[str]] = {}
+    findings: list[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return PragmaMap({}), findings
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        tags = frozenset(tag.strip() for tag in match.group("tags").split(",") if tag.strip())
+        unknown = sorted(tags - set(KNOWN_TAGS))
+        for tag in unknown:
+            findings.append(
+                Finding(
+                    rule="RPL000",
+                    path=path,
+                    line=line,
+                    message=(
+                        f"unknown pragma tag {tag!r}; known tags: "
+                        f"{', '.join(sorted(KNOWN_TAGS))}"
+                    ),
+                )
+            )
+        known = tags & set(KNOWN_TAGS)
+        if known:
+            tags_by_line[line] = tags_by_line.get(line, frozenset()) | known
+    return PragmaMap(tags_by_line), findings

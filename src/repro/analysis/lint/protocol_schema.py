@@ -1,0 +1,232 @@
+"""RPL004: wire-protocol conformance and schema-drift gate.
+
+Two complementary checks on :mod:`repro.experiments.service.protocol`:
+
+* **Conformance** (introspection): every :class:`Message` subclass must be a
+  frozen dataclass, carry a non-empty ``TYPE_NAME``, list its ``VERSION`` in
+  ``SUPPORTED_VERSIONS``, be registered in the decode table, and declare
+  only wire-native field types (``str``/``int``/``float``/``dict``).
+
+* **Schema snapshot** (drift gate): the canonical wire schema — fields,
+  types and version per message — is committed at
+  ``tests/golden/protocol_schema.json``.  The checker fails when a message
+  changes shape *without* a ``VERSION`` bump (a silent wire break that old
+  workers would mis-decode); a shape change accompanied by a version bump
+  passes, with a notice to regenerate the snapshot
+  (``python -m repro.analysis --update-snapshot``).  Adding or removing a
+  message type also requires an intentional snapshot regeneration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.analysis.lint.findings import Finding
+
+__all__ = [
+    "SNAPSHOT_PATH",
+    "WIRE_FIELD_TYPES",
+    "build_protocol_schema",
+    "check_protocol_conformance",
+    "compare_schema",
+    "load_snapshot",
+    "write_snapshot",
+]
+
+# Default snapshot location, relative to the repository root.
+SNAPSHOT_PATH = Path("tests") / "golden" / "protocol_schema.json"
+
+# Field annotations the wire's decode layer can actually validate
+# (protocol._FIELD_CHECKS); anything richer belongs inside a dict payload.
+WIRE_FIELD_TYPES = ("str", "int", "float", "dict")
+
+_PROTOCOL_PATH = "src/repro/experiments/service/protocol.py"
+
+
+def _message_classes() -> list[type]:
+    """Every Message subclass, transitively, in deterministic order."""
+    from repro.experiments.service.protocol import Message
+
+    ordered: list[type] = []
+    stack: list[type] = [Message]
+    while stack:
+        cls = stack.pop()
+        for sub in cls.__subclasses__():
+            if sub not in ordered:
+                ordered.append(sub)
+                stack.append(sub)
+    return sorted(ordered, key=lambda cls: (cls.TYPE_NAME, cls.__name__))
+
+
+def build_protocol_schema() -> dict:
+    """Canonical schema of every registered message type.
+
+    The shape is stable and sorted so the snapshot file diffs cleanly::
+
+        {"messages": {"campaign.job.claim": {
+            "class": "JobClaim", "version": "100",
+            "supported_versions": ["100"],
+            "fields": {"attempt": "int", ...}}}}
+    """
+    from repro.experiments.service.protocol import registered_messages
+
+    messages = {}
+    for type_name, cls in sorted(registered_messages().items()):
+        fields = {spec.name: str(spec.type) for spec in dataclasses.fields(cls)}
+        messages[type_name] = {
+            "class": cls.__name__,
+            "version": cls.VERSION,
+            "supported_versions": sorted(cls.SUPPORTED_VERSIONS),
+            "fields": dict(sorted(fields.items())),
+        }
+    return {"messages": messages}
+
+
+def check_protocol_conformance() -> list[Finding]:
+    """Introspect the protocol module and report every RPL004 violation."""
+    from repro.experiments.service.protocol import registered_messages
+
+    findings: list[Finding] = []
+
+    def flag(message: str) -> None:
+        findings.append(Finding(rule="RPL004", path=_PROTOCOL_PATH, line=0, message=message))
+
+    registry = registered_messages()
+    by_class = {cls: name for name, cls in registry.items()}
+    for cls in _message_classes():
+        label = cls.__name__
+        if not dataclasses.is_dataclass(cls):
+            flag(f"{label} is not a dataclass")
+            continue
+        params = getattr(cls, "__dataclass_params__", None)
+        if params is None or not params.frozen:
+            flag(
+                f"{label} is not frozen: wire messages must be immutable "
+                "(mutation after encode/decode breaks canonical round-trips)"
+            )
+        if not cls.TYPE_NAME:
+            flag(f"{label} has an empty TYPE_NAME and cannot appear on the wire")
+        if not cls.SUPPORTED_VERSIONS:
+            flag(f"{label} lists no SUPPORTED_VERSIONS")
+        elif cls.VERSION not in cls.SUPPORTED_VERSIONS:
+            flag(
+                f"{label} cannot decode its own VERSION {cls.VERSION!r} "
+                f"(SUPPORTED_VERSIONS={list(cls.SUPPORTED_VERSIONS)})"
+            )
+        if cls not in by_class:
+            flag(
+                f"{label} is a Message subclass but is not registered in the "
+                "decode table; add the @register_message decorator"
+            )
+        elif registry.get(cls.TYPE_NAME) is not cls:
+            flag(
+                f"{label} registered under {by_class[cls]!r} but declares "
+                f"TYPE_NAME {cls.TYPE_NAME!r}"
+            )
+        for spec in dataclasses.fields(cls):
+            if str(spec.type) not in WIRE_FIELD_TYPES:
+                flag(
+                    f"{label}.{spec.name} is annotated {spec.type!s}, which "
+                    "the wire cannot validate; use one of "
+                    f"{'/'.join(WIRE_FIELD_TYPES)} (richer values belong "
+                    "inside a dict payload)"
+                )
+    return findings
+
+
+# -- snapshot --------------------------------------------------------------------------
+
+
+def write_snapshot(path: str | Path, schema: dict | None = None) -> Path:
+    """Write the canonical schema snapshot (sorted, indented, newline-terminated)."""
+    schema = schema if schema is not None else build_protocol_schema()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(schema, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict | None:
+    """Load a snapshot file; ``None`` when it does not exist."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "messages" not in payload:
+        raise ValueError(f"{path} is not a protocol schema snapshot")
+    return payload
+
+
+def compare_schema(
+    snapshot: dict, current: dict, *, snapshot_path: str | Path = SNAPSHOT_PATH
+) -> tuple[list[Finding], list[str]]:
+    """Diff the current schema against the committed snapshot.
+
+    Returns ``(findings, notices)``.  A message whose field shape changed
+    while its version stayed put is a finding (silent wire break); a shape
+    change with a version bump is a notice asking for an intentional
+    ``--update-snapshot``.  Added or removed message types are findings too:
+    the snapshot must be regenerated deliberately so the change shows up in
+    review.
+    """
+    findings: list[Finding] = []
+    notices: list[str] = []
+    regen = "regenerate with: python -m repro.analysis --update-snapshot"
+
+    def flag(message: str) -> None:
+        findings.append(Finding(rule="RPL004", path=str(snapshot_path), line=0, message=message))
+
+    old = snapshot.get("messages", {})
+    new = current.get("messages", {})
+    for name in sorted(set(old) - set(new)):
+        flag(
+            f"message type {name!r} disappeared from the protocol; removing "
+            f"a wire message is a breaking change — {regen} if intentional"
+        )
+    for name in sorted(set(new) - set(old)):
+        flag(
+            f"message type {name!r} is new and missing from the snapshot; "
+            f"{regen}"
+        )
+    for name in sorted(set(old) & set(new)):
+        old_entry, new_entry = old[name], new[name]
+        shape_changed = old_entry.get("fields") != new_entry.get("fields")
+        version_changed = old_entry.get("version") != new_entry.get("version")
+        supported_changed = old_entry.get("supported_versions") != new_entry.get(
+            "supported_versions"
+        )
+        if shape_changed and not version_changed:
+            old_fields = set(old_entry.get("fields", {}))
+            new_fields = set(new_entry.get("fields", {}))
+            added = sorted(new_fields - old_fields)
+            removed = sorted(old_fields - new_fields)
+            retyped = sorted(
+                field
+                for field in old_fields & new_fields
+                if old_entry["fields"][field] != new_entry["fields"][field]
+            )
+            detail = "; ".join(
+                part
+                for part in (
+                    f"added {added}" if added else "",
+                    f"removed {removed}" if removed else "",
+                    f"retyped {retyped}" if retyped else "",
+                )
+                if part
+            )
+            flag(
+                f"message {name!r} changed shape ({detail}) without a "
+                f"Version bump (still {old_entry.get('version')!r}): old "
+                "workers would mis-decode the new frames — bump VERSION, "
+                f"extend SUPPORTED_VERSIONS, then {regen}"
+            )
+        elif shape_changed or version_changed or supported_changed:
+            notices.append(
+                f"protocol message {name!r} changed with a version bump "
+                f"({old_entry.get('version')!r} -> "
+                f"{new_entry.get('version')!r}); {regen} to refresh the "
+                "baseline"
+            )
+    return findings, notices

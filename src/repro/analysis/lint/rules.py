@@ -1,0 +1,475 @@
+"""AST rules of repro-lint: the repo's determinism and purity invariants.
+
+Every table in this repository must be byte-identical across serial,
+``--jobs N`` and fleet execution.  That invariant is easy to break with one
+innocuous line — an unseeded draw, a wall-clock read inside a content-hashed
+job, an unordered ``set`` feeding a canonical encoder — and such breaks are
+only caught today by expensive end-to-end byte-diff tests.  These rules turn
+the invariants into merge-time failures:
+
+========  ==================  ====================================================
+Rule      Pragma tag          Violation
+========  ==================  ====================================================
+RPL001    allow-unseeded      global/unseeded randomness outside ``utils/rng.py``
+RPL002    allow-wallclock     wall-clock or OS-entropy reads (``time.time``,
+                              ``datetime.now``, ``uuid.uuid4``, ``os.urandom``)
+RPL003    allow-unordered     unordered ``set`` (or missing ``sort_keys``)
+                              feeding ``json.dumps`` / ``stable_hash``
+RPL005    allow-blocking      blocking calls inside ``async def``; dropped
+                              ``create_task`` results
+RPL006    allow-impure        ``register_job`` functions mutating module globals
+========  ==================  ====================================================
+
+(RPL004, protocol conformance, is introspection-based and lives in
+:mod:`repro.analysis.lint.protocol_schema`.)
+
+Rules are repo-specific by design: they know the sanctioned entry points
+(``repro.utils.rng``, ``seed_everything``, generator state save/restore) and
+flag everything else.  False positives are expected to be rare and are
+silenced line-by-line with the pragmas of
+:mod:`repro.analysis.lint.pragmas`, never by disabling a rule globally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.pragmas import PragmaMap, scan_pragmas
+
+__all__ = ["RULES", "RuleInfo", "check_source", "check_file"]
+
+
+class RuleInfo:
+    """Static metadata of one rule (id, pragma tag, summary)."""
+
+    def __init__(self, rule: str, tag: str, summary: str):
+        self.rule = rule
+        self.tag = tag
+        self.summary = summary
+
+
+RULES: dict[str, RuleInfo] = {
+    "RPL001": RuleInfo(
+        "RPL001",
+        "allow-unseeded",
+        "unseeded/global randomness outside the utils/rng.py allowlist",
+    ),
+    "RPL002": RuleInfo(
+        "RPL002",
+        "allow-wallclock",
+        "wall-clock or OS-entropy read (time.time, datetime.now, uuid, os.urandom)",
+    ),
+    "RPL003": RuleInfo(
+        "RPL003",
+        "allow-unordered",
+        "unordered collection feeding json.dumps/stable_hash without sorted()",
+    ),
+    "RPL004": RuleInfo(
+        "RPL004",
+        "(not suppressible)",
+        "wire-protocol message conformance and schema drift",
+    ),
+    "RPL005": RuleInfo(
+        "RPL005",
+        "allow-blocking",
+        "blocking call inside async def / dropped create_task result",
+    ),
+    "RPL006": RuleInfo(
+        "RPL006",
+        "allow-impure",
+        "register_job function assigns module globals",
+    ),
+}
+
+# Files (suffix-matched, '/'-separated) where RPL001 does not apply: the one
+# sanctioned home of global-RNG access.
+RNG_ALLOWLIST = ("repro/utils/rng.py",)
+
+# np.random attributes that manage state rather than draw from it, plus the
+# explicitly-seeded constructors.  ``default_rng`` is allowed only with
+# arguments (an argument-less call reads OS entropy).
+_NP_RANDOM_ALLOWED = {"get_state", "set_state", "Generator", "SeedSequence", "PCG64"}
+# stdlib random attributes allowed outside utils/rng.py (state save/restore).
+_STDLIB_RANDOM_ALLOWED = {"getstate", "setstate"}
+
+# Module-function calls that read the wall clock or OS entropy.
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "time.strftime",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+# `from X import Y` pairs equivalent to the calls above.
+_WALLCLOCK_IMPORTS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "ctime"),
+    ("os", "urandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+}
+# datetime class methods that read the clock (fromtimestamp & co are pure).
+_DATETIME_NOW = {"now", "utcnow", "today"}
+
+# Module-level functions that block the event loop when called in async code.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+}
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything richer."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Whether ``node`` statically evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _normalised(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+# -- RPL001: unseeded randomness -------------------------------------------------------
+
+
+def _check_rpl001(tree: ast.AST, path: str) -> list[Finding]:
+    if _normalised(path).endswith(RNG_ALLOWLIST):
+        return []
+    findings: list[Finding] = []
+
+    def flag(line: int, message: str) -> None:
+        findings.append(Finding(rule="RPL001", path=path, line=line, message=message))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in ("random", "numpy.random"):
+            names = ", ".join(alias.name for alias in node.names)
+            flag(
+                node.lineno,
+                f"'from {node.module} import {names}' bypasses the seeded-RNG "
+                "discipline; accept an np.random.Generator argument or use "
+                "repro.utils.rng",
+            )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if name is None:
+            continue
+        np_random = None
+        for prefix in ("np.random.", "numpy.random."):
+            if name.startswith(prefix):
+                np_random = name[len(prefix) :]
+                break
+        if np_random is not None:
+            if np_random in _NP_RANDOM_ALLOWED:
+                continue
+            if np_random == "default_rng":
+                if node.args or node.keywords:
+                    continue
+                flag(
+                    node.lineno,
+                    "argument-less default_rng() reads OS entropy; derive the "
+                    "seed from the job spec (repro.utils.rng.derive_seed)",
+                )
+                continue
+            flag(
+                node.lineno,
+                f"global numpy RNG call np.random.{np_random}(); pass an "
+                "explicit np.random.Generator (repro.utils.rng.RandomState)",
+            )
+            continue
+        if name.startswith("random."):
+            attr = name[len("random.") :]
+            if attr in _STDLIB_RANDOM_ALLOWED:
+                continue
+            if attr == "Random" and (node.args or node.keywords):
+                continue
+            flag(
+                node.lineno,
+                f"stdlib global RNG call random.{attr}(); library code must "
+                "draw from an explicit seeded generator "
+                "(repro.utils.rng.seed_everything is the only sanctioned "
+                "global-seeding path)",
+            )
+    return findings
+
+
+# -- RPL002: wall-clock / entropy ------------------------------------------------------
+
+
+def _check_rpl002(tree: ast.AST, path: str) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def flag(line: int, message: str) -> None:
+        findings.append(Finding(rule="RPL002", path=path, line=line, message=message))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module is not None:
+            for alias in node.names:
+                if (node.module, alias.name) in _WALLCLOCK_IMPORTS:
+                    flag(
+                        node.lineno,
+                        f"'from {node.module} import {alias.name}' imports a "
+                        "wall-clock/entropy source; results hashed by content "
+                        "must not depend on it (use repro.utils.clock for "
+                        "operator-facing timing)",
+                    )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if name is None:
+            continue
+        if name in _WALLCLOCK_CALLS:
+            flag(
+                node.lineno,
+                f"{name}() reads the wall clock / OS entropy inside library "
+                "code; job results and canonical manifests must be functions "
+                "of the job spec only (time.monotonic/perf_counter are fine "
+                "for elapsed timing; repro.utils.clock.wall_clock for "
+                "operator-facing timestamps)",
+            )
+            continue
+        parts = name.split(".")
+        if parts[0] == "datetime" and parts[-1] in _DATETIME_NOW:
+            flag(
+                node.lineno,
+                f"{name}() reads the wall clock; content-hashed paths must be "
+                "deterministic (repro.utils.clock.wall_clock for "
+                "operator-facing timestamps)",
+            )
+    return findings
+
+
+# -- RPL003: unordered collections feeding canonical encoders -------------------------
+
+
+def _iter_comprehension_sets(node: ast.expr) -> bool:
+    """Whether a comprehension argument iterates over a set expression."""
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return any(_is_set_expression(gen.iter) for gen in node.generators)
+    return False
+
+
+def _check_rpl003(tree: ast.AST, path: str) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def flag(line: int, message: str) -> None:
+        findings.append(Finding(rule="RPL003", path=path, line=line, message=message))
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if name is None:
+            continue
+        is_dumps = name == "json.dumps" or name.endswith(".json.dumps")
+        is_hash = name == "stable_hash" or name.endswith(".stable_hash")
+        if not (is_dumps or is_hash):
+            continue
+        encoder = "json.dumps" if is_dumps else "stable_hash"
+        for arg in node.args:
+            if _is_set_expression(arg):
+                flag(
+                    node.lineno,
+                    f"set passed to {encoder}: iteration order is arbitrary; "
+                    "wrap it in sorted(...)",
+                )
+            elif _iter_comprehension_sets(arg):
+                flag(
+                    node.lineno,
+                    f"comprehension over a set feeds {encoder}: iteration "
+                    "order is arbitrary; iterate sorted(...) instead",
+                )
+        if is_dumps:
+            if any(kw.arg is None for kw in node.keywords):
+                continue  # **kwargs: cannot see sort_keys statically
+            sort_keys = next((kw for kw in node.keywords if kw.arg == "sort_keys"), None)
+            if sort_keys is None or not (
+                isinstance(sort_keys.value, ast.Constant)
+                and sort_keys.value.value is True
+            ):
+                flag(
+                    node.lineno,
+                    "json.dumps without sort_keys=True: canonical encodings "
+                    "must not depend on dict construction order",
+                )
+    return findings
+
+
+# -- RPL005: asyncio hygiene -----------------------------------------------------------
+
+
+def _check_rpl005(tree: ast.AST, path: str) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def flag(line: int, message: str) -> None:
+        findings.append(Finding(rule="RPL005", path=path, line=line, message=message))
+
+    def scan(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            # Nested function definitions execute later, under their own
+            # rules; do not descend into them (async ones are visited by
+            # AsyncVisitor separately).
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, ast.Expr) and isinstance(child.value, ast.Call):
+                name = _dotted_name(child.value.func) or ""
+                if name.split(".")[-1] == "create_task":
+                    flag(
+                        child.lineno,
+                        "create_task(...) result dropped: keep a reference "
+                        "and await/cancel it, or the task can be garbage-"
+                        "collected mid-flight and its exceptions lost",
+                    )
+            if isinstance(child, ast.Call):
+                name_or_none = _dotted_name(child.func)
+                if name_or_none in _BLOCKING_CALLS:
+                    flag(
+                        child.lineno,
+                        f"blocking {name_or_none}() inside async def stalls "
+                        "the event loop (heartbeats, lease watchdog); use the "
+                        "asyncio equivalent or run_in_executor",
+                    )
+            scan(child)
+
+    class AsyncVisitor(ast.NodeVisitor):
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            scan(node)
+            # generic_visit reaches async defs nested inside this one (or
+            # inside nested sync defs); scan() itself never enters them.
+            self.generic_visit(node)
+
+    AsyncVisitor().visit(tree)
+    return findings
+
+
+# -- RPL006: campaign-job purity -------------------------------------------------------
+
+
+def _is_register_job_decorator(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = _dotted_name(node.func) or ""
+    return name.split(".")[-1] == "register_job"
+
+
+def _check_rpl006(tree: ast.AST, path: str) -> list[Finding]:
+    findings: list[Finding] = []
+    module_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module_aliases.add(alias.asname or alias.name.split(".")[0])
+
+    def flag(line: int, message: str) -> None:
+        findings.append(Finding(rule="RPL006", path=path, line=line, message=message))
+
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not any(_is_register_job_decorator(dec) for dec in node.decorator_list):
+            continue
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Global):
+                flag(
+                    inner.lineno,
+                    f"register_job function {node.name!r} declares "
+                    f"'global {', '.join(inner.names)}': job functions must "
+                    "be pure (module state diverges between the serial, "
+                    "pool and fleet executors)",
+                )
+            if isinstance(inner, (ast.Assign, ast.AugAssign)):
+                targets = inner.targets if isinstance(inner, ast.Assign) else [inner.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in module_aliases
+                    ):
+                        flag(
+                            inner.lineno,
+                            f"register_job function {node.name!r} assigns "
+                            f"module attribute {target.value.id}."
+                            f"{target.attr}: job functions must not mutate "
+                            "module state",
+                        )
+    return findings
+
+
+# -- driver ----------------------------------------------------------------------------
+
+_AST_CHECKS: dict[str, Callable[[ast.AST, str], list[Finding]]] = {
+    "RPL001": _check_rpl001,
+    "RPL002": _check_rpl002,
+    "RPL003": _check_rpl003,
+    "RPL005": _check_rpl005,
+    "RPL006": _check_rpl006,
+}
+
+
+def check_source(source: str, path: str, *, select: set[str] | None = None) -> list[Finding]:
+    """Run every AST rule (or the ``select`` subset) over one source string."""
+    pragmas, findings = scan_pragmas(source, path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="RPL000",
+                path=path,
+                line=exc.lineno or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    for rule, checker in _AST_CHECKS.items():
+        if select is not None and rule not in select:
+            continue
+        for finding in checker(tree, path):
+            if not _suppressed(finding, pragmas):
+                findings.append(finding)
+    if select is not None:
+        findings = [f for f in findings if f.rule in select or f.rule == "RPL000"]
+    return findings
+
+
+def _suppressed(finding: Finding, pragmas: PragmaMap) -> bool:
+    return pragmas.allows(finding.rule, finding.line)
+
+
+def check_file(path: str, *, select: set[str] | None = None) -> list[Finding]:
+    """Run the AST rules over one file on disk."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return check_source(source, path, select=select)

@@ -32,6 +32,14 @@ Determinism: each job derives its own seed from its spec via
 :func:`repro.utils.rng.derive_seed` before executing, and every random
 decision of a cell (plan seed, model seed) is part of its spec, so serial
 and parallel runs produce identical tables cell for cell.
+
+The invariants this rests on are machine-checked by ``repro-lint``
+(``python -m repro.analysis``): no unseeded randomness outside
+``repro.utils.rng`` (RPL001), no wall-clock reads feeding content-hashed
+results or canonical manifests (RPL002 — elapsed timings here use
+``time.perf_counter`` and are excluded from :meth:`CampaignResult.
+canonical_manifest`), canonical encoders always sorted (RPL003), and
+``register_job`` functions never mutating module state (RPL006).
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ __all__ = [
     "Campaign",
     "CampaignStats",
     "CampaignResult",
+    "EventCallback",
     "ExecutorConfig",
     "Executor",
     "SerialExecutor",
@@ -79,6 +88,10 @@ __all__ = [
 _LOGGER = get_logger("experiments.campaign")
 
 EXECUTOR_BACKENDS = ("serial", "multiprocessing", "process-pool", "fleet")
+
+# Structured-progress callback: receives one JSON-native event dictionary per
+# campaign event (job-cached/leased/done, worker-attached, dispatcher-ready).
+EventCallback = Callable[[dict[str, Any]], None]
 
 
 # -- job specs and results -----------------------------------------------------------
@@ -98,7 +111,7 @@ class JobSpec:
     params: tuple[tuple[str, Any], ...]
 
     @staticmethod
-    def make(kind: str, **params) -> "JobSpec":
+    def make(kind: str, **params: Any) -> "JobSpec":
         """Build a spec with canonically ordered parameters."""
         return JobSpec(kind=kind, params=tuple(sorted(params.items())))
 
@@ -111,7 +124,7 @@ class JobSpec:
         """Content-hash identity of this cell (artifact-store key)."""
         return stable_hash({"kind": self.kind, "params": self.param_dict()})
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Manifest form of the spec."""
         return {"kind": self.kind, "key": self.key, "params": self.param_dict()}
 
@@ -132,7 +145,7 @@ class JobResult:
 _JOB_KINDS: dict[str, Callable[..., dict]] = {}
 
 
-def register_job(kind: str):
+def register_job(kind: str) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
     """Class decorator registering the executor function for a job kind.
 
     The decorated function receives the spec parameters as keyword arguments
@@ -334,7 +347,7 @@ class ExecutorConfig:
     max_attempts: int = 3
     spawn_workers: bool = True  # False = wait for externally attached workers
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.backend not in EXECUTOR_BACKENDS:
             raise ConfigurationError(
                 f"unknown executor backend {self.backend!r}; valid backends: "
@@ -362,8 +375,8 @@ class Executor:
     :class:`DeprecationWarning`; pass an :class:`ExecutorConfig` instead.
     """
 
-    name = "abstract"
-    parallel = False
+    name: str = "abstract"
+    parallel: bool = False
 
     def __init__(
         self, config: ExecutorConfig | int | None = None, cache_dir: str | None = None
@@ -404,21 +417,25 @@ class Executor:
         return self.config.cache_dir
 
     @staticmethod
-    def _pending_specs(campaign) -> list[JobSpec]:
+    def _pending_specs(campaign: "Campaign | Iterable[JobSpec]") -> list[JobSpec]:
         """Normalise the ``run`` argument to a job list."""
         if isinstance(campaign, Campaign):
             return campaign.unique_jobs()
         return list(campaign)
 
     @staticmethod
-    def _emit(on_event, event: str, **detail) -> None:
+    def _emit(on_event: EventCallback | None, event: str, **detail: Any) -> None:
         if on_event is not None:
-            payload = {"event": event}
+            payload: dict[str, Any] = {"event": event}
             payload.update(detail)
             on_event(payload)
 
     def run(
-        self, campaign, *, registry: ModelRegistry | None = None, on_event=None
+        self,
+        campaign: "Campaign | Iterable[JobSpec]",
+        *,
+        registry: ModelRegistry | None = None,
+        on_event: EventCallback | None = None,
     ) -> Iterator[JobResult]:
         raise NotImplementedError
 
@@ -434,7 +451,11 @@ class SerialExecutor(Executor):
         return 1
 
     def run(
-        self, campaign, *, registry: ModelRegistry | None = None, on_event=None
+        self,
+        campaign: "Campaign | Iterable[JobSpec]",
+        *,
+        registry: ModelRegistry | None = None,
+        on_event: EventCallback | None = None,
     ) -> Iterator[JobResult]:
         """Yield one result per job as it completes."""
         for spec in self._pending_specs(campaign):
@@ -454,7 +475,11 @@ class MultiprocessingExecutor(Executor):
     parallel = True
 
     def run(
-        self, campaign, *, registry: ModelRegistry | None = None, on_event=None
+        self,
+        campaign: "Campaign | Iterable[JobSpec]",
+        *,
+        registry: ModelRegistry | None = None,
+        on_event: EventCallback | None = None,
     ) -> Iterator[JobResult]:
         """Yield results as workers complete them (unordered)."""
         specs = self._pending_specs(campaign)
@@ -484,7 +509,11 @@ class FuturesExecutor(Executor):
     parallel = True
 
     def run(
-        self, campaign, *, registry: ModelRegistry | None = None, on_event=None
+        self,
+        campaign: "Campaign | Iterable[JobSpec]",
+        *,
+        registry: ModelRegistry | None = None,
+        on_event: EventCallback | None = None,
     ) -> Iterator[JobResult]:
         """Yield results as workers complete them (unordered)."""
         specs = self._pending_specs(campaign)
@@ -506,7 +535,7 @@ class FuturesExecutor(Executor):
                     yield result
 
 
-def _executor_class(backend: str):
+def _executor_class(backend: str) -> type[Executor]:
     if backend == "fleet":
         # Imported lazily: the service package depends on this module.
         from repro.experiments.service.fleet import FleetExecutor
@@ -525,7 +554,7 @@ def make_executor(
     cache_dir: str | None = None,
     *,
     jobs: int | None = None,
-):
+) -> Executor:
     """Build an executor from an :class:`ExecutorConfig`.
 
     The historical ``make_executor(jobs, backend, cache_dir)`` call shape is
@@ -566,7 +595,7 @@ class Campaign:
     scale: str
     seed: int
     jobs: tuple[JobSpec, ...]
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     def unique_jobs(self) -> list[JobSpec]:
         """Jobs deduplicated by content hash, first occurrence wins."""
@@ -632,7 +661,7 @@ class CampaignResult:
         """Return the metric dictionary of one cell."""
         return self.result_for(spec).metrics
 
-    def manifest(self) -> dict:
+    def manifest(self) -> dict[str, Any]:
         """Structured JSON-serialisable record of the run."""
         by_key = {spec.key: spec for spec in self.campaign.jobs}
         jobs_detail = []
@@ -659,7 +688,7 @@ class CampaignResult:
             "jobs": jobs_detail,
         }
 
-    def canonical_manifest(self) -> dict:
+    def canonical_manifest(self) -> dict[str, Any]:
         """Executor-independent view of the run: identities and numbers only.
 
         Two runs of the same campaign — serial, process pool, or a worker
@@ -714,7 +743,9 @@ class CampaignResult:
         return path
 
 
-def _warm_model_caches(campaign: Campaign, pending, registry: ModelRegistry | None) -> None:
+def _warm_model_caches(
+    campaign: Campaign, pending: Iterable[JobSpec], registry: ModelRegistry | None
+) -> None:
     """Train every victim model the pending jobs need before fanning out.
 
     Training happens at most once per (dataset, scale, seed) in the parent
@@ -738,9 +769,9 @@ def run_campaign(
     *,
     registry: ModelRegistry | None = None,
     jobs: int = 1,
-    executor=None,
+    executor: Executor | ExecutorConfig | str | None = None,
     store: ArtifactStore | None = None,
-    on_event=None,
+    on_event: EventCallback | None = None,
 ) -> CampaignResult:
     """Execute a campaign and return its results and statistics.
 
@@ -820,10 +851,10 @@ def run_experiment(
     registry: ModelRegistry | None = None,
     seed: int = 0,
     jobs: int = 1,
-    executor=None,
+    executor: Executor | ExecutorConfig | str | None = None,
     artifact_dir: str | Path | None = None,
-    **kwargs,
-):
+    **kwargs: Any,
+) -> Any:
     """Build, run and assemble one experiment campaign (driver entry point).
 
     This is the shared implementation behind every driver's ``run``: the

@@ -45,7 +45,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.experiments import CAMPAIGNS
@@ -56,6 +55,7 @@ from repro.experiments.campaign import (
     make_executor,
     run_campaign,
 )
+from repro.utils.clock import wall_clock
 from repro.utils.logging import set_verbosity
 
 __all__ = ["main", "build_parser"]
@@ -284,7 +284,7 @@ def main(argv: list[str] | None = None) -> int:
 
     names = sorted(CAMPAIGNS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        started = time.time()
+        started = wall_clock()
         build_campaign, assemble = CAMPAIGNS[name]
         extra = {}
         if args.profile and name == "hardware_cost":
@@ -298,7 +298,7 @@ def main(argv: list[str] | None = None) -> int:
         campaign = build_campaign(args.scale, seed=args.seed, **extra)
         result = run_campaign(campaign, jobs=args.jobs, executor=executor, store=store)
         table = assemble(campaign, result)
-        elapsed = time.time() - started
+        elapsed = wall_clock() - started
         stats = result.stats
         print(table.render(args.format))
         print(

@@ -32,8 +32,9 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from dataclasses import dataclass
+from typing import Any
 
-from repro.experiments.campaign import JobResult, JobSpec
+from repro.experiments.campaign import EventCallback, JobResult, JobSpec
 from repro.experiments.service.protocol import (
     MAX_FRAME_BYTES,
     Heartbeat,
@@ -120,7 +121,7 @@ class Dispatcher:
         lease_seconds: float = 30.0,
         heartbeat_seconds: float = 1.0,
         max_attempts: int = 3,
-        on_event=None,
+        on_event: EventCallback | None = None,
     ):
         self.host = host
         self.port = port
@@ -132,9 +133,10 @@ class Dispatcher:
         self._queue: deque[str] = deque()
         self._workers: dict[str, _WorkerConn] = {}
         self._server: asyncio.base_events.Server | None = None
-        self._watchdog: asyncio.Task | None = None
-        self._handlers: set[asyncio.Task] = set()
-        self.results: asyncio.Queue = asyncio.Queue()
+        self._watchdog: asyncio.Task[None] | None = None
+        self._handlers: set[asyncio.Task[Any]] = set()
+        # ("result", JobResult) / ("error", FleetJobError) items.
+        self.results: asyncio.Queue[tuple[str, Any]] = asyncio.Queue()
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -404,8 +406,8 @@ class Dispatcher:
     def _now() -> float:
         return asyncio.get_running_loop().time()
 
-    def _emit(self, event: str, **detail) -> None:
+    def _emit(self, event: str, **detail: Any) -> None:
         if self.on_event is not None:
-            payload = {"event": event}
+            payload: dict[str, Any] = {"event": event}
             payload.update(detail)
             self.on_event(payload)

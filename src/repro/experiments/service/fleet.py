@@ -25,13 +25,20 @@ import queue
 import subprocess
 import sys
 import threading
+from collections.abc import Iterable, Iterator
 from pathlib import Path
+from typing import Any
 
 import repro
 from repro.experiments.campaign import (
+    Campaign,
+    EventCallback,
     Executor,
+    JobResult,
+    JobSpec,
     _worker_registry_config,
 )
+from repro.zoo.registry import ModelRegistry
 from repro.experiments.service.dispatcher import Dispatcher, FleetJobError
 from repro.utils.logging import get_logger
 
@@ -53,7 +60,7 @@ def spawn_worker_process(
     cache_disabled: bool = False,
     artifact_dir: str | None = None,
     heartbeat_seconds: float | None = None,
-) -> subprocess.Popen:
+) -> subprocess.Popen[bytes]:
     """Start one worker subprocess attached to ``host:port``.
 
     The child runs ``python -m repro.experiments.service`` with the
@@ -95,12 +102,18 @@ class FleetExecutor(Executor):
     name = "fleet"
     parallel = True
 
-    def run(self, campaign, *, registry=None, on_event=None):
+    def run(
+        self,
+        campaign: "Campaign | Iterable[JobSpec]",
+        *,
+        registry: ModelRegistry | None = None,
+        on_event: EventCallback | None = None,
+    ) -> Iterator[JobResult]:
         """Yield one result per pending job as the fleet completes them."""
         specs = self._pending_specs(campaign)
         if not specs:
             return
-        out: queue.Queue = queue.Queue()
+        out: queue.Queue[tuple[str, Any]] = queue.Queue()
         cache_dir, cache_disabled = _worker_registry_config(registry)
         cache_dir = self.config.cache_dir or cache_dir
         thread = threading.Thread(
@@ -122,7 +135,14 @@ class FleetExecutor(Executor):
         finally:
             thread.join()
 
-    def _thread_main(self, specs, cache_dir, cache_disabled, on_event, out) -> None:
+    def _thread_main(
+        self,
+        specs: list[JobSpec],
+        cache_dir: str | None,
+        cache_disabled: bool,
+        on_event: EventCallback | None,
+        out: "queue.Queue[tuple[str, Any]]",
+    ) -> None:
         try:
             asyncio.run(
                 self._serve(specs, cache_dir, cache_disabled, on_event, out)
@@ -132,7 +152,14 @@ class FleetExecutor(Executor):
         finally:
             out.put(("end", None))
 
-    async def _serve(self, specs, cache_dir, cache_disabled, on_event, out) -> None:
+    async def _serve(
+        self,
+        specs: list[JobSpec],
+        cache_dir: str | None,
+        cache_disabled: bool,
+        on_event: EventCallback | None,
+        out: "queue.Queue[tuple[str, Any]]",
+    ) -> None:
         config = self.config
         dispatcher = Dispatcher(
             host=config.host,
@@ -162,7 +189,7 @@ class FleetExecutor(Executor):
             )
         for spec in specs:
             dispatcher.submit(spec)
-        workers: list[subprocess.Popen] = []
+        workers: list[subprocess.Popen[bytes]] = []
         if config.spawn_workers:
             workers = [
                 spawn_worker_process(
@@ -212,7 +239,9 @@ class FleetExecutor(Executor):
                     proc.wait()
 
     @staticmethod
-    def _check_fleet_alive(workers: list[subprocess.Popen], dispatcher: Dispatcher) -> None:
+    def _check_fleet_alive(
+        workers: "list[subprocess.Popen[bytes]]", dispatcher: Dispatcher
+    ) -> None:
         """Fail fast when every spawned worker died with work still queued.
 
         Detached fleets (no spawned workers) wait indefinitely: operators

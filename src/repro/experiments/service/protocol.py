@@ -27,6 +27,7 @@ no embedded newlines (JSON escapes them), terminated by ``\\n``.
 from __future__ import annotations
 
 import json
+from collections.abc import Callable
 from dataclasses import dataclass, fields
 from typing import Any, ClassVar
 
@@ -38,6 +39,7 @@ __all__ = [
     "Message",
     "register_message",
     "message_types",
+    "registered_messages",
     "decode_message",
     "encode_frame",
     "decode_frame",
@@ -95,6 +97,17 @@ def message_types() -> tuple[str, ...]:
     return tuple(sorted(_MESSAGE_TYPES))
 
 
+def registered_messages() -> dict[str, type["Message"]]:
+    """Return a copy of the decode registry (``TypeName`` -> message class).
+
+    Public so the static-analysis checker (``repro.analysis.lint``) can
+    verify protocol conformance — every subclass frozen, versioned and
+    registered — and snapshot the wire schema without reaching into
+    privates.
+    """
+    return dict(_MESSAGE_TYPES)
+
+
 # -- base message --------------------------------------------------------------------
 
 
@@ -113,7 +126,7 @@ class Message:
     # Versions this build can still decode; by default only the current one.
     SUPPORTED_VERSIONS: ClassVar[tuple[str, ...]] = ("100",)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Wire-form dictionary (TypeName/Version plus every field)."""
         payload: dict[str, Any] = {
             "TypeName": self.TYPE_NAME,
@@ -135,7 +148,7 @@ class Message:
             ) from exc
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "Message":
+    def from_dict(cls, payload: dict[str, Any]) -> "Message":
         """Decode one payload dictionary, enforcing the full field contract."""
         if not isinstance(payload, dict):
             raise MalformedMessage(
@@ -163,7 +176,7 @@ class Message:
         unknown = sorted(given - set(declared))
         if unknown:
             raise MalformedMessage(f"{cls.TYPE_NAME}: unknown field(s) {unknown}")
-        kwargs = {}
+        kwargs: dict[str, Any] = {}
         for name, spec in declared.items():
             value = payload[name]
             expected = _FIELD_CHECKS.get(spec.type)
@@ -178,7 +191,7 @@ class Message:
 
 # Per-annotation wire checks.  Fields are deliberately limited to these
 # shapes; anything richer belongs in the params/metrics dictionaries.
-_FIELD_CHECKS = {
+_FIELD_CHECKS: dict[str, Callable[[Any], bool]] = {
     "str": lambda v: isinstance(v, str),
     # bool is an int subclass but is not an acceptable wire integer.
     "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
@@ -234,7 +247,7 @@ def decode_frame(line: bytes) -> Message:
 # ArtifactStore's on-disk convention.
 
 
-def encode_metrics(metrics: dict[str, float]) -> dict:
+def encode_metrics(metrics: dict[str, float]) -> dict[str, float | None]:
     """Encode a metric dictionary for the wire (NaN becomes ``null``)."""
     return {
         name: None if value != value else float(value)
@@ -242,7 +255,7 @@ def encode_metrics(metrics: dict[str, float]) -> dict:
     }
 
 
-def decode_metrics(payload: dict) -> dict[str, float]:
+def decode_metrics(payload: dict[str, float | None]) -> dict[str, float]:
     """Decode a wire metric dictionary (``null`` becomes NaN)."""
     return {
         name: float("nan") if value is None else float(value)

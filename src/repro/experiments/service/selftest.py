@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 
 from repro.experiments.campaign import register_job
+from repro.zoo.registry import ModelRegistry
 
 __all__ = ["SELFTEST_KIND"]
 
@@ -23,7 +24,13 @@ SELFTEST_KIND = "service-selftest"
 
 
 @register_job(SELFTEST_KIND)
-def _selftest_job(*, registry=None, value, sleep=0.0, fail=False):
+def _selftest_job(
+    *,
+    registry: ModelRegistry | None = None,
+    value: float,
+    sleep: float = 0.0,
+    fail: bool = False,
+) -> dict[str, float]:
     """Cheap arithmetic job with an optional delay and forced failure."""
     if fail:
         raise RuntimeError(f"selftest failure requested for value={value}")

@@ -30,6 +30,7 @@ import os
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
+from typing import Any
 
 from repro.experiments.campaign import ArtifactStore, JobSpec, execute_job
 from repro.experiments.service.protocol import (
@@ -110,7 +111,7 @@ class Worker:
             self.host, self.port, limit=MAX_FRAME_BYTES
         )
         executor = ThreadPoolExecutor(max_workers=1)
-        heartbeat: asyncio.Task | None = None
+        heartbeat: asyncio.Task[None] | None = None
         try:
             writer.write(encode_frame(WorkerHello(worker_id=self.worker_id, pid=os.getpid())))
             await writer.drain()
@@ -153,6 +154,7 @@ class Worker:
     ) -> None:
         spec = JobSpec.make(claim.kind, **claim.params)
         self._current_key = claim.job_key
+        reply: JobDone | JobFailed
         try:
             if spec.key != claim.job_key:
                 raise ProtocolError(
@@ -201,7 +203,7 @@ class Worker:
 def run_worker(
     host: str,
     port: int,
-    **kwargs,
+    **kwargs: Any,
 ) -> int:
     """Synchronous wrapper: attach one worker and serve until detached."""
     return asyncio.run(Worker(host, port, **kwargs).run())

@@ -25,8 +25,11 @@ _CONFIG_KEY = "__architecture_json__"
 def model_to_arrays(model: Sequential) -> dict[str, np.ndarray]:
     """Flatten a model (architecture + weights) to a dict of numpy arrays."""
     arrays: dict[str, np.ndarray] = {
+        # sort_keys keeps the stored bytes independent of dict construction
+        # order, so archives of identical configs are themselves identical.
         _CONFIG_KEY: np.frombuffer(
-            json.dumps(model.get_config()).encode("utf-8"), dtype=np.uint8
+            json.dumps(model.get_config(), sort_keys=True).encode("utf-8"),
+            dtype=np.uint8,
         ).copy()
     }
     for layer_name, param_name, value in model.named_parameters():

@@ -15,6 +15,7 @@ from repro.utils.errors import (
     ShapeError,
 )
 from repro.utils.cache import DiskCache, default_cache_dir
+from repro.utils.clock import wall_clock
 
 __all__ = [
     "RandomState",
@@ -32,4 +33,5 @@ __all__ = [
     "ShapeError",
     "DiskCache",
     "default_cache_dir",
+    "wall_clock",
 ]

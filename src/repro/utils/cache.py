@@ -12,6 +12,7 @@ import json
 import os
 import tempfile
 from pathlib import Path, PurePath
+from typing import Any
 
 import numpy as np
 
@@ -29,7 +30,7 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-fault-sneaking"
 
 
-def _canonical(value, path: str):
+def _canonical(value: Any, path: str) -> Any:
     """Reduce a config value to JSON-native types, rejecting ambiguous ones.
 
     An earlier implementation fell back to ``str()`` for unknown types, which
@@ -66,7 +67,7 @@ def _canonical(value, path: str):
     )
 
 
-def stable_hash(config: dict) -> str:
+def stable_hash(config: dict[str, Any]) -> str:
     """Return a stable hex digest of a configuration dictionary.
 
     Values must be canonically encodable: JSON-native types plus numpy
@@ -130,7 +131,7 @@ class DiskCache:
     def _path_for(self, key: str) -> Path:
         return self._lookup_path(key, ".npz")
 
-    def key_for(self, config: dict) -> str:
+    def key_for(self, config: dict[str, Any]) -> str:
         """Return the cache key for a configuration dictionary."""
         return stable_hash(config)
 
@@ -178,18 +179,23 @@ class DiskCache:
         """Return whether a JSON entry exists for ``key``."""
         return self.enabled and self._json_path_for(key).exists()
 
-    def load_json(self, key: str) -> dict | None:
+    def load_json(self, key: str) -> dict[str, Any] | None:
         """Load the JSON payload stored under ``key`` or ``None`` on a miss."""
         if not self.contains_json(key):
             return None
         try:
-            return json.loads(self._json_path_for(key).read_text(encoding="utf-8"))
+            payload = json.loads(self._json_path_for(key).read_text(encoding="utf-8"))
         except (OSError, ValueError):
             # Corrupt entry (e.g. an interrupted write on a filesystem without
             # atomic rename): treat as a miss and let the caller regenerate it.
             return None
+        # store_json only ever writes objects; anything else is a corrupt or
+        # foreign file squatting on the key, so treat it as a miss too.
+        if not isinstance(payload, dict):
+            return None
+        return payload
 
-    def store_json(self, key: str, payload: dict) -> None:
+    def store_json(self, key: str, payload: dict[str, Any]) -> None:
         """Atomically store a JSON-serialisable payload under ``key``.
 
         Writes strict RFC 8259 JSON: non-finite floats are rejected rather

@@ -1,0 +1,27 @@
+"""The one sanctioned wall-clock access point of the library.
+
+Job results, cache keys and canonical manifests must be pure functions of
+the job spec — ``repro-lint`` rule RPL002 rejects direct ``time.time()`` /
+``datetime.now()`` reads anywhere in ``src/``.  Operator-facing surfaces
+(the CLI's "completed in N s" line, log timestamps) still legitimately want
+the wall clock; they get it from here, so every clock read in the codebase
+is findable at one call site and auditable against the determinism
+invariant.  Elapsed/duration measurement should prefer ``time.monotonic``
+or ``time.perf_counter``, which RPL002 permits everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_clock"]
+
+
+def wall_clock() -> float:
+    """Seconds since the epoch, for operator-facing timing and display only.
+
+    Never feed this into anything content-hashed (job metrics, artifact
+    keys, canonical manifests): two executors running the same spec at
+    different times must still produce byte-identical results.
+    """
+    return time.time()  # repro: allow-wallclock

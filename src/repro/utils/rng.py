@@ -33,7 +33,7 @@ def RandomState(seed: int | np.random.Generator | None = None) -> np.random.Gene
     return np.random.default_rng(seed)
 
 
-def derive_seed(*components) -> int:
+def derive_seed(*components: object) -> int:
     """Derive a reproducible seed from arbitrary JSON-serialisable components.
 
     Unlike the built-in ``hash`` this is stable across processes and Python
@@ -65,5 +65,8 @@ def seed_everything(seed: int) -> np.random.Generator:
     may; this makes a whole run reproducible with one call.
     """
     random.seed(seed)
+    # Legacy global numpy state, seeded only for third-party/user code that
+    # still reads it.  This module is the sole repro-lint (RPL001) allowlisted
+    # caller; library code must thread the returned Generator instead.
     np.random.seed(seed % (2**32))
     return np.random.default_rng(seed)

@@ -7,6 +7,7 @@ surface at the call site rather than deep inside numpy broadcasting.
 from __future__ import annotations
 
 import numbers
+from typing import Any
 
 import numpy as np
 
@@ -16,11 +17,11 @@ __all__ = ["check_array", "check_positive", "check_probability", "check_in_range
 
 
 def check_array(
-    value,
+    value: Any,
     *,
     name: str,
     ndim: int | tuple[int, ...] | None = None,
-    dtype=np.float64,
+    dtype: Any = np.float64,
     allow_empty: bool = False,
 ) -> np.ndarray:
     """Coerce ``value`` to an ndarray and validate its dimensionality.
@@ -53,7 +54,7 @@ def check_array(
     return arr
 
 
-def check_positive(value, *, name: str, strict: bool = True) -> float:
+def check_positive(value: Any, *, name: str, strict: bool = True) -> float:
     """Validate that ``value`` is a positive (or non-negative) scalar."""
     if not isinstance(value, numbers.Real) or isinstance(value, bool):
         raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
@@ -65,12 +66,12 @@ def check_positive(value, *, name: str, strict: bool = True) -> float:
     return value
 
 
-def check_probability(value, *, name: str) -> float:
+def check_probability(value: Any, *, name: str) -> float:
     """Validate that ``value`` lies in the closed interval [0, 1]."""
     return check_in_range(value, low=0.0, high=1.0, name=name)
 
 
-def check_in_range(value, *, low: float, high: float, name: str) -> float:
+def check_in_range(value: Any, *, low: float, high: float, name: str) -> float:
     """Validate that a scalar lies in ``[low, high]``."""
     if not isinstance(value, numbers.Real) or isinstance(value, bool):
         raise TypeError(f"{name} must be a real number, got {type(value).__name__}")

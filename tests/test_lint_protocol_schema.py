@@ -1,0 +1,193 @@
+"""Tests of the RPL004 wire-protocol conformance and schema-drift gate."""
+
+from __future__ import annotations
+
+import copy
+import gc
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar
+
+import pytest
+
+from repro.analysis.lint import (
+    build_protocol_schema,
+    check_protocol_conformance,
+    compare_schema,
+    load_snapshot,
+    main,
+    write_snapshot,
+)
+from repro.analysis.lint.protocol_schema import SNAPSHOT_PATH
+from repro.experiments.service.protocol import Message, registered_messages
+
+REPO_ROOT = Path(__file__).parents[1]
+COMMITTED_SNAPSHOT = REPO_ROOT / SNAPSHOT_PATH
+
+
+def test_schema_covers_every_registered_message():
+    schema = build_protocol_schema()
+    assert set(schema["messages"]) == set(registered_messages())
+    for entry in schema["messages"].values():
+        assert entry["version"] in entry["supported_versions"]
+        assert entry["fields"], "wire messages carry at least one field"
+
+
+def test_snapshot_round_trip(tmp_path):
+    path = write_snapshot(tmp_path / "schema.json")
+    loaded = load_snapshot(path)
+    assert loaded == build_protocol_schema()
+    # Byte-stable: re-writing an identical schema produces identical bytes.
+    again = write_snapshot(tmp_path / "schema2.json")
+    assert path.read_bytes() == again.read_bytes()
+
+
+def test_committed_snapshot_is_fresh():
+    snapshot = load_snapshot(COMMITTED_SNAPSHOT)
+    assert snapshot is not None, "missing snapshot; run python -m repro.analysis --update-snapshot"
+    assert snapshot == build_protocol_schema(), (
+        "tests/golden/protocol_schema.json is stale; run "
+        "python -m repro.analysis --update-snapshot and review the diff"
+    )
+
+
+def test_load_snapshot_rejects_foreign_json(tmp_path):
+    path = tmp_path / "not-a-snapshot.json"
+    path.write_text(json.dumps({"tables": []}), encoding="utf-8")
+    with pytest.raises(ValueError, match="not a protocol schema snapshot"):
+        load_snapshot(path)
+    assert load_snapshot(tmp_path / "absent.json") is None
+
+
+def _mutated(schema, name, **changes):
+    out = copy.deepcopy(schema)
+    out["messages"][name].update(changes)
+    return out
+
+
+def test_silent_field_change_fails():
+    snapshot = build_protocol_schema()
+    name = sorted(snapshot["messages"])[0]
+    fields = dict(snapshot["messages"][name]["fields"])
+    fields["sneaky"] = "str"
+    current = _mutated(snapshot, name, fields=fields)
+    findings, notices = compare_schema(snapshot, current)
+    assert len(findings) == 1
+    assert findings[0].rule == "RPL004"
+    assert "without a Version bump" in findings[0].message
+    assert "sneaky" in findings[0].message
+    assert notices == []
+
+
+def test_field_change_with_version_bump_passes_with_notice():
+    snapshot = build_protocol_schema()
+    name = sorted(snapshot["messages"])[0]
+    entry = snapshot["messages"][name]
+    fields = dict(entry["fields"])
+    fields["extra"] = "int"
+    current = _mutated(
+        snapshot,
+        name,
+        fields=fields,
+        version="101",
+        supported_versions=sorted(entry["supported_versions"] + ["101"]),
+    )
+    findings, notices = compare_schema(snapshot, current)
+    assert findings == []
+    assert len(notices) == 1
+    assert "version bump" in notices[0]
+    assert "--update-snapshot" in notices[0]
+
+
+def test_added_and_removed_message_types_fail():
+    snapshot = build_protocol_schema()
+    current = copy.deepcopy(snapshot)
+    removed = sorted(current["messages"])[0]
+    del current["messages"][removed]
+    current["messages"]["campaign.test.new"] = {
+        "class": "TestNew",
+        "version": "100",
+        "supported_versions": ["100"],
+        "fields": {"worker_id": "str"},
+    }
+    findings, _ = compare_schema(snapshot, current)
+    messages = [f.message for f in findings]
+    assert any(removed in m and "disappeared" in m for m in messages)
+    assert any("campaign.test.new" in m and "missing from the snapshot" in m for m in messages)
+
+
+def test_conformance_clean_at_head():
+    assert check_protocol_conformance() == []
+
+
+def test_conformance_flags_bad_message_subclass():
+    # Deliberately broken: unregistered, empty TYPE_NAME, a version it cannot
+    # decode, and a non-wire field type.  (A non-frozen subclass cannot even
+    # be defined — Python refuses to mix frozen and non-frozen dataclasses.)
+    @dataclass(frozen=True)
+    class BadMessage(Message):
+        TYPE_NAME: ClassVar[str] = ""
+        VERSION: ClassVar[str] = "200"
+        SUPPORTED_VERSIONS: ClassVar[tuple[str, ...]] = ("100",)
+
+        payload: list
+
+    try:
+        messages = [f.message for f in check_protocol_conformance()]
+        assert any("empty TYPE_NAME" in m for m in messages)
+        assert any("cannot decode its own VERSION" in m for m in messages)
+        assert any("not registered" in m for m in messages)
+        assert any("payload" in m and "list" in m for m in messages)
+    finally:
+        # The conformance walk discovers subclasses via __subclasses__();
+        # drop ours so later tests see a clean protocol again.
+        del BadMessage
+        gc.collect()
+    assert check_protocol_conformance() == []
+
+
+def test_cli_self_gate_is_clean(capsys):
+    """python -m repro.analysis over src/ exits 0 at HEAD."""
+    exit_code = main([str(REPO_ROOT / "src"), "--snapshot", str(COMMITTED_SNAPSHOT)])
+    out = capsys.readouterr().out
+    assert exit_code == 0, out
+    assert "0 finding(s)" in out
+
+
+def test_cli_reports_schema_drift(tmp_path, capsys):
+    stale = build_protocol_schema()
+    name = sorted(stale["messages"])[0]
+    fields = dict(stale["messages"][name]["fields"])
+    fields["ghost"] = "str"
+    stale["messages"][name]["fields"] = fields
+    path = write_snapshot(tmp_path / "stale.json", stale)
+
+    src_file = tmp_path / "empty.py"
+    src_file.write_text("x = 1\n", encoding="utf-8")
+    exit_code = main([str(src_file), "--snapshot", str(path)])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "RPL004" in out
+
+
+def test_cli_update_snapshot_writes_fresh_baseline(tmp_path, capsys):
+    path = tmp_path / "regen.json"
+    exit_code = main(["--update-snapshot", "--snapshot", str(path)])
+    capsys.readouterr()
+    assert exit_code == 0
+    assert load_snapshot(path) == build_protocol_schema()
+
+
+def test_cli_json_report_artifact(tmp_path, capsys):
+    src_file = tmp_path / "bad.py"
+    src_file.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+    report_path = tmp_path / "report.json"
+    exit_code = main(
+        [str(src_file), "--no-schema", "--format", "json", "--report", str(report_path)]
+    )
+    capsys.readouterr()
+    assert exit_code == 1
+    payload = json.loads(report_path.read_text(encoding="utf-8"))
+    assert payload["findings"][0]["rule"] == "RPL002"
+    assert payload["checked_files"] == 1
