@@ -11,15 +11,33 @@ The grid scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
 (``smoke``, ``ci`` — the default, ``paper`` or ``full``).  Victim models are
 cached on disk by the model registry, so only the first run of the suite pays
 the training cost.
+
+Each suite run also writes ``BENCH_<scale>.json`` (override the path with
+``REPRO_BENCH_OUTPUT``): per benchmark, the wall time, the campaign
+throughput, and the telemetry event counts observed on the bus — the perf
+trajectory CI uploads as an artifact.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
+import time
+from pathlib import Path
 
 import pytest
 
+from repro.experiments.telemetry import CountingSink, RunAggregator, global_bus
 from repro.zoo.registry import ModelRegistry, default_registry
+
+# Accumulated per-benchmark records, flushed by pytest_sessionfinish.
+_BENCH_RECORDS: dict[str, dict] = {}
+
+
+def _json_safe(value: float) -> float | None:
+    """NaN is not valid strict JSON; use the null sentinel convention."""
+    return None if isinstance(value, float) and math.isnan(value) else value
 
 
 def bench_scale() -> str:
@@ -48,9 +66,45 @@ def run_once():
     """
 
     def _run(benchmark, func, **kwargs):
-        table = benchmark.pedantic(lambda: func(**kwargs), rounds=1, iterations=1)
+        bus = global_bus()
+        counting = bus.attach(CountingSink())
+        aggregator = bus.attach(RunAggregator())
+        started = time.perf_counter()
+        try:
+            table = benchmark.pedantic(lambda: func(**kwargs), rounds=1, iterations=1)
+        finally:
+            elapsed = time.perf_counter() - started
+            bus.detach(counting)
+            bus.detach(aggregator)
+        name = getattr(benchmark, "name", None) or func.__name__
+        counts = aggregator.counts()
+        _BENCH_RECORDS[name] = {
+            "median_wall_s": elapsed,
+            "jobs_per_second": _json_safe(aggregator.jobs_per_second()),
+            "jobs": counts,
+            "telemetry_events": counting.snapshot(),
+        }
         print()
         print(table.render("text"))
         return table
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the suite's BENCH_<scale>.json perf record (CI artifact)."""
+    if not _BENCH_RECORDS:
+        return
+    path = Path(os.environ.get("REPRO_BENCH_OUTPUT", f"BENCH_{bench_scale()}.json"))
+    payload = {
+        "scale": bench_scale(),
+        "benchmarks": dict(sorted(_BENCH_RECORDS.items())),
+        "total_wall_s": sum(r["median_wall_s"] for r in _BENCH_RECORDS.values()),
+        "total_telemetry_events": sum(
+            sum(r["telemetry_events"].values()) for r in _BENCH_RECORDS.values()
+        ),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )

@@ -1,11 +1,16 @@
 """RPL004: wire-protocol conformance and schema-drift gate.
 
-Two complementary checks on :mod:`repro.experiments.service.protocol`:
+Two complementary checks covering both registered message families — the
+fleet wire protocol (:mod:`repro.experiments.service.protocol`) and the
+telemetry event stream (:mod:`repro.experiments.telemetry.events`):
 
 * **Conformance** (introspection): every :class:`Message` subclass must be a
   frozen dataclass, carry a non-empty ``TYPE_NAME``, list its ``VERSION`` in
   ``SUPPORTED_VERSIONS``, be registered in the decode table, and declare
   only wire-native field types (``str``/``int``/``float``/``dict``).
+  Behaviour-only intermediate bases that declare ``ABSTRACT_BASE = True`` in
+  their own body (e.g. ``TelemetryEvent``) are exempt — they never appear on
+  the wire.
 
 * **Schema snapshot** (drift gate): the canonical wire schema — fields,
   types and version per message — is committed at
@@ -39,16 +44,36 @@ __all__ = [
 SNAPSHOT_PATH = Path("tests") / "golden" / "protocol_schema.json"
 
 # Field annotations the wire's decode layer can actually validate
-# (protocol._FIELD_CHECKS); anything richer belongs inside a dict payload.
+# (wire._FIELD_CHECKS); anything richer belongs inside a dict payload.
 WIRE_FIELD_TYPES = ("str", "int", "float", "dict")
 
 _PROTOCOL_PATH = "src/repro/experiments/service/protocol.py"
 
 
-def _message_classes() -> list[type]:
-    """Every Message subclass, transitively, in deterministic order."""
-    from repro.experiments.service.protocol import Message
+def _source_path(cls: type) -> str:
+    """Repo-relative source path of a message class, for finding locations."""
+    module = getattr(cls, "__module__", "") or ""
+    if module.startswith("repro."):
+        return "src/" + module.replace(".", "/") + ".py"
+    return _PROTOCOL_PATH
 
+
+def _import_message_families() -> None:
+    """Import every module that registers messages, so the walk is complete."""
+    import repro.experiments.service.protocol  # noqa: F401
+    import repro.experiments.telemetry.events  # noqa: F401
+
+
+def _is_abstract_base(cls: type) -> bool:
+    """True for behaviour-only bases declaring ABSTRACT_BASE in their body."""
+    return bool(cls.__dict__.get("ABSTRACT_BASE", False))
+
+
+def _message_classes() -> list[type]:
+    """Every concrete Message subclass, transitively, in deterministic order."""
+    from repro.experiments.wire import Message
+
+    _import_message_families()
     ordered: list[type] = []
     stack: list[type] = [Message]
     while stack:
@@ -57,7 +82,10 @@ def _message_classes() -> list[type]:
             if sub not in ordered:
                 ordered.append(sub)
                 stack.append(sub)
-    return sorted(ordered, key=lambda cls: (cls.TYPE_NAME, cls.__name__))
+    return sorted(
+        (cls for cls in ordered if not _is_abstract_base(cls)),
+        key=lambda cls: (cls.TYPE_NAME, cls.__name__),
+    )
 
 
 def build_protocol_schema() -> dict:
@@ -70,8 +98,9 @@ def build_protocol_schema() -> dict:
             "supported_versions": ["100"],
             "fields": {"attempt": "int", ...}}}}
     """
-    from repro.experiments.service.protocol import registered_messages
+    from repro.experiments.wire import registered_messages
 
+    _import_message_families()
     messages = {}
     for type_name, cls in sorted(registered_messages().items()):
         fields = {spec.name: str(spec.type) for spec in dataclasses.fields(cls)}
@@ -85,18 +114,21 @@ def build_protocol_schema() -> dict:
 
 
 def check_protocol_conformance() -> list[Finding]:
-    """Introspect the protocol module and report every RPL004 violation."""
-    from repro.experiments.service.protocol import registered_messages
+    """Introspect both message families and report every RPL004 violation."""
+    from repro.experiments.wire import registered_messages
 
+    _import_message_families()
     findings: list[Finding] = []
-
-    def flag(message: str) -> None:
-        findings.append(Finding(rule="RPL004", path=_PROTOCOL_PATH, line=0, message=message))
 
     registry = registered_messages()
     by_class = {cls: name for name, cls in registry.items()}
     for cls in _message_classes():
         label = cls.__name__
+        path = _source_path(cls)
+
+        def flag(message: str, path: str = path) -> None:
+            findings.append(Finding(rule="RPL004", path=path, line=0, message=message))
+
         if not dataclasses.is_dataclass(cls):
             flag(f"{label} is not a dataclass")
             continue

@@ -57,6 +57,16 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.experiments.telemetry.bus import global_bus
+from repro.experiments.telemetry.events import (
+    JobCached,
+    JobFinished,
+    JobStarted,
+    RunFinished,
+    RunStarted,
+    TelemetryEvent,
+)
+from repro.experiments.wire import encode_metrics
 from repro.utils.cache import DiskCache, default_cache_dir, stable_hash
 from repro.utils.errors import ConfigurationError
 from repro.utils.logging import get_logger
@@ -89,9 +99,13 @@ _LOGGER = get_logger("experiments.campaign")
 
 EXECUTOR_BACKENDS = ("serial", "multiprocessing", "process-pool", "fleet")
 
-# Structured-progress callback: receives one JSON-native event dictionary per
-# campaign event (job-cached/leased/done, worker-attached, dispatcher-ready).
-EventCallback = Callable[[dict[str, Any]], None]
+# Structured-progress callback: receives one typed telemetry event per
+# campaign state change (job started/done/cached, worker attach/detach,
+# dispatcher-ready).  Events are mapping-compatible (``event["event"]`` is the
+# short name), so dictionary-era callbacks keep working.  Every event also
+# reaches the process-wide telemetry bus (:func:`repro.experiments.telemetry.
+# bus.global_bus`) regardless of whether a callback is given.
+EventCallback = Callable[[TelemetryEvent], None]
 
 
 # -- job specs and results -----------------------------------------------------------
@@ -424,11 +438,14 @@ class Executor:
         return list(campaign)
 
     @staticmethod
-    def _emit(on_event: EventCallback | None, event: str, **detail: Any) -> None:
+    def _emit(
+        on_event: EventCallback | None, event: TelemetryEvent
+    ) -> TelemetryEvent:
+        """Publish to the global telemetry bus, then the legacy callback."""
+        event = global_bus().publish(event)
         if on_event is not None:
-            payload: dict[str, Any] = {"event": event}
-            payload.update(detail)
-            on_event(payload)
+            on_event(event)
+        return event
 
     def run(
         self,
@@ -459,11 +476,16 @@ class SerialExecutor(Executor):
     ) -> Iterator[JobResult]:
         """Yield one result per job as it completes."""
         for spec in self._pending_specs(campaign):
-            self._emit(on_event, "job-started", key=spec.key, kind=spec.kind)
+            self._emit(on_event, JobStarted(key=spec.key, kind=spec.kind))
             result = execute_job(spec, registry=registry)
             self._emit(
-                on_event, "job-done", key=result.key, kind=result.kind,
-                elapsed=result.elapsed,
+                on_event,
+                JobFinished(
+                    key=result.key,
+                    kind=result.kind,
+                    metrics=encode_metrics(result.metrics),
+                    duration_s=result.elapsed,
+                ),
             )
             yield result
 
@@ -488,12 +510,21 @@ class MultiprocessingExecutor(Executor):
             initializer=_init_worker,
             initargs=self._initargs(registry),
         ) as pool:
+            # Submission is the whole batch at once; job-started marks entry
+            # into the pool's queue, not the moment a worker picks it up.
+            for spec in specs:
+                self._emit(on_event, JobStarted(key=spec.key, kind=spec.kind))
             # Unordered: results are keyed by spec hash, so arrival order is
             # irrelevant and the parent can persist each artifact immediately.
             for result in pool.imap_unordered(_execute_spec, specs):
                 self._emit(
-                    on_event, "job-done", key=result.key, kind=result.kind,
-                    elapsed=result.elapsed,
+                    on_event,
+                    JobFinished(
+                        key=result.key,
+                        kind=result.kind,
+                        metrics=encode_metrics(result.metrics),
+                        duration_s=result.elapsed,
+                    ),
                 )
                 yield result
 
@@ -523,14 +554,22 @@ class FuturesExecutor(Executor):
             initializer=_init_worker,
             initargs=(self.cache_dir or cache_dir, cache_disabled),
         ) as executor:
-            pending = {executor.submit(_execute_spec, spec) for spec in specs}
+            pending = set()
+            for spec in specs:
+                pending.add(executor.submit(_execute_spec, spec))
+                self._emit(on_event, JobStarted(key=spec.key, kind=spec.kind))
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     result = future.result()
                     self._emit(
-                        on_event, "job-done", key=result.key, kind=result.kind,
-                        elapsed=result.elapsed,
+                        on_event,
+                        JobFinished(
+                            key=result.key,
+                            kind=result.kind,
+                            metrics=encode_metrics(result.metrics),
+                            duration_s=result.elapsed,
+                        ),
                     )
                     yield result
 
@@ -804,13 +843,24 @@ def run_campaign(
         executor = make_executor(jobs=jobs, backend=executor)
 
     unique = campaign.unique_jobs()
+    Executor._emit(
+        on_event,
+        RunStarted(
+            campaign=campaign.name,
+            scale=campaign.scale,
+            seed=campaign.seed,
+            total_jobs=len(unique),
+            executor=executor.name,
+            jobs=executor.jobs,
+        ),
+    )
     results: dict[str, JobResult] = {}
     pending: list[JobSpec] = []
     for spec in unique:
         cached = store.load(spec)
         if cached is not None:
             results[spec.key] = cached
-            Executor._emit(on_event, "job-cached", key=spec.key, kind=spec.kind)
+            Executor._emit(on_event, JobCached(key=spec.key, kind=spec.kind))
         else:
             pending.append(spec)
     cache_hits = len(results)
@@ -839,6 +889,18 @@ def run_campaign(
         elapsed_seconds=time.perf_counter() - started,
         executor=executor.name,
         jobs=executor.jobs,
+    )
+    Executor._emit(
+        on_event,
+        RunFinished(
+            campaign=campaign.name,
+            total_jobs=stats.total,
+            executed=stats.executed,
+            cache_hits=stats.cache_hits,
+            executor=stats.executor,
+            jobs=stats.jobs,
+            elapsed_s=stats.elapsed_seconds,
+        ),
     )
     return CampaignResult(campaign=campaign, results=results, stats=stats)
 

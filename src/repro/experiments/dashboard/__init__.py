@@ -1,0 +1,28 @@
+"""Live campaign dashboard: a TUI (or plain-text) view of the telemetry stream.
+
+``python -m repro.experiments.dashboard`` renders the telemetry event stream
+of a campaign run — either tailing a live socket published by the runner
+(``--telemetry-port`` / ``--connect``) or replaying a finished JSON-lines log
+(``--telemetry-log run.jsonl`` / ``--replay run.jsonl``):
+
+* a summary header: campaign, executor, job-state counts, cache-hit rate,
+  throughput, attached workers;
+* a per-job table: state, attempts, worker, duration, kind;
+* drill-down into one cell's metrics (for ``hardware-cost-cell`` jobs, the
+  full :class:`~repro.attacks.lowering.LoweringReport` fields).
+
+The rich interactive interface is a Textual application
+(:mod:`~repro.experiments.dashboard.app`) and needs the optional
+``[dashboard]`` extra (``pip install -e .[dashboard]``); without Textual the
+CLI falls back to the plain-text renderer in
+:mod:`~repro.experiments.dashboard.render`, which needs nothing beyond the
+standard library and keeps ``--replay`` usable on lean installs.
+"""
+
+from repro.experiments.dashboard.render import (
+    render_jobs_table,
+    render_run,
+    render_summary,
+)
+
+__all__ = ["render_run", "render_summary", "render_jobs_table"]

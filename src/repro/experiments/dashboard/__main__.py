@@ -1,0 +1,128 @@
+"""CLI of the campaign dashboard: ``python -m repro.experiments.dashboard``.
+
+Replay a finished run log::
+
+    python -m repro.experiments.dashboard --replay run.jsonl
+
+Tail a live campaign (start the runner with ``--telemetry-port``)::
+
+    python -m repro.experiments.dashboard --connect <port>
+
+``--plain`` forces the stdlib text renderer; it is also the automatic
+fallback when the optional Textual dependency (``pip install -e
+.[dashboard]``) is missing, so ``--replay`` always works on a lean install.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+
+from repro.experiments.dashboard.render import render_run
+from repro.experiments.telemetry.aggregate import RunAggregator
+from repro.experiments.telemetry.bus import read_events
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.dashboard",
+        description="Render the telemetry stream of a campaign run.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="render a finished JSON-lines telemetry log (--telemetry-log)",
+    )
+    source.add_argument(
+        "--connect",
+        type=int,
+        metavar="PORT",
+        help="tail a live telemetry socket (--telemetry-port) on localhost",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="telemetry socket host for --connect (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--plain",
+        action="store_true",
+        help="force the plain-text renderer instead of the Textual TUI",
+    )
+    parser.add_argument(
+        "--details",
+        action="store_true",
+        help="plain mode: include the per-job metric drill-downs",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="TUI refresh interval (default: 0.5)",
+    )
+    return parser
+
+
+def _textual_available() -> bool:
+    try:
+        import textual  # noqa: F401
+    except ModuleNotFoundError:
+        return False
+    return True
+
+
+def _plain_replay(path: str, *, details: bool) -> int:
+    aggregator = RunAggregator().replay(read_events(path))
+    print(render_run(aggregator, details=details))
+    return 0
+
+
+def _plain_tail(host: str, port: int, *, details: bool) -> int:
+    """Consume a live socket until the run ends, then print the final view."""
+    aggregator = RunAggregator()
+    with socket.create_connection((host, port)) as conn:
+        stream = conn.makefile("rb")
+        aggregator.replay(read_events(stream))
+    print(render_run(aggregator, details=details))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    plain = args.plain
+    if not plain and not _textual_available():
+        print(
+            "[textual is not installed (pip install -e .[dashboard]); "
+            "falling back to --plain]",
+            file=sys.stderr,
+        )
+        plain = True
+
+    if plain:
+        if args.replay is not None:
+            return _plain_replay(args.replay, details=args.details)
+        return _plain_tail(args.host, args.connect, details=args.details)
+
+    from repro.experiments.dashboard.app import DashboardApp
+
+    if args.replay is not None:
+        app = DashboardApp(
+            events=read_events(args.replay), interval=args.interval
+        )
+    else:
+        app = DashboardApp(
+            host=args.host, port=args.connect, interval=args.interval
+        )
+    app.run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

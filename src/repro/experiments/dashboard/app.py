@@ -1,0 +1,193 @@
+"""Textual TUI for the campaign dashboard (requires the ``[dashboard]`` extra).
+
+The application shows a live (or replayed) campaign as three regions:
+
+* a summary header (campaign, executor, state counts, cache-hit rate,
+  throughput) refreshed on a timer;
+* a per-job ``DataTable`` — one row per cell with state, attempts, worker and
+  duration — with cursor navigation;
+* a drill-down panel showing the selected cell's full metric dictionary
+  (for ``hardware-cost-cell`` jobs, the bit-true ``LoweringReport`` fields).
+
+Key bindings: ``q`` quit, ``d`` toggle the drill-down panel, ``r`` force a
+refresh.  Events arrive either from a finished iterable (replay mode) or
+from a reader thread tailing the runner's telemetry socket; the UI thread
+drains a queue on a timer, so a stalled producer never freezes the screen.
+
+Import of this module succeeds only with Textual installed; the CLI
+(:mod:`repro.experiments.dashboard.__main__`) degrades to the plain renderer
+otherwise.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from collections.abc import Iterable
+
+from textual.app import App, ComposeResult
+from textual.binding import Binding
+from textual.widgets import DataTable, Footer, Header, Static
+
+from repro.experiments.dashboard.render import (
+    KEY_DISPLAY_CHARS,
+    render_job_detail,
+    render_summary,
+)
+from repro.experiments.telemetry.aggregate import RunAggregator
+from repro.experiments.telemetry.bus import read_events
+from repro.experiments.telemetry.events import TelemetryEvent
+
+__all__ = ["DashboardApp"]
+
+_COLUMNS = ("key", "kind", "state", "attempts", "worker", "duration_s")
+
+
+class DashboardApp(App):
+    """Campaign telemetry dashboard."""
+
+    TITLE = "repro campaign dashboard"
+    CSS = """
+    #summary { height: auto; padding: 0 1; border: solid $accent; }
+    #jobs { height: 1fr; }
+    #detail { height: auto; max-height: 40%; padding: 0 1;
+              border: solid $secondary; display: none; }
+    #detail.visible { display: block; }
+    """
+    BINDINGS = [
+        Binding("q", "quit", "Quit"),
+        Binding("d", "toggle_detail", "Detail"),
+        Binding("r", "refresh_now", "Refresh"),
+    ]
+
+    def __init__(
+        self,
+        *,
+        events: Iterable[TelemetryEvent] | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        interval: float = 0.5,
+    ) -> None:
+        super().__init__()
+        self._aggregator = RunAggregator()
+        self._incoming: queue.Queue[TelemetryEvent] = queue.Queue()
+        self._interval = interval
+        self._host = host
+        self._port = port
+        self._reader: threading.Thread | None = None
+        self._stop = threading.Event()
+        if events is not None:
+            for event in events:
+                self._incoming.put(event)
+
+    # -- layout ----------------------------------------------------------------------
+
+    def compose(self) -> ComposeResult:
+        yield Header()
+        yield Static(id="summary")
+        yield DataTable(id="jobs", cursor_type="row", zebra_stripes=True)
+        yield Static(id="detail")
+        yield Footer()
+
+    def on_mount(self) -> None:
+        table = self.query_one("#jobs", DataTable)
+        for column in _COLUMNS:
+            table.add_column(column, key=column)
+        if self._host is not None and self._port is not None:
+            self._reader = threading.Thread(
+                target=self._tail_socket, name="dashboard-reader", daemon=True
+            )
+            self._reader.start()
+        self._drain()
+        self.set_interval(self._interval, self._drain)
+
+    def on_unmount(self) -> None:
+        self._stop.set()
+
+    # -- event ingestion -------------------------------------------------------------
+
+    def _tail_socket(self) -> None:
+        """Reader thread: stream frames from the runner's telemetry socket."""
+        try:
+            with socket.create_connection((self._host, self._port), timeout=10.0) as conn:
+                conn.settimeout(1.0)
+                stream = conn.makefile("rb")
+                while not self._stop.is_set():
+                    try:
+                        line = stream.readline()
+                    except socket.timeout:
+                        continue
+                    if not line:
+                        return
+                    for event in read_events([line]):
+                        self._incoming.put(event)
+        except OSError as exc:
+            self.call_from_thread(
+                self.notify, f"telemetry socket lost: {exc}", severity="warning"
+            )
+
+    def _drain(self) -> None:
+        """UI-thread timer: fold queued events and repaint."""
+        changed = False
+        while True:
+            try:
+                event = self._incoming.get_nowait()
+            except queue.Empty:
+                break
+            self._aggregator.emit(event)
+            changed = True
+        if changed:
+            self._repaint()
+
+    # -- painting --------------------------------------------------------------------
+
+    def _repaint(self) -> None:
+        self.query_one("#summary", Static).update(render_summary(self._aggregator))
+        table = self.query_one("#jobs", DataTable)
+        for key, job in sorted(self._aggregator.jobs.items()):
+            duration = (
+                f"{job.duration_s:.3f}" if job.duration_s == job.duration_s else ""
+            )
+            cells = (
+                key[:KEY_DISPLAY_CHARS],
+                job.kind,
+                job.state,
+                str(job.attempts),
+                job.worker or "-",
+                duration,
+            )
+            if key in table.rows:
+                for column, value in zip(_COLUMNS, cells):
+                    table.update_cell(key, column, value)
+            else:
+                table.add_row(*cells, key=key)
+        self._update_detail()
+
+    def _update_detail(self) -> None:
+        detail = self.query_one("#detail", Static)
+        if not detail.has_class("visible"):
+            return
+        table = self.query_one("#jobs", DataTable)
+        if table.cursor_row is None or table.row_count == 0:
+            detail.update("no job selected")
+            return
+        row_key = table.coordinate_to_cell_key((table.cursor_row, 0)).row_key
+        job = self._aggregator.jobs.get(str(row_key.value))
+        if job is None:
+            detail.update("no job selected")
+            return
+        detail.update(render_job_detail(job).render("text"))
+
+    # -- actions ---------------------------------------------------------------------
+
+    def action_toggle_detail(self) -> None:
+        self.query_one("#detail", Static).toggle_class("visible")
+        self._update_detail()
+
+    def action_refresh_now(self) -> None:
+        self._drain()
+        self._repaint()
+
+    def on_data_table_row_highlighted(self, _event: object) -> None:
+        self._update_detail()

@@ -1,0 +1,105 @@
+"""Plain-text rendering of an aggregated telemetry stream (no Textual).
+
+These renderers back both the ``--plain`` dashboard mode and the headless
+fallback when the optional ``[dashboard]`` extra (Textual) is not installed.
+They consume a :class:`~repro.experiments.telemetry.aggregate.RunAggregator`
+and produce the same three views the TUI shows: summary header, per-job
+table, and a per-cell metric drill-down.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.reporting import Table
+from repro.experiments.telemetry.aggregate import JobView, RunAggregator
+
+__all__ = ["render_summary", "render_jobs_table", "render_job_detail", "render_run"]
+
+# Job keys are content hashes; this many characters are plenty to tell cells
+# apart on screen while keeping the table narrow.
+KEY_DISPLAY_CHARS = 12
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    if value != value:  # NaN
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def render_summary(agg: RunAggregator) -> str:
+    """One-paragraph run summary: identity, progress, throughput, workers."""
+    counts = agg.counts()
+    lines = [
+        f"campaign: {agg.campaign or '?'}  scale: {agg.scale or '?'}  "
+        f"executor: {agg.executor or '?'}",
+        f"jobs: {agg.total_jobs} total | "
+        + " ".join(f"{state}={count}" for state, count in counts.items()),
+        f"cache-hit rate: {_fmt(agg.cache_hit_rate())}  "
+        f"throughput: {_fmt(agg.jobs_per_second())} jobs/s  "
+        f"elapsed: {_fmt(agg.elapsed_s(), 1)}s",
+    ]
+    if agg.workers:
+        attached = sum(1 for state in agg.workers.values() if state == "attached")
+        lines.append(f"workers: {attached} attached / {len(agg.workers)} seen")
+    return "\n".join(lines)
+
+
+def render_jobs_table(agg: RunAggregator) -> Table:
+    """Per-job state table (the plain twin of the TUI DataTable)."""
+    table = Table(
+        title="Campaign jobs",
+        columns=["key", "kind", "state", "attempts", "worker", "duration_s"],
+    )
+    for key, job in sorted(agg.jobs.items()):
+        table.add_row(
+            key[:KEY_DISPLAY_CHARS],
+            job.kind,
+            job.state,
+            job.attempts,
+            job.worker or "-",
+            job.duration_s if job.duration_s == job.duration_s else "",
+        )
+    percentiles = agg.latency_percentiles()
+    for kind, stats in percentiles.items():
+        table.add_note(
+            f"{kind}: p50={_fmt(stats['p50'], 3)}s "
+            f"p90={_fmt(stats['p90'], 3)}s p99={_fmt(stats['p99'], 3)}s"
+        )
+    return table
+
+
+def render_job_detail(job: JobView) -> Table:
+    """Metric drill-down for one cell (e.g. a LoweringReport's fields)."""
+    table = Table(
+        title=f"Job {job.key[:KEY_DISPLAY_CHARS]} ({job.kind}, {job.state})",
+        columns=["metric", "value"],
+    )
+    for name, value in sorted(job.metrics.items()):
+        if value is None:
+            rendered = "NaN"
+        elif isinstance(value, float) and math.isnan(value):
+            rendered = "NaN"
+        else:
+            rendered = value
+        table.add_row(name, rendered)
+    if not job.metrics:
+        table.add_note("no metrics reported yet")
+    return table
+
+
+def render_run(agg: RunAggregator, *, details: bool = False) -> str:
+    """Full plain-text dashboard: summary, job table, optional drill-downs."""
+    blocks = [render_summary(agg), render_jobs_table(agg).render("text")]
+    ci_widths = agg.mc_ci_widths()
+    if ci_widths:
+        ci = Table(title="Monte-Carlo CI half-widths", columns=["key", "metric", "width"])
+        for key, widths in ci_widths.items():
+            for metric, width in sorted(widths.items()):
+                ci.add_row(key[:KEY_DISPLAY_CHARS], metric, width)
+        blocks.append(ci.render("text"))
+    if details:
+        for _, job in sorted(agg.jobs.items()):
+            if job.metrics:
+                blocks.append(render_job_detail(job).render("text"))
+    return "\n\n".join(blocks)

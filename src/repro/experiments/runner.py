@@ -39,6 +39,12 @@ With ``--workers 0`` the dispatcher spawns nothing and waits for workers
 started by hand (attach and detach them while the campaign runs)::
 
     python -m repro.experiments.service --host 127.0.0.1 --port <port> &
+
+Record a structured telemetry log and publish the live event stream for the
+dashboard (``python -m repro.experiments.dashboard``)::
+
+    repro-experiments hardware_cost --scale ci --executor fleet --workers 2 \
+        --telemetry-log run.jsonl --telemetry-port 0
 """
 
 from __future__ import annotations
@@ -55,6 +61,13 @@ from repro.experiments.campaign import (
     make_executor,
     run_campaign,
 )
+from repro.experiments.telemetry.bus import (
+    ConsoleSink,
+    JsonlSink,
+    SocketSink,
+    global_bus,
+)
+from repro.experiments.telemetry.events import ArtifactSaved
 from repro.utils.clock import wall_clock
 from repro.utils.logging import set_verbosity
 
@@ -172,6 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered device profiles and hammer patterns, then exit",
     )
     parser.add_argument(
+        "--telemetry-log",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append every telemetry event to this JSON-lines file (replay it "
+        "with python -m repro.experiments.dashboard --replay PATH)",
+    )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="publish the live telemetry stream on this localhost TCP port "
+        "(0 = pick an ephemeral port; connect the dashboard with --connect)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log per-attack progress to stderr"
     )
     return parser
@@ -261,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--workers requires --executor fleet")
         if args.workers < 0:
             parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.telemetry_port is not None and args.telemetry_port < 0:
+        parser.error(f"--telemetry-port must be >= 0, got {args.telemetry_port}")
 
     store = None
     if args.artifact_dir is not None or args.resume:
@@ -282,57 +313,87 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
-    names = sorted(CAMPAIGNS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        started = wall_clock()
-        build_campaign, assemble = CAMPAIGNS[name]
-        extra = {}
-        if args.profile and name == "hardware_cost":
-            extra["profiles"] = tuple(args.profile)
-        if args.hammer_pattern and name == "hardware_cost":
-            extra["patterns"] = tuple(args.hammer_pattern)
-        if args.trials is not None and name == "hardware_cost":
-            extra["trials"] = args.trials
-        if args.flip_seed is not None and name == "hardware_cost":
-            extra["flip_seed"] = args.flip_seed
-        campaign = build_campaign(args.scale, seed=args.seed, **extra)
-        result = run_campaign(campaign, jobs=args.jobs, executor=executor, store=store)
-        table = assemble(campaign, result)
-        elapsed = wall_clock() - started
-        stats = result.stats
-        print(table.render(args.format))
+    # Telemetry sinks: the runner publishes to the process-wide bus that the
+    # executors and dispatcher already emit on; sinks are detached on exit so
+    # repeated in-process main() calls (tests) never stack.
+    bus = global_bus()
+    console = bus.attach(ConsoleSink(sys.stderr, verbose=args.verbose))
+    jsonl = bus.attach(JsonlSink(args.telemetry_log)) if args.telemetry_log else None
+    socket_sink = None
+    if args.telemetry_port is not None:
+        socket_sink = bus.attach(SocketSink(port=args.telemetry_port))
         print(
-            f"[{name} completed in {elapsed:.1f}s at scale={args.scale}: "
-            f"{stats.total} jobs, {stats.cache_hits} cached, "
-            f"executor={stats.executor} x{stats.jobs}]"
+            f"[telemetry listening on 127.0.0.1:{socket_sink.port} — "
+            f"python -m repro.experiments.dashboard --connect {socket_sink.port}]",
+            file=sys.stderr,
         )
-        print()
-        if args.output_dir is not None:
-            path = args.output_dir / f"{name}_{args.scale}.csv"
-            table.save(path, "csv")
-            manifest_path = result.write_manifest(
-                args.output_dir / f"{name}_{args.scale}_manifest.json",
-                command={
-                    "experiment": name,
-                    "scale": args.scale,
-                    "seed": args.seed,
-                    "jobs": args.jobs,
-                    "executor": stats.executor,
-                    "workers": args.workers,
-                    "artifact_dir": str(store.directory) if store is not None else None,
-                    "profiles": list(args.profile) if args.profile else None,
-                    "hammer_patterns": list(args.hammer_pattern) if args.hammer_pattern else None,
-                    "trials": args.trials,
-                    "flip_seed": args.flip_seed,
-                },
+
+    names = sorted(CAMPAIGNS) if args.experiment == "all" else [args.experiment]
+    try:
+        for name in names:
+            started = wall_clock()
+            build_campaign, assemble = CAMPAIGNS[name]
+            extra = {}
+            if args.profile and name == "hardware_cost":
+                extra["profiles"] = tuple(args.profile)
+            if args.hammer_pattern and name == "hardware_cost":
+                extra["patterns"] = tuple(args.hammer_pattern)
+            if args.trials is not None and name == "hardware_cost":
+                extra["trials"] = args.trials
+            if args.flip_seed is not None and name == "hardware_cost":
+                extra["flip_seed"] = args.flip_seed
+            campaign = build_campaign(args.scale, seed=args.seed, **extra)
+            result = run_campaign(campaign, jobs=args.jobs, executor=executor, store=store)
+            table = assemble(campaign, result)
+            elapsed = wall_clock() - started
+            stats = result.stats
+            print(table.render(args.format))
+            print(
+                f"[{name} completed in {elapsed:.1f}s at scale={args.scale}: "
+                f"{stats.total} jobs, {stats.cache_hits} cached, "
+                f"executor={stats.executor} x{stats.jobs}]"
             )
-            canonical_path = result.write_manifest(
-                args.output_dir / f"{name}_{args.scale}_manifest.canonical.json",
-                canonical=True,
-            )
-            print(f"[saved {path}]", file=sys.stderr)
-            print(f"[saved {manifest_path}]", file=sys.stderr)
-            print(f"[saved {canonical_path}]", file=sys.stderr)
+            print()
+            if args.output_dir is not None:
+                path = args.output_dir / f"{name}_{args.scale}.csv"
+                table.save(path, "csv")
+                manifest_path = result.write_manifest(
+                    args.output_dir / f"{name}_{args.scale}_manifest.json",
+                    command={
+                        "experiment": name,
+                        "scale": args.scale,
+                        "seed": args.seed,
+                        "jobs": args.jobs,
+                        "executor": stats.executor,
+                        "workers": args.workers,
+                        "artifact_dir": str(store.directory) if store is not None else None,
+                        "profiles": list(args.profile) if args.profile else None,
+                        "hammer_patterns": list(args.hammer_pattern) if args.hammer_pattern else None,
+                        "trials": args.trials,
+                        "flip_seed": args.flip_seed,
+                    },
+                )
+                canonical_path = result.write_manifest(
+                    args.output_dir / f"{name}_{args.scale}_manifest.canonical.json",
+                    canonical=True,
+                )
+                for saved, kind in (
+                    (path, "table-csv"),
+                    (manifest_path, "manifest"),
+                    (canonical_path, "manifest-canonical"),
+                ):
+                    bus.publish(
+                        ArtifactSaved(path=str(saved), kind=kind, experiment=name)
+                    )
+    finally:
+        bus.detach(console)
+        if jsonl is not None:
+            bus.detach(jsonl)
+            jsonl.close()
+            print(f"[saved {jsonl.path}]", file=sys.stderr)
+        if socket_sink is not None:
+            bus.detach(socket_sink)
+            socket_sink.close()
     return 0
 
 

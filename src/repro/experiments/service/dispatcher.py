@@ -50,6 +50,17 @@ from repro.experiments.service.protocol import (
     decode_metrics,
     encode_frame,
 )
+from repro.experiments.telemetry.bus import TelemetryBus, global_bus
+from repro.experiments.telemetry.events import (
+    JobError,
+    JobFinished,
+    JobQueued,
+    JobRequeued,
+    JobStarted,
+    TelemetryEvent,
+    WorkerJoined,
+    WorkerLeft,
+)
 from repro.utils.logging import get_logger
 
 __all__ = ["Dispatcher", "FleetJobError"]
@@ -108,9 +119,12 @@ class Dispatcher:
     max_attempts:
         Claims granted to one job before its failure becomes permanent.
     on_event:
-        Optional callback receiving structured event dictionaries
-        (worker-attached, job-leased, job-requeued, ...).  Called on the
-        event loop; must not block.
+        Optional callback receiving typed telemetry events (worker attach,
+        job started/requeued/done, ...).  Called on the event loop; must not
+        block.  Every event also reaches the telemetry ``bus`` regardless.
+    bus:
+        Telemetry bus to publish on; defaults to the process-wide
+        :func:`~repro.experiments.telemetry.bus.global_bus`.
     """
 
     def __init__(
@@ -122,6 +136,7 @@ class Dispatcher:
         heartbeat_seconds: float = 1.0,
         max_attempts: int = 3,
         on_event: EventCallback | None = None,
+        bus: TelemetryBus | None = None,
     ):
         self.host = host
         self.port = port
@@ -129,6 +144,7 @@ class Dispatcher:
         self.heartbeat_seconds = float(heartbeat_seconds)
         self.max_attempts = int(max_attempts)
         self.on_event = on_event
+        self.bus = bus if bus is not None else global_bus()
         self._jobs: dict[str, _Job] = {}
         self._queue: deque[str] = deque()
         self._workers: dict[str, _WorkerConn] = {}
@@ -178,7 +194,7 @@ class Dispatcher:
             return False
         self._jobs[spec.key] = _Job(spec=spec)
         self._queue.append(spec.key)
-        self._emit("job-submitted", key=spec.key, kind=spec.kind)
+        self._emit(JobQueued(key=spec.key, kind=spec.kind))
         self._dispatch_to_idle()
         return True
 
@@ -227,7 +243,7 @@ class Dispatcher:
                 last_seen=self._now(),
             )
             self._workers[hello.worker_id] = conn
-            self._emit("worker-attached", worker=hello.worker_id, pid=hello.pid)
+            self._emit(WorkerJoined(worker=hello.worker_id, pid=hello.pid))
             self._offer(conn)
             while True:
                 line = await reader.readline()
@@ -251,7 +267,10 @@ class Dispatcher:
                 if conn.current is not None:
                     self._requeue(conn.current, reason="worker-lost")
                 self._emit(
-                    "worker-detached", worker=conn.worker_id, goodbye=conn.goodbye
+                    WorkerLeft(
+                        worker=conn.worker_id,
+                        reason="goodbye" if conn.goodbye else "connection-lost",
+                    )
                 )
             writer.close()
 
@@ -309,7 +328,12 @@ class Dispatcher:
             )
             conn.writer.write(encode_frame(claim))
             self._emit(
-                "job-leased", key=key, worker=conn.worker_id, attempt=job.attempts
+                JobStarted(
+                    key=key,
+                    kind=job.spec.kind,
+                    worker=conn.worker_id,
+                    attempt=job.attempts,
+                )
             )
             return
 
@@ -337,7 +361,14 @@ class Dispatcher:
         )
         self.results.put_nowait(("result", result))
         self._emit(
-            "job-done", key=job.spec.key, worker=conn.worker_id, attempt=job.attempts
+            JobFinished(
+                key=job.spec.key,
+                kind=job.spec.kind,
+                metrics=dict(message.metrics),
+                duration_s=float(message.elapsed),
+                worker=conn.worker_id,
+                attempt=job.attempts,
+            )
         )
         self._offer(conn)
 
@@ -364,7 +395,14 @@ class Dispatcher:
                     FleetJobError(job.spec.key, job.spec.kind, job.attempts, job.last_error),
                 )
             )
-            self._emit("job-failed", key=job.spec.key, attempts=job.attempts)
+            self._emit(
+                JobError(
+                    key=job.spec.key,
+                    kind=job.spec.kind,
+                    error=job.last_error,
+                    attempts=job.attempts,
+                )
+            )
         else:
             self._requeue(message.job_key, reason="job-error")
         self._offer(conn)
@@ -377,7 +415,11 @@ class Dispatcher:
         job.worker_id = ""
         job.lease_deadline = 0.0
         self._queue.append(key)
-        self._emit("job-requeued", key=key, reason=reason, attempt=job.attempts)
+        self._emit(
+            JobRequeued(
+                key=key, kind=job.spec.kind, reason=reason, attempt=job.attempts
+            )
+        )
         self._dispatch_to_idle()
 
     # -- watchdog --------------------------------------------------------------------
@@ -406,8 +448,8 @@ class Dispatcher:
     def _now() -> float:
         return asyncio.get_running_loop().time()
 
-    def _emit(self, event: str, **detail: Any) -> None:
+    def _emit(self, event: TelemetryEvent) -> None:
+        """Publish to the telemetry bus, then the legacy callback."""
+        event = self.bus.publish(event)
         if self.on_event is not None:
-            payload: dict[str, Any] = {"event": event}
-            payload.update(detail)
-            self.on_event(payload)
+            self.on_event(event)

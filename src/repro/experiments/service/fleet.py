@@ -40,6 +40,7 @@ from repro.experiments.campaign import (
 )
 from repro.zoo.registry import ModelRegistry
 from repro.experiments.service.dispatcher import Dispatcher, FleetJobError
+from repro.experiments.telemetry.events import DispatcherUp
 from repro.utils.logging import get_logger
 
 __all__ = ["FleetExecutor", "spawn_worker_process"]
@@ -170,15 +171,11 @@ class FleetExecutor(Executor):
             on_event=on_event,
         )
         await dispatcher.start()
-        if on_event is not None:
-            on_event(
-                {
-                    "event": "dispatcher-ready",
-                    "host": dispatcher.host,
-                    "port": dispatcher.port,
-                    "jobs": len(specs),
-                }
+        dispatcher._emit(
+            DispatcherUp(
+                host=dispatcher.host, port=dispatcher.port, jobs=len(specs)
             )
+        )
         if not config.spawn_workers:
             _LOGGER.warning(
                 "fleet dispatcher waiting for external workers on %s:%d "

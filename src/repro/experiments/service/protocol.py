@@ -1,35 +1,41 @@
 """Typed, versioned wire protocol of the campaign service.
 
 The dispatcher and its workers exchange *messages*: small frozen dataclasses,
-one type per event, each carrying an explicit ``TypeName`` and ``Version``
-field on the wire (the one-small-frozen-type-per-message protocol layer of
-gridworks-scada's ``gwsproto.named_types`` is the model).  The discipline
-buys three things a raw pickle stream cannot:
+one type per event, built on the canonical frame layer of
+:mod:`repro.experiments.wire` (which this module re-exports for backward
+compatibility).  See the wire module for the encoding discipline — canonical
+sorted-key JSON, strict field validation, typed rejection of unknown types
+and future versions, newline-delimited frames with a shared size cap.
 
-* **auditability** — every frame is a line of canonical JSON, readable in a
-  packet capture or a log file;
-* **compatibility** — a dispatcher can reject a worker speaking a future
-  protocol revision with a typed error instead of a deserialisation crash,
-  and old payloads remain parseable for as long as their version is listed;
-* **safety** — decoding never executes code (unlike pickle), so a campaign
-  service can listen on a socket without trusting its peers' bytecode.
-
-Encoding is strict and canonical: ``to_json`` emits sorted keys with minimal
-separators, and ``decode_message(message.to_json())`` returns an equal
-message whose ``to_json`` is byte-for-byte identical.  Unknown type names,
-unsupported versions, missing/unknown fields and malformed payloads each
-raise a dedicated :class:`ProtocolError` subclass.
-
-Frames on the socket are newline-delimited UTF-8 JSON: one message per line,
-no embedded newlines (JSON escapes them), terminated by ``\\n``.
+This module declares the message family the fleet actually speaks:
+``WorkerHello``/``WorkerGoodbye``, ``Heartbeat``, ``JobSubmit``,
+``JobClaim``, ``JobDone`` and ``JobFailed``.  The telemetry event family
+(``telemetry.*`` type names) lives in
+:mod:`repro.experiments.telemetry.events`; both families share one decode
+registry and one RPL004 schema snapshot.
 """
 
 from __future__ import annotations
 
-import json
-from collections.abc import Callable
-from dataclasses import dataclass, fields
-from typing import Any, ClassVar
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.experiments.wire import (
+    MAX_FRAME_BYTES,
+    MalformedMessage,
+    Message,
+    ProtocolError,
+    UnknownMessageType,
+    UnsupportedVersion,
+    decode_frame,
+    decode_message,
+    decode_metrics,
+    encode_frame,
+    encode_metrics,
+    message_types,
+    register_message,
+    registered_messages,
+)
 
 __all__ = [
     "ProtocolError",
@@ -54,216 +60,6 @@ __all__ = [
     "JobDone",
     "JobFailed",
 ]
-
-# Upper bound on one frame; a JobClaim carries a full parameter dictionary
-# but campaign cells are scalar grids, so a megabyte is generous.  Stream
-# readers must be created with at least this limit.
-MAX_FRAME_BYTES = 1 << 20
-
-
-class ProtocolError(ValueError):
-    """Base class for every wire-protocol violation."""
-
-
-class UnknownMessageType(ProtocolError):
-    """The payload's ``TypeName`` is not in the message registry."""
-
-
-class UnsupportedVersion(ProtocolError):
-    """The payload's ``Version`` is not supported for its message type."""
-
-
-class MalformedMessage(ProtocolError):
-    """The payload is not valid JSON or violates its type's field contract."""
-
-
-# -- registry ------------------------------------------------------------------------
-
-_MESSAGE_TYPES: dict[str, type["Message"]] = {}
-
-
-def register_message(cls: type["Message"]) -> type["Message"]:
-    """Class decorator adding a message type to the decode registry."""
-    name = cls.TYPE_NAME
-    existing = _MESSAGE_TYPES.get(name)
-    if existing is not None and existing is not cls:
-        raise ProtocolError(f"message type {name!r} is already registered")
-    _MESSAGE_TYPES[name] = cls
-    return cls
-
-
-def message_types() -> tuple[str, ...]:
-    """Return the registered ``TypeName`` strings, sorted."""
-    return tuple(sorted(_MESSAGE_TYPES))
-
-
-def registered_messages() -> dict[str, type["Message"]]:
-    """Return a copy of the decode registry (``TypeName`` -> message class).
-
-    Public so the static-analysis checker (``repro.analysis.lint``) can
-    verify protocol conformance — every subclass frozen, versioned and
-    registered — and snapshot the wire schema without reaching into
-    privates.
-    """
-    return dict(_MESSAGE_TYPES)
-
-
-# -- base message --------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class Message:
-    """Base class of all wire messages: frozen payload + TypeName/Version.
-
-    Subclasses declare scalar (or JSON-native dict) fields only; the wire
-    form is the field dictionary plus ``TypeName`` and ``Version``.  A
-    subclass bumps ``VERSION`` when its field contract changes and lists the
-    revisions it still accepts in ``SUPPORTED_VERSIONS``.
-    """
-
-    TYPE_NAME: ClassVar[str] = ""
-    VERSION: ClassVar[str] = "100"
-    # Versions this build can still decode; by default only the current one.
-    SUPPORTED_VERSIONS: ClassVar[tuple[str, ...]] = ("100",)
-
-    def as_dict(self) -> dict[str, Any]:
-        """Wire-form dictionary (TypeName/Version plus every field)."""
-        payload: dict[str, Any] = {
-            "TypeName": self.TYPE_NAME,
-            "Version": self.VERSION,
-        }
-        for spec in fields(self):
-            payload[spec.name] = getattr(self, spec.name)
-        return payload
-
-    def to_json(self) -> str:
-        """Canonical JSON encoding (sorted keys, minimal separators)."""
-        try:
-            return json.dumps(
-                self.as_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
-            )
-        except (TypeError, ValueError) as exc:
-            raise MalformedMessage(
-                f"{type(self).__name__} holds a non-JSON-native field value: {exc}"
-            ) from exc
-
-    @classmethod
-    def from_dict(cls, payload: dict[str, Any]) -> "Message":
-        """Decode one payload dictionary, enforcing the full field contract."""
-        if not isinstance(payload, dict):
-            raise MalformedMessage(
-                f"{cls.TYPE_NAME}: payload must be a JSON object, got "
-                f"{type(payload).__name__}"
-            )
-        type_name = payload.get("TypeName")
-        if type_name != cls.TYPE_NAME:
-            raise MalformedMessage(
-                f"{cls.__name__} cannot decode TypeName {type_name!r} "
-                f"(expects {cls.TYPE_NAME!r})"
-            )
-        version = payload.get("Version")
-        if version not in cls.SUPPORTED_VERSIONS:
-            tense = "future" if str(version) > cls.VERSION else "unsupported"
-            raise UnsupportedVersion(
-                f"{cls.TYPE_NAME}: {tense} Version {version!r}; this build "
-                f"supports {list(cls.SUPPORTED_VERSIONS)}"
-            )
-        declared = {spec.name: spec for spec in fields(cls)}
-        given = {key for key in payload if key not in ("TypeName", "Version")}
-        missing = sorted(set(declared) - given)
-        if missing:
-            raise MalformedMessage(f"{cls.TYPE_NAME}: missing field(s) {missing}")
-        unknown = sorted(given - set(declared))
-        if unknown:
-            raise MalformedMessage(f"{cls.TYPE_NAME}: unknown field(s) {unknown}")
-        kwargs: dict[str, Any] = {}
-        for name, spec in declared.items():
-            value = payload[name]
-            expected = _FIELD_CHECKS.get(spec.type)
-            if expected is not None and not expected(value):
-                raise MalformedMessage(
-                    f"{cls.TYPE_NAME}: field {name!r} must be {spec.type}, got "
-                    f"{type(value).__name__}"
-                )
-            kwargs[name] = value
-        return cls(**kwargs)
-
-
-# Per-annotation wire checks.  Fields are deliberately limited to these
-# shapes; anything richer belongs in the params/metrics dictionaries.
-_FIELD_CHECKS: dict[str, Callable[[Any], bool]] = {
-    "str": lambda v: isinstance(v, str),
-    # bool is an int subclass but is not an acceptable wire integer.
-    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
-    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
-    "dict": lambda v: isinstance(v, dict) and all(isinstance(k, str) for k in v),
-}
-
-
-def decode_message(text: str | bytes) -> Message:
-    """Decode one JSON payload into its registered message type."""
-    try:
-        payload = json.loads(text)
-    except (ValueError, UnicodeDecodeError) as exc:
-        raise MalformedMessage(f"frame is not valid JSON: {exc}") from exc
-    if not isinstance(payload, dict):
-        raise MalformedMessage(
-            f"frame must decode to a JSON object, got {type(payload).__name__}"
-        )
-    type_name = payload.get("TypeName")
-    if not isinstance(type_name, str):
-        raise MalformedMessage("frame is missing a string 'TypeName' field")
-    cls = _MESSAGE_TYPES.get(type_name)
-    if cls is None:
-        raise UnknownMessageType(
-            f"unknown message type {type_name!r}; registered: {list(message_types())}"
-        )
-    return cls.from_dict(payload)
-
-
-def encode_frame(message: Message) -> bytes:
-    """Encode a message as one newline-terminated UTF-8 frame."""
-    frame = message.to_json().encode("utf-8") + b"\n"
-    if len(frame) > MAX_FRAME_BYTES:
-        raise MalformedMessage(
-            f"{message.TYPE_NAME}: frame of {len(frame)} bytes exceeds the "
-            f"{MAX_FRAME_BYTES}-byte limit"
-        )
-    return frame
-
-
-def decode_frame(line: bytes) -> Message:
-    """Decode one newline-terminated frame read from a stream."""
-    if len(line) > MAX_FRAME_BYTES:
-        raise MalformedMessage(
-            f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
-        )
-    return decode_message(line)
-
-
-# -- metric payload helpers ----------------------------------------------------------
-# Job metrics are {name: float} with NaN sentinels ("undetectable" cells).
-# Strict JSON has no NaN token, so the wire form uses null, mirroring the
-# ArtifactStore's on-disk convention.
-
-
-def encode_metrics(metrics: dict[str, float]) -> dict[str, float | None]:
-    """Encode a metric dictionary for the wire (NaN becomes ``null``)."""
-    return {
-        name: None if value != value else float(value)
-        for name, value in metrics.items()
-    }
-
-
-def decode_metrics(payload: dict[str, float | None]) -> dict[str, float]:
-    """Decode a wire metric dictionary (``null`` becomes NaN)."""
-    return {
-        name: float("nan") if value is None else float(value)
-        for name, value in payload.items()
-    }
-
-
-# -- message types -------------------------------------------------------------------
 
 
 @register_message

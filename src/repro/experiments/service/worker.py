@@ -46,6 +46,8 @@ from repro.experiments.service.protocol import (
     encode_frame,
     encode_metrics,
 )
+from repro.experiments.telemetry.bus import JsonlSink, TelemetryBus
+from repro.experiments.telemetry.events import JobError, JobFinished, JobStarted
 from repro.utils.cache import DiskCache
 from repro.utils.logging import get_logger, set_verbosity
 from repro.zoo.registry import ModelRegistry
@@ -76,6 +78,11 @@ class Worker:
     max_jobs:
         Detach gracefully (WorkerGoodbye) after this many completed claims;
         ``None`` means serve until the dispatcher closes the connection.
+    telemetry_log:
+        When given, the worker appends its own local job lifecycle events
+        (started/finished/failed, as seen from this process) to that
+        JSON-lines file via a *private* telemetry bus — the dispatcher's
+        stream stays authoritative; this is a per-worker audit trail.
     """
 
     def __init__(
@@ -89,12 +96,17 @@ class Worker:
         artifact_dir: str | None = None,
         heartbeat_seconds: float = 1.0,
         max_jobs: int | None = None,
+        telemetry_log: str | None = None,
     ):
         self.host = host
         self.port = int(port)
         self.worker_id = worker_id or f"worker-{os.getpid()}"
         self.heartbeat_seconds = float(heartbeat_seconds)
         self.max_jobs = max_jobs
+        self.bus = TelemetryBus()
+        self._telemetry_sink = (
+            self.bus.attach(JsonlSink(telemetry_log)) if telemetry_log else None
+        )
         if cache_disabled:
             self.registry: ModelRegistry | None = ModelRegistry(DiskCache(enabled=False))
         elif cache_dir is not None:
@@ -144,6 +156,8 @@ class Worker:
                 heartbeat.cancel()
             executor.shutdown(wait=False, cancel_futures=True)
             writer.close()
+            if self._telemetry_sink is not None:
+                self._telemetry_sink.close()
         return self.jobs_completed
 
     async def _execute_claim(
@@ -154,6 +168,14 @@ class Worker:
     ) -> None:
         spec = JobSpec.make(claim.kind, **claim.params)
         self._current_key = claim.job_key
+        self.bus.publish(
+            JobStarted(
+                key=claim.job_key,
+                kind=claim.kind,
+                worker=self.worker_id,
+                attempt=claim.attempt,
+            )
+        )
         reply: JobDone | JobFailed
         try:
             if spec.key != claim.job_key:
@@ -174,12 +196,30 @@ class Worker:
                 elapsed=result.elapsed,
             )
             self.jobs_completed += 1
+            self.bus.publish(
+                JobFinished(
+                    key=claim.job_key,
+                    kind=claim.kind,
+                    metrics=reply.metrics,
+                    duration_s=result.elapsed,
+                    worker=self.worker_id,
+                    attempt=claim.attempt,
+                )
+            )
         except Exception as exc:  # noqa: BLE001 - reported to the dispatcher
             reply = JobFailed(
                 worker_id=self.worker_id,
                 job_key=claim.job_key,
                 error=f"{type(exc).__name__}: {exc}",
                 traceback=traceback.format_exc(),
+            )
+            self.bus.publish(
+                JobError(
+                    key=claim.job_key,
+                    kind=claim.kind,
+                    error=reply.error,
+                    attempts=claim.attempt,
+                )
             )
         finally:
             self._current_key = ""
@@ -245,6 +285,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="detach gracefully after N completed jobs",
     )
+    parser.add_argument(
+        "--telemetry-log",
+        default=None,
+        metavar="PATH",
+        help="append this worker's local job events to a JSON-lines file",
+    )
     parser.add_argument("--verbose", action="store_true", help="log job progress to stderr")
     args = parser.parse_args(argv)
     set_verbosity("info" if args.verbose else "warning")
@@ -257,6 +303,7 @@ def main(argv: list[str] | None = None) -> int:
         artifact_dir=args.artifact_dir,
         heartbeat_seconds=args.heartbeat,
         max_jobs=args.max_jobs,
+        telemetry_log=args.telemetry_log,
     )
     _LOGGER.info("worker detached after %d job(s)", completed)
     return 0

@@ -1,0 +1,254 @@
+"""In-memory aggregation of a telemetry stream into run-level metrics.
+
+The :class:`RunAggregator` consumes telemetry events — live, as a bus sink,
+or offline via :meth:`~RunAggregator.replay` over a ``run.jsonl`` — and
+maintains the operator's view of a campaign:
+
+* per-job state table (pending → running → done/cached/failed) with worker,
+  attempt count and duration;
+* run counters: total/executed/cached/failed, cache-hit rate;
+* throughput (jobs per second of completed work, from monotonic ``t``
+  stamps);
+* per-kind latency percentiles (p50/p90/p99 over ``duration_s``);
+* Monte-Carlo convergence: the confidence-interval half-widths stochastic
+  cells report (``mc_*_ci`` metric keys from the lowering pipeline), so an
+  operator can see whether more trials are still buying precision.
+
+Because every input is a typed event with monotonic timestamps, replaying a
+JSON-lines log through a fresh aggregator reproduces the live run's final
+metrics exactly — the property the telemetry tests pin.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.experiments.telemetry.events import (
+    ArtifactSaved,
+    DispatcherUp,
+    JobCached,
+    JobError,
+    JobFinished,
+    JobQueued,
+    JobRequeued,
+    JobStarted,
+    RunFinished,
+    RunStarted,
+    TelemetryEvent,
+    WorkerJoined,
+    WorkerLeft,
+)
+
+__all__ = ["JobView", "RunAggregator", "percentile"]
+
+# Suffix convention for Monte-Carlo confidence-interval half-width metrics
+# (see repro.attacks.lowering: mc_success_ci, mc_keep_ci, ...).
+_MC_CI_SUFFIX = "_ci"
+_MC_PREFIX = "mc_"
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class JobView:
+    """Aggregator-side state of one campaign cell."""
+
+    key: str
+    kind: str
+    state: str = "pending"  # pending | running | done | cached | failed
+    worker: str = ""
+    attempts: int = 0
+    duration_s: float = float("nan")
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+
+class RunAggregator:
+    """Fold a telemetry event stream into run-level metrics.
+
+    Usable directly as a bus sink (it has ``emit``).  All state mutations
+    funnel through :meth:`emit`; thread-safety is the bus's synchronous
+    fan-out — one event is delivered at a time.
+    """
+
+    def __init__(self) -> None:
+        self.campaign = ""
+        self.scale = ""
+        self.executor = ""
+        self.total_jobs = 0
+        self.workers: dict[str, str] = {}  # worker id -> attached | detached
+        self.jobs: dict[str, JobView] = {}
+        self.artifacts: list[str] = []
+        self.event_counts: Counter[str] = Counter()
+        self.run_started_t = float("nan")
+        self.run_finished_t = float("nan")
+        self._last_t = float("nan")
+
+    # -- ingestion -------------------------------------------------------------------
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Consume one event (bus-sink interface)."""
+        self.event_counts[event.EVENT] += 1
+        if event.t:
+            self._last_t = event.t
+        if isinstance(event, RunStarted):
+            self.campaign = event.campaign
+            self.scale = event.scale
+            self.executor = event.executor
+            self.total_jobs = event.total_jobs
+            self.run_started_t = event.t
+        elif isinstance(event, RunFinished):
+            self.run_finished_t = event.t
+        elif isinstance(event, JobQueued):
+            self._job(event.key, event.kind)
+        elif isinstance(event, JobStarted):
+            job = self._job(event.key, event.kind)
+            job.state = "running"
+            job.worker = event.worker
+            job.attempts = max(job.attempts, event.attempt)
+        elif isinstance(event, JobFinished):
+            job = self._job(event.key, event.kind)
+            job.state = "done"
+            job.worker = event.worker or job.worker
+            job.attempts = max(job.attempts, event.attempt, 1)
+            job.duration_s = event.duration_s
+            job.metrics = dict(event.metrics)
+        elif isinstance(event, JobCached):
+            job = self._job(event.key, event.kind)
+            job.state = "cached"
+        elif isinstance(event, JobRequeued):
+            job = self._job(event.key, event.kind)
+            job.state = "pending"
+            job.worker = ""
+            job.attempts = max(job.attempts, event.attempt)
+        elif isinstance(event, JobError):
+            job = self._job(event.key, event.kind)
+            job.state = "failed"
+            job.attempts = max(job.attempts, event.attempts)
+        elif isinstance(event, WorkerJoined):
+            self.workers[event.worker] = "attached"
+        elif isinstance(event, WorkerLeft):
+            self.workers[event.worker] = "detached"
+        elif isinstance(event, DispatcherUp):
+            if not self.executor:
+                self.executor = "fleet"
+        elif isinstance(event, ArtifactSaved):
+            self.artifacts.append(event.path)
+
+    def replay(self, events: Iterable[TelemetryEvent]) -> "RunAggregator":
+        """Consume an event iterable (e.g. ``read_events(path)``); chains."""
+        for event in events:
+            self.emit(event)
+        return self
+
+    def _job(self, key: str, kind: str) -> JobView:
+        job = self.jobs.get(key)
+        if job is None:
+            job = JobView(key=key, kind=kind)
+            self.jobs[key] = job
+        elif kind and not job.kind:
+            job.kind = kind
+        return job
+
+    # -- derived metrics -------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Job-state histogram, all five states always present."""
+        states = Counter(job.state for job in self.jobs.values())
+        return {
+            state: states.get(state, 0)
+            for state in ("pending", "running", "done", "cached", "failed")
+        }
+
+    @property
+    def executed(self) -> int:
+        return self.counts()["done"]
+
+    @property
+    def cache_hits(self) -> int:
+        return self.counts()["cached"]
+
+    def cache_hit_rate(self) -> float:
+        """Cached fraction of all resolved cells (NaN before any resolve)."""
+        resolved = self.executed + self.cache_hits
+        if resolved == 0:
+            return float("nan")
+        return self.cache_hits / resolved
+
+    def elapsed_s(self) -> float:
+        """Monotonic span from run start to the latest event seen."""
+        if self.run_started_t != self.run_started_t:
+            return float("nan")
+        end = self.run_finished_t
+        if end != end:
+            end = self._last_t
+        return max(0.0, end - self.run_started_t)
+
+    def jobs_per_second(self) -> float:
+        """Resolved cells (executed + cached) per second of run time."""
+        elapsed = self.elapsed_s()
+        if elapsed != elapsed or elapsed <= 0.0:
+            return float("nan")
+        return (self.executed + self.cache_hits) / elapsed
+
+    def latency_percentiles(self) -> dict[str, dict[str, float]]:
+        """Per-kind p50/p90/p99 over ``duration_s`` of completed jobs."""
+        by_kind: dict[str, list[float]] = {}
+        for job in self.jobs.values():
+            if job.state == "done" and job.duration_s == job.duration_s:
+                by_kind.setdefault(job.kind, []).append(job.duration_s)
+        return {
+            kind: {
+                "p50": percentile(values, 50.0),
+                "p90": percentile(values, 90.0),
+                "p99": percentile(values, 99.0),
+            }
+            for kind, values in sorted(by_kind.items())
+        }
+
+    def mc_ci_widths(self) -> dict[str, dict[str, float]]:
+        """Per-job Monte-Carlo CI half-widths (stochastic cells only)."""
+        out: dict[str, dict[str, float]] = {}
+        for key, job in sorted(self.jobs.items()):
+            widths = {
+                name: float(value)
+                for name, value in job.metrics.items()
+                if name.startswith(_MC_PREFIX)
+                and name.endswith(_MC_CI_SUFFIX)
+                and value is not None
+            }
+            if widths:
+                out[key] = widths
+        return out
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-native summary of the run (dashboards, BENCH files, tests)."""
+        return {
+            "campaign": self.campaign,
+            "scale": self.scale,
+            "executor": self.executor,
+            "total_jobs": self.total_jobs,
+            "counts": self.counts(),
+            "cache_hit_rate": self.cache_hit_rate(),
+            "elapsed_s": self.elapsed_s(),
+            "jobs_per_second": self.jobs_per_second(),
+            "latency_percentiles": self.latency_percentiles(),
+            "mc_ci_widths": self.mc_ci_widths(),
+            "workers": dict(sorted(self.workers.items())),
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "artifacts": list(self.artifacts),
+        }

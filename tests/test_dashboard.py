@@ -1,0 +1,140 @@
+"""Dashboard rendering: plain fallback always, Textual pilot when installed."""
+
+import pytest
+
+from repro.experiments.dashboard.render import (
+    render_job_detail,
+    render_jobs_table,
+    render_run,
+    render_summary,
+)
+from repro.experiments.telemetry import (
+    JobCached,
+    JobFinished,
+    JobStarted,
+    JsonlSink,
+    RunAggregator,
+    RunFinished,
+    RunStarted,
+    TelemetryBus,
+    WorkerJoined,
+)
+
+
+def sample_events():
+    return [
+        RunStarted(campaign="hardware_cost", scale="ci", seed=0, total_jobs=3,
+                   executor="fleet", jobs=2, t=100.0),
+        WorkerJoined(worker="fleet-0", pid=10, t=100.1),
+        JobCached(key="aaaa1111bbbb2222", kind="hardware-cost-cell", t=100.2),
+        JobStarted(key="cccc3333dddd4444", kind="hardware-cost-cell",
+                   worker="fleet-0", t=100.3),
+        JobFinished(key="cccc3333dddd4444", kind="hardware-cost-cell",
+                    metrics={"l0": 4.0, "mc_success_ci": 0.12, "gap": None},
+                    duration_s=0.8, worker="fleet-0", t=101.1),
+        JobStarted(key="eeee5555ffff6666", kind="hardware-cost-cell",
+                   worker="fleet-0", t=101.2),
+        RunFinished(campaign="hardware_cost", total_jobs=3, executed=2,
+                    cache_hits=1, executor="fleet", jobs=2, elapsed_s=1.5,
+                    t=101.5),
+    ]
+
+
+def sample_aggregator():
+    return RunAggregator().replay(sample_events())
+
+
+class TestPlainRenderer:
+    def test_summary_reports_progress_and_throughput(self):
+        text = render_summary(sample_aggregator())
+        assert "campaign: hardware_cost" in text
+        assert "executor: fleet" in text
+        assert "done=1" in text and "cached=1" in text and "running=1" in text
+        assert "cache-hit rate: 0.50" in text
+        assert "workers: 1 attached" in text
+
+    def test_jobs_table_lists_every_cell(self):
+        table = render_jobs_table(sample_aggregator())
+        assert len(table.rows) == 3
+        states = table.column("state")
+        assert sorted(states) == ["cached", "done", "running"]
+        # Latency percentiles appear as table notes.
+        assert any("p50" in note for note in table.notes)
+
+    def test_job_detail_drills_into_metrics(self):
+        agg = sample_aggregator()
+        detail = render_job_detail(agg.jobs["cccc3333dddd4444"])
+        records = {row[0]: row[1] for row in detail.rows}
+        assert records["l0"] == 4.0
+        assert records["gap"] == "NaN"  # the null-for-NaN wire sentinel
+
+    def test_render_run_includes_mc_ci_section(self):
+        text = render_run(sample_aggregator(), details=True)
+        assert "Monte-Carlo CI half-widths" in text
+        assert "mc_success_ci" in text
+        assert "Campaign jobs" in text
+
+    def test_replay_cli_renders_a_finished_log(self, tmp_path, capsys):
+        from repro.experiments.dashboard.__main__ import main
+
+        path = tmp_path / "run.jsonl"
+        bus = TelemetryBus()
+        with bus.attach(JsonlSink(path)) as sink:
+            for event in sample_events():
+                bus.publish(event)
+        assert sink.events_written == len(sample_events())
+        assert main(["--replay", str(path), "--plain"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: hardware_cost" in out
+        assert "Campaign jobs" in out
+
+    def test_replay_falls_back_to_plain_without_textual(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import builtins
+
+        from repro.experiments.dashboard import __main__ as cli
+
+        real_import = builtins.__import__
+
+        def no_textual(name, *args, **kwargs):
+            if name == "textual" or name.startswith("textual."):
+                raise ModuleNotFoundError(f"No module named {name!r}")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_textual)
+        path = tmp_path / "run.jsonl"
+        bus = TelemetryBus()
+        with bus.attach(JsonlSink(path)):
+            for event in sample_events():
+                bus.publish(event)
+        assert cli.main(["--replay", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "falling back to --plain" in captured.err
+        assert "Campaign jobs" in captured.out
+
+
+class TestTextualApp:
+    def test_pilot_renders_replayed_run(self):
+        pytest.importorskip("textual")
+        import asyncio
+
+        from repro.experiments.dashboard.app import DashboardApp
+        from textual.widgets import DataTable, Static
+
+        async def scenario():
+            app = DashboardApp(events=sample_events(), interval=0.05)
+            async with app.run_test() as pilot:
+                await pilot.pause(0.2)
+                table = app.query_one("#jobs", DataTable)
+                assert table.row_count == 3
+                summary = str(app.query_one("#summary", Static).renderable)
+                assert "hardware_cost" in summary
+                # Drill-down toggles on and shows the cursor row's metrics.
+                await pilot.press("d")
+                await pilot.pause(0.1)
+                detail = app.query_one("#detail", Static)
+                assert detail.has_class("visible")
+                await pilot.press("q")
+
+        asyncio.run(scenario())

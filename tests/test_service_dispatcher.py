@@ -118,7 +118,7 @@ class TestDispatcher:
             finally:
                 await dispatcher.close()
             assert "worker-attached" in events
-            assert "job-leased" in events
+            assert "job-started" in events
             assert "job-done" in events
 
         asyncio.run(scenario())
@@ -284,7 +284,7 @@ class TestDispatcher:
             finally:
                 await dispatcher.close()
             detached = [e for e in events if e["event"] == "worker-detached"]
-            assert detached and detached[0]["goodbye"] is True
+            assert detached and detached[0]["reason"] == "goodbye"
 
         asyncio.run(scenario())
 

@@ -58,7 +58,7 @@ class TestFleetExecutor:
             assert fleet.metrics_for(spec) == serial.metrics_for(spec)
         assert canonical_bytes(fleet) == canonical_bytes(serial)
         kinds = {e["event"] for e in events}
-        assert {"dispatcher-ready", "worker-attached", "job-leased", "job-done"} <= kinds
+        assert {"dispatcher-ready", "worker-attached", "job-started", "job-done"} <= kinds
 
     def test_empty_campaign_never_starts_a_dispatcher(self):
         campaign = Campaign(name="empty", scale="smoke", seed=0, jobs=())
