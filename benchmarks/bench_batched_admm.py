@@ -1,0 +1,86 @@
+"""Benchmark: fused (batched stacked-solve) vs scalar campaign throughput.
+
+The fusion pass groups sweep cells that share a victim model, configuration
+and anchor count and solves them as lanes of one stacked tensor solve.  This
+benchmark runs the same grid twice — scalar and fused — on a warm model
+registry (so both runs measure solve throughput, not training) and records
+the jobs/sec of each plus their ratio.  The committed acceptance bar: fusing
+a ci-scale grid with several lanes per group is at least 3x faster per job.
+
+The two throughput numbers and the speedup ratio feed the perf-trajectory
+gate (``benchmarks/bench_gate.py`` against ``benchmarks/BENCH_ci.baseline.json``).
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.campaign import Campaign, run_campaign
+from repro.experiments.common import get_setting, get_trained_model, sweep_cell_spec, usable_r_values
+
+# Lanes per fused group: the Monte-Carlo plan-seed axis (PR-5 style trials)
+# fuses naturally — cells differ only in their target draw.
+PLAN_SEEDS = range(16)
+MIN_SPEEDUP = 3.0
+
+
+def _grid(scale: str) -> Campaign:
+    setting = get_setting(scale)
+    r = usable_r_values(setting)[0]
+    jobs = tuple(
+        sweep_cell_spec(
+            dataset="mnist_like", scale=scale, seed=0, s=s, r=r, plan_seed=plan_seed
+        )
+        for s in setting.s_values
+        if s <= r
+        for plan_seed in PLAN_SEEDS
+    )
+    return Campaign(name="bench-batched-admm", scale=scale, seed=0, jobs=jobs)
+
+
+@pytest.fixture(scope="module")
+def warm_grid(scale, registry):
+    """The benchmark grid, with the shared victim already trained and cached."""
+    get_trained_model("mnist_like", scale, registry=registry, seed=0)
+    return _grid(scale)
+
+
+def bench_fused_campaign_speedup(benchmark, scale, registry, warm_grid, record_bench):
+    started = time.perf_counter()
+    scalar = run_campaign(warm_grid, registry=registry, fuse=False)
+    scalar_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fused = benchmark.pedantic(
+        lambda: run_campaign(warm_grid, registry=registry, fuse=True),
+        rounds=1,
+        iterations=1,
+    )
+    fused_elapsed = time.perf_counter() - started
+
+    # Fusion is an execution-plan rewrite: identical results, cell for cell.
+    assert fused.canonical_manifest() == scalar.canonical_manifest()
+    assert fused.stats.executed == scalar.stats.executed == len(warm_grid.jobs)
+
+    jobs = len(warm_grid.jobs)
+    scalar_jps = jobs / scalar_elapsed
+    fused_jps = jobs / fused_elapsed
+    speedup = fused_jps / scalar_jps
+    record_bench(
+        "bench_scalar_sweep_throughput",
+        median_wall_s=scalar_elapsed,
+        jobs_per_second=scalar_jps,
+    )
+    record_bench(
+        "bench_fused_sweep_throughput",
+        median_wall_s=fused_elapsed,
+        jobs_per_second=fused_jps,
+        speedup=speedup,
+    )
+    print(
+        f"\n{jobs} jobs: scalar {scalar_jps:.2f} jobs/s, "
+        f"fused {fused_jps:.2f} jobs/s ({speedup:.1f}x)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fused campaign must be >= {MIN_SPEEDUP}x scalar throughput, got {speedup:.2f}x"
+    )

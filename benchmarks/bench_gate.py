@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Thin CLI wrapper over :mod:`repro.analysis.bench_gate` (the perf gate).
+
+CI runs::
+
+    python benchmarks/bench_gate.py --current BENCH_ci.json \
+        --baseline benchmarks/BENCH_ci.baseline.json --max-regression 0.2
+
+and after an intentional perf change the committed baseline is refreshed
+with ``--update-baseline``.
+"""
+
+import sys
+
+from repro.analysis.bench_gate import main
+
+if __name__ == "__main__":
+    sys.exit(main())

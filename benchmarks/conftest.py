@@ -29,6 +29,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.telemetry import CountingSink, RunAggregator, global_bus
+from repro.utils.clock import wall_clock
 from repro.zoo.registry import ModelRegistry, default_registry
 
 # Accumulated per-benchmark records, flushed by pytest_sessionfinish.
@@ -91,6 +92,24 @@ def run_once():
     return _run
 
 
+@pytest.fixture(scope="session")
+def record_bench():
+    """Add a custom record to the suite's BENCH_<scale>.json payload.
+
+    For benchmarks that measure something other than one driver run (e.g.
+    the fused-vs-scalar campaign comparison, which times two runs and
+    records their throughput ratio).
+    """
+
+    def _record(name: str, **fields) -> None:
+        _BENCH_RECORDS[name] = {
+            key: _json_safe(value) if isinstance(value, float) else value
+            for key, value in fields.items()
+        }
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write the suite's BENCH_<scale>.json perf record (CI artifact)."""
     if not _BENCH_RECORDS:
@@ -99,10 +118,13 @@ def pytest_sessionfinish(session, exitstatus):
     payload = {
         "scale": bench_scale(),
         "benchmarks": dict(sorted(_BENCH_RECORDS.items())),
-        "total_wall_s": sum(r["median_wall_s"] for r in _BENCH_RECORDS.values()),
+        "total_wall_s": sum(r.get("median_wall_s", 0.0) for r in _BENCH_RECORDS.values()),
         "total_telemetry_events": sum(
-            sum(r["telemetry_events"].values()) for r in _BENCH_RECORDS.values()
+            sum(r.get("telemetry_events", {}).values()) for r in _BENCH_RECORDS.values()
         ),
+        # Operator-facing timestamp only; the perf gate ignores it (nothing
+        # content-hashed may ever depend on wall-clock time).
+        "wall_clock_utc": wall_clock(),
     }
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",

@@ -1,0 +1,163 @@
+"""Perf-trajectory gate over the benchmark suite's BENCH_<scale>.json records.
+
+The benchmark suite (``pytest benchmarks/ --benchmark-only``) writes one JSON
+payload per run: per benchmark, the wall time, the campaign throughput in
+jobs/sec and — for comparison benchmarks — a speedup ratio.  This module
+compares such a payload against a committed baseline
+(``benchmarks/BENCH_ci.baseline.json``) and fails when throughput regresses
+by more than an allowed fraction, so a perf regression breaks CI the same
+way a correctness regression does.
+
+Only counted *throughput* metrics gate: ``jobs_per_second`` and ``speedup``.
+Wall-clock fields (``median_wall_s``, ``wall_clock_utc``) are machine-load
+noise and are reported but never gated on; higher-is-better is the only
+direction compared.
+
+Usage (CI runs the thin wrapper ``benchmarks/bench_gate.py``)::
+
+    python benchmarks/bench_gate.py --current BENCH_ci.json \
+        --baseline benchmarks/BENCH_ci.baseline.json --max-regression 0.2
+
+After an intentional perf change, refresh the committed baseline::
+
+    python benchmarks/bench_gate.py --current BENCH_ci.json \
+        --baseline benchmarks/BENCH_ci.baseline.json --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["GATED_METRICS", "GateComparison", "compare_payloads", "main"]
+
+# Higher-is-better throughput metrics; everything else in a record is
+# informational (wall time, telemetry counts, timestamps) and never gated.
+GATED_METRICS = ("jobs_per_second", "speedup")
+
+
+@dataclass(frozen=True)
+class GateComparison:
+    """Outcome of comparing one gated metric of one benchmark."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    current: float
+    max_regression: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline; > 1 is an improvement."""
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    @property
+    def regressed(self) -> bool:
+        return self.current < self.baseline * (1.0 - self.max_regression)
+
+    def render(self) -> str:
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.benchmark}.{self.metric}: baseline {self.baseline:.3f} -> "
+            f"current {self.current:.3f} ({self.ratio:.2f}x) [{verdict}]"
+        )
+
+
+def compare_payloads(
+    baseline: dict, current: dict, *, max_regression: float
+) -> tuple[list[GateComparison], list[str]]:
+    """Compare two BENCH payloads; return per-metric comparisons and errors.
+
+    Every gated metric present in the baseline must exist in the current
+    payload (a vanished benchmark is a coverage loss, reported as an error);
+    benchmarks only present in the current payload pass freely — they gate
+    once they land in the baseline.
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ValueError(f"max_regression must be in [0, 1), got {max_regression}")
+    comparisons: list[GateComparison] = []
+    errors: list[str] = []
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    current_benchmarks = current.get("benchmarks", {})
+    for name, baseline_record in sorted(baseline_benchmarks.items()):
+        current_record = current_benchmarks.get(name)
+        if current_record is None:
+            errors.append(f"benchmark {name!r} is in the baseline but was not run")
+            continue
+        for metric in GATED_METRICS:
+            reference = baseline_record.get(metric)
+            if reference is None:
+                continue
+            measured = current_record.get(metric)
+            if measured is None:
+                errors.append(
+                    f"benchmark {name!r} no longer records gated metric {metric!r}"
+                )
+                continue
+            comparisons.append(
+                GateComparison(
+                    benchmark=name,
+                    metric=metric,
+                    baseline=float(reference),
+                    current=float(measured),
+                    max_regression=max_regression,
+                )
+            )
+    return comparisons, errors
+
+
+def _load(path: Path) -> dict:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} does not contain a BENCH payload object")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_gate",
+        description="Fail when benchmark throughput regresses past the baseline.",
+    )
+    parser.add_argument(
+        "--current", type=Path, required=True, help="BENCH_<scale>.json of this run"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, required=True, help="committed baseline payload"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        help="allowed fractional throughput drop before failing (default 0.2)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="copy --current over --baseline instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.current} -> {args.baseline}")
+        return 0
+
+    comparisons, errors = compare_payloads(
+        _load(args.baseline), _load(args.current), max_regression=args.max_regression
+    )
+    for comparison in comparisons:
+        print(comparison.render())
+    for error in errors:
+        print(f"error: {error}")
+    regressions = [c for c in comparisons if c.regressed]
+    if regressions or errors:
+        print(
+            f"perf gate FAILED: {len(regressions)} regression(s), "
+            f"{len(errors)} error(s) (allowed drop {args.max_regression:.0%})"
+        )
+        return 1
+    print(f"perf gate passed: {len(comparisons)} metric(s) within {args.max_regression:.0%}")
+    return 0

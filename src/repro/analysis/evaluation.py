@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.nn.metrics import accuracy as _accuracy
 from repro.nn.model import Sequential
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "count_modified_parameters",
     "evaluate_modification",
     "evaluate_attack_result",
+    "evaluate_attack_results",
 ]
 
 
@@ -130,6 +132,76 @@ def evaluate_attack_result(
     attacked_accuracy = attacked_model.evaluate(
         test_set.images, test_set.labels, batch_size=batch_size
     )
+    return _build_evaluation(
+        result, delta, clean_accuracy, attacked_accuracy, zero_tolerance
+    )
+
+
+def evaluate_attack_results(
+    results,
+    test_set: Dataset,
+    *,
+    clean_model: Sequential | None = None,
+    clean_accuracy: float | None = None,
+    zero_tolerance: float = 1e-8,
+    batch_size: int = 256,
+) -> list[AttackEvaluation]:
+    """Evaluate several attacks on one victim, sharing the prefix forward.
+
+    Every result must attack the same victim through the same parameter
+    selection (a fused campaign group by construction).  The test-set
+    activations below the first attacked layer are computed once per
+    mini-batch on the clean model and only the suffix layers re-run per
+    attack.  The prefix layers are unmodified copies in every attacked
+    model, so each returned accuracy is bit-identical to what
+    :func:`evaluate_attack_result` computes for that result alone.
+    """
+    if not results:
+        return []
+    model = clean_model if clean_model is not None else results[0].view.model
+    starts = {result.view.first_layer_index for result in results}
+    if len(starts) != 1:
+        raise ValueError(
+            f"results must share one attacked-parameter selection, got "
+            f"first layer indices {sorted(starts)}"
+        )
+    if clean_accuracy is None:
+        clean_accuracy = model.evaluate(
+            test_set.images, test_set.labels, batch_size=batch_size
+        )
+    start = starts.pop()
+    attacked_models = [result.modified_model() for result in results]
+    images, labels = test_set.images, test_set.labels
+    logit_chunks: list[list[np.ndarray]] = [[] for _ in results]
+    for batch_start in range(0, images.shape[0], batch_size):
+        batch = images[batch_start : batch_start + batch_size]
+        prefix = model.forward_between(batch, 0, start)
+        for index, attacked in enumerate(attacked_models):
+            logit_chunks[index].append(
+                attacked.forward_between(prefix, start, attacked.logits_end)
+            )
+    evaluations = []
+    for result, chunks in zip(results, logit_chunks):
+        predictions = np.argmax(np.concatenate(chunks, axis=0), axis=1)
+        evaluations.append(
+            _build_evaluation(
+                result,
+                np.asarray(result.delta),
+                clean_accuracy,
+                _accuracy(labels, predictions),
+                zero_tolerance,
+            )
+        )
+    return evaluations
+
+
+def _build_evaluation(
+    result,
+    delta: np.ndarray,
+    clean_accuracy: float,
+    attacked_accuracy: float,
+    zero_tolerance: float,
+) -> AttackEvaluation:
     success_mask = np.asarray(result.success_mask, dtype=bool)
     keep_mask = np.asarray(result.keep_mask, dtype=bool)
     return AttackEvaluation(

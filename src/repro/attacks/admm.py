@@ -29,8 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.attacks.objective import AttackObjective
-from repro.attacks.proximal import get_proximal_operator
+from repro.attacks.objective import AttackObjective, StackedAttackObjective
+from repro.attacks.proximal import get_proximal_operator, row_norms
 from repro.utils.errors import ConfigurationError
 from repro.utils.logging import get_logger
 
@@ -205,6 +205,12 @@ class ADMMSolver:
         best_score = (-1.0, np.inf)  # (constraint satisfaction, measure) — maximise then minimise
         converged = False
         iterations_run = 0
+        # Carried across non-evaluation iterations in locals (not read back
+        # from the history, which is empty when track_history is off) so the
+        # recorded rates always describe the last *evaluated* candidate.
+        last_value = 0.0
+        last_success = 0.0
+        last_keep = 0.0
 
         for iteration in range(cfg.iterations):
             iterations_run = iteration + 1
@@ -213,7 +219,7 @@ class ADMMSolver:
             z = prox(delta - dual, cfg.rho)
 
             # δ-step (eq. (22)): linearised update using ∇G at the previous δ.
-            value, grad = objective.value_and_gradient(delta)
+            grad = objective.gradient(delta)
             alpha = self._effective_alpha(grad, num_images)
             denominator = alpha * num_images + cfg.rho
             delta_new = (
@@ -228,26 +234,24 @@ class ADMMSolver:
 
             # Candidate tracking: the sparse iterate z is the modification the
             # adversary would actually implement; keep the best one seen.
+            # The objective value, rates and measure are all evaluated at
+            # z^{k+1}, so a history row describes one iterate consistently.
             if iteration % cfg.evaluate_every == 0 or iteration == cfg.iterations - 1:
-                success = objective.success_rate(z)
-                keep = objective.keep_rate(z)
-                satisfaction = self._satisfaction(objective, success, keep)
+                last_value, last_success, last_keep = objective.evaluate_candidate(z)
+                satisfaction = self._satisfaction(objective, last_success, last_keep)
                 measure = _measure(z, cfg.norm)
                 if (satisfaction, -measure) > (best_score[0], -best_score[1]):
                     best_score = (satisfaction, measure)
                     best_candidate = z.copy()
-                    best_feasible = bool(success >= 1.0 and keep >= 1.0)
-            else:
-                success = history.success_rate[-1] if history.success_rate else 0.0
-                keep = history.keep_rate[-1] if history.keep_rate else 0.0
+                    best_feasible = bool(last_success >= 1.0 and last_keep >= 1.0)
 
             if cfg.track_history:
-                history.objective.append(value)
+                history.objective.append(last_value)
                 history.measure.append(_measure(z, cfg.norm))
                 history.primal_residual.append(primal_residual)
                 history.dual_residual.append(dual_residual)
-                history.success_rate.append(success)
-                history.keep_rate.append(keep)
+                history.success_rate.append(last_success)
+                history.keep_rate.append(last_keep)
 
             if best_feasible and primal_residual <= cfg.primal_tolerance:
                 converged = True
@@ -268,6 +272,175 @@ class ADMMSolver:
             converged=converged,
             feasible=best_feasible,
         )
+
+    def solve_batch(
+        self,
+        objective: StackedAttackObjective,
+        *,
+        initial_deltas: np.ndarray | None = None,
+        rhos: np.ndarray | None = None,
+    ) -> list[ADMMResult]:
+        """Solve one stacked batch of fault-sneaking problems lane by lane.
+
+        Runs the exact iteration of :meth:`solve` on a ``(lanes, size)``
+        stack of iterates: one stacked forward/backward per iteration does
+        the work of ``lanes`` scalar passes, and every lane's arithmetic is
+        bit-identical to a scalar solve of that lane alone.  A lane that
+        converges freezes (its iterates, candidate and history stop
+        changing) while the remaining lanes keep iterating.
+
+        Parameters
+        ----------
+        objective:
+            Stacked misclassification objectives sharing one parameter view.
+        initial_deltas:
+            Optional per-lane warm starts, shape ``(lanes, size)``.
+        rhos:
+            Optional per-lane penalty overrides (length ``lanes``); defaults
+            to ``config.rho`` for every lane.  This is how per-cell
+            calibrated penalties enter a fused solve.
+        """
+        cfg = self.config
+        prox = get_proximal_operator(cfg.norm)
+        lanes = objective.lanes
+        size = objective.size
+        num_images = objective.num_images
+
+        deltas = (
+            np.zeros((lanes, size))
+            if initial_deltas is None
+            else np.asarray(initial_deltas, dtype=np.float64).copy()
+        )
+        if deltas.shape != (lanes, size):
+            raise ConfigurationError(
+                f"initial_deltas must have shape ({lanes}, {size}), got {deltas.shape}"
+            )
+        if rhos is None:
+            rho_lanes = np.full(lanes, cfg.rho, dtype=np.float64)
+        else:
+            rho_lanes = np.asarray(rhos, dtype=np.float64)
+            if rho_lanes.shape != (lanes,):
+                raise ConfigurationError(
+                    f"rhos must have shape ({lanes},), got {rho_lanes.shape}"
+                )
+            if np.any(rho_lanes <= 0):
+                raise ConfigurationError(f"rhos must be positive, got {rho_lanes}")
+        rho_col = rho_lanes[:, None]
+
+        z = deltas.copy()
+        duals = np.zeros((lanes, size))
+        histories = [ADMMHistory() for _ in range(lanes)]
+        best_candidates = deltas.copy()
+        best_feasible = np.zeros(lanes, dtype=bool)
+        best_scores = [(-1.0, np.inf)] * lanes
+        converged = np.zeros(lanes, dtype=bool)
+        iterations_run = np.zeros(lanes, dtype=np.int64)
+        last_values = np.zeros(lanes)
+        last_successes = np.zeros(lanes)
+        last_keeps = np.zeros(lanes)
+
+        # Converged lanes drop out of the stacked passes entirely: ``rows``
+        # maps the compacted stack back to original lane indices, and the
+        # objective is re-stacked over the survivors at every convergence
+        # event.  Lane slices are arithmetically independent (each is the
+        # exact scalar computation), so compaction never perturbs the
+        # remaining lanes' bits — it only stops paying for frozen ones.
+        rows = np.arange(lanes)
+        sub = objective
+
+        for iteration in range(cfg.iterations):
+            iterations_run[rows] = iteration + 1
+
+            # z-step (frozen lanes keep their converged iterate).
+            z[rows] = prox(deltas[rows] - duals[rows], rho_col[rows])
+
+            # δ-step with per-lane adaptive α.
+            grads = sub.gradient(deltas[rows])
+            alphas = self._effective_alphas(grads, num_images, rho_lanes[rows])
+            denominators = (alphas * num_images + rho_lanes[rows])[:, None]
+            deltas_new = (
+                rho_col[rows] * (z[rows] + duals[rows])
+                + (alphas * num_images)[:, None] * deltas[rows]
+                - grads
+            ) / denominators
+
+            primal_residuals = row_norms(z[rows] - deltas_new)
+            dual_residuals = rho_lanes[rows] * row_norms(deltas_new - deltas[rows])
+            # Left-to-right as in the scalar dual update: (s + z) - δ is not
+            # bit-equal to s + (z - δ) in floating point.
+            duals[rows] = duals[rows] + z[rows] - deltas_new
+            deltas[rows] = deltas_new
+
+            if iteration % cfg.evaluate_every == 0 or iteration == cfg.iterations - 1:
+                values, successes, keeps = sub.evaluate_candidates(z[rows])
+                for pos, lane in enumerate(rows):
+                    success = float(successes[pos])
+                    keep = float(keeps[pos])
+                    satisfaction = self._satisfaction(
+                        objective.objectives[lane], success, keep
+                    )
+                    measure = _measure(z[lane], cfg.norm)
+                    score = best_scores[lane]
+                    if (satisfaction, -measure) > (score[0], -score[1]):
+                        best_scores[lane] = (satisfaction, measure)
+                        best_candidates[lane] = z[lane].copy()
+                        best_feasible[lane] = bool(success >= 1.0 and keep >= 1.0)
+                    last_values[lane] = values[pos]
+                    last_successes[lane] = success
+                    last_keeps[lane] = keep
+
+            if cfg.track_history:
+                for pos, lane in enumerate(rows):
+                    history = histories[lane]
+                    history.objective.append(float(last_values[lane]))
+                    history.measure.append(_measure(z[lane], cfg.norm))
+                    history.primal_residual.append(float(primal_residuals[pos]))
+                    history.dual_residual.append(float(dual_residuals[pos]))
+                    history.success_rate.append(float(last_successes[lane]))
+                    history.keep_rate.append(float(last_keeps[lane]))
+
+            newly_converged = best_feasible[rows] & (
+                primal_residuals <= cfg.primal_tolerance
+            )
+            if newly_converged.any():
+                converged[rows[newly_converged]] = True
+                _LOGGER.debug(
+                    "ADMM lanes %s converged after %d iterations",
+                    rows[newly_converged].tolist(),
+                    iteration + 1,
+                )
+                rows = rows[~newly_converged]
+                if rows.size == 0:
+                    break
+                sub = StackedAttackObjective(
+                    [objective.objectives[lane] for lane in rows]
+                )
+
+        return [
+            ADMMResult(
+                delta=best_candidates[lane].copy(),
+                z=z[lane].copy(),
+                raw_delta=deltas[lane].copy(),
+                dual=duals[lane].copy(),
+                history=histories[lane],
+                iterations_run=int(iterations_run[lane]),
+                converged=bool(converged[lane]),
+                feasible=bool(best_feasible[lane]),
+            )
+            for lane in range(lanes)
+        ]
+
+    def _effective_alphas(
+        self, grads: np.ndarray, num_images: int, rhos: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`_effective_alpha` over a (lanes, size) gradient stack."""
+        cfg = self.config
+        if cfg.alpha is not None:
+            return np.full(grads.shape[0], cfg.alpha)
+        grad_norms = row_norms(grads)
+        needed_denominators = grad_norms / cfg.trust_radius
+        alphas = (needed_denominators - rhos) / max(num_images, 1)
+        return np.maximum(alphas, cfg.alpha_floor)
 
     def _effective_alpha(self, grad: np.ndarray, num_images: int) -> float:
         """Return the α used for this iteration's δ-step.

@@ -30,7 +30,12 @@ from repro.nn.model import Sequential
 from repro.utils.errors import ConfigurationError
 from repro.utils.logging import get_logger
 
-__all__ = ["FaultSneakingConfig", "FaultSneakingResult", "FaultSneakingAttack"]
+__all__ = [
+    "FaultSneakingConfig",
+    "FaultSneakingResult",
+    "FaultSneakingAttack",
+    "build_objective",
+]
 
 _LOGGER = get_logger("attacks.fault_sneaking")
 
@@ -397,27 +402,7 @@ class FaultSneakingAttack:
 
     # -- internals -------------------------------------------------------------------
     def _build_objective(self, view: ParameterView, plan: AttackPlan) -> AttackObjective:
-        weights = np.concatenate(
-            [
-                np.full(plan.num_targets, self.config.target_weight),
-                np.full(plan.num_keep, self.config.keep_weight),
-            ]
-        )
-        kappa = np.concatenate(
-            [
-                np.full(plan.num_targets, self.config.kappa),
-                np.full(plan.num_keep, self.config.keep_kappa),
-            ]
-        )
-        return AttackObjective(
-            view,
-            plan.images,
-            plan.desired_labels,
-            num_targets=plan.num_targets,
-            weights=weights,
-            kappa=kappa,
-            use_feature_cache=self.config.use_feature_cache,
-        )
+        return build_objective(self.config, view, plan)
 
     def _dense_warm_start(self, objective: AttackObjective) -> np.ndarray:
         """Find a dense ``δ`` meeting the misclassification requirements.
@@ -487,6 +472,37 @@ class FaultSneakingAttack:
             success * num_targets + keep * num_keep
         ) / max(objective.num_images, 1)
         return (satisfaction, -float(np.linalg.norm(delta)))
+
+
+def build_objective(
+    config: FaultSneakingConfig, view: ParameterView, plan: AttackPlan
+) -> AttackObjective:
+    """Build the weighted hinge objective for one attack plan.
+
+    Shared by the scalar attack and the batched front-end in
+    :mod:`repro.attacks.batched`, which stacks one such objective per lane.
+    """
+    weights = np.concatenate(
+        [
+            np.full(plan.num_targets, config.target_weight),
+            np.full(plan.num_keep, config.keep_weight),
+        ]
+    )
+    kappa = np.concatenate(
+        [
+            np.full(plan.num_targets, config.kappa),
+            np.full(plan.num_keep, config.keep_kappa),
+        ]
+    )
+    return AttackObjective(
+        view,
+        plan.images,
+        plan.desired_labels,
+        num_targets=plan.num_targets,
+        weights=weights,
+        kappa=kappa,
+        use_feature_cache=config.use_feature_cache,
+    )
 
 
 def l0_attack_config(**overrides) -> FaultSneakingConfig:

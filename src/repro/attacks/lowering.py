@@ -85,16 +85,34 @@ from repro.hardware.memory import MemoryLayout, ParameterMemoryMap
 from repro.nn.model import Sequential
 from repro.nn.quantization import QuantizationSpec, dequantize, storage_spec
 from repro.utils.errors import ConfigurationError
-from repro.utils.rng import RandomState, fork_rng
+from repro.utils.rng import RandomState, derive_seed, fork_rng
 
 __all__ = [
     "HardwareBudget",
     "PlanRepair",
     "TrialStatistics",
     "LoweringReport",
+    "VARIANCE_REDUCTION_SCHEMES",
     "repair_plan",
     "lower_attack",
 ]
+
+# Monte-Carlo sampling schemes of lower_attack(..., trials=N):
+#
+# * "independent" — each trial forks its own generator from the master rng
+#   (the historical default; golden tables pin this stream).
+# * "crn" — common random numbers: trial t's generator derives from
+#   (crn_seed, t) alone, ignoring the master rng, so *different* cells run
+#   their trials on identical uniform streams.  Differences between cells
+#   (storage formats, budgets, patterns) are then estimated with positively
+#   correlated noise, shrinking the CI of cross-cell comparisons.
+# * "antithetic" — trials come in negatively correlated pairs: the pair
+#   draws one uniform array ``u`` and uses ``u`` for the first trial and
+#   ``1 − u`` for the second, so over-sampled landings in one trial are
+#   under-sampled in its partner and the pair mean has lower variance than
+#   two independent trials.  (Tracker re-rolls stay independent per trial;
+#   only the landing draws are antithetic.)
+VARIANCE_REDUCTION_SCHEMES = ("independent", "crn", "antithetic")
 
 
 @dataclass(frozen=True)
@@ -1124,6 +1142,40 @@ _NO_TRIALS = TrialStatistics(
 ).as_dict()
 
 
+def _trial_streams(
+    trials: int,
+    rng,
+    variance_reduction: str,
+    crn_seed: int,
+    draw_shape,
+) -> list[tuple["np.ndarray | None", np.random.Generator]]:
+    """Per-trial ``(landing uniforms, generator)`` pairs for one scheme.
+
+    ``landing uniforms`` is ``None`` when the trial draws its landing
+    uniforms from the generator itself (independent/CRN — the generator's
+    draw order then matches the historical stream exactly); antithetic
+    trials receive pre-drawn paired arrays instead.  ``draw_shape`` is the
+    shape :meth:`FlipTemplate.cell_flip_probabilities` draws against, or
+    ``None`` when the cell has no template (no landing draws happen).
+    """
+    if variance_reduction == "independent":
+        return [(None, child) for child in fork_rng(RandomState(rng), trials)]
+    if variance_reduction == "crn":
+        # The master rng is deliberately ignored: two cells with the same
+        # crn_seed must consume identical streams trial for trial.
+        return [
+            (None, RandomState(derive_seed("crn-trial", int(crn_seed), t)))
+            for t in range(trials)
+        ]
+    streams: list[tuple[np.ndarray | None, np.random.Generator]] = []
+    for pair_rng in fork_rng(RandomState(rng), (trials + 1) // 2):
+        uniforms = pair_rng.random(draw_shape) if draw_shape is not None else None
+        first_rng, second_rng = fork_rng(pair_rng, 2)
+        streams.append((uniforms, first_rng))
+        streams.append((None if uniforms is None else 1.0 - uniforms, second_rng))
+    return streams[:trials]
+
+
 def _run_trials(
     victim: Sequential,
     selector,
@@ -1141,6 +1193,8 @@ def _run_trials(
     attack_plan,
     eval_set,
     batch_size: int,
+    variance_reduction: str = "independent",
+    crn_seed: int = 0,
 ) -> TrialStatistics:
     """Seeded Monte-Carlo execution of a repaired plan.
 
@@ -1174,13 +1228,21 @@ def _run_trials(
     keep = np.empty(trials)
     accuracy = np.full(trials, float("nan"))
     landed = np.empty(trials, dtype=np.int64)
-    for t, trial_rng in enumerate(fork_rng(RandomState(rng), trials)):
+    streams = _trial_streams(
+        trials,
+        rng,
+        variance_reduction,
+        crn_seed,
+        probabilities.shape if probabilities is not None else None,
+    )
+    for t, (uniforms, trial_rng) in enumerate(streams):
         model = victim.copy()
         memory = ParameterMemoryMap(
             ParameterView(model, selector), spec=spec, layout=layout
         )
         if feasible is not None:
-            mask = feasible & (trial_rng.random(probabilities.shape) < probabilities)
+            draws = trial_rng.random(probabilities.shape) if uniforms is None else uniforms
+            mask = feasible & (draws < probabilities)
         else:
             mask = np.ones(plan.num_flips, dtype=bool)
         if isinstance(trr, ProbabilisticTrr) and pattern is not None and plan.num_flips:
@@ -1356,6 +1418,8 @@ def lower_attack(
     max_flips_per_row: int | None = None,
     trials: int = 0,
     rng: "int | np.random.Generator | None" = None,
+    variance_reduction: str = "independent",
+    crn_seed: int = 0,
     expected_repair: bool = False,
     eval_set=None,
     clean_accuracy: float | None = None,
@@ -1416,6 +1480,18 @@ def lower_attack(
         Seed (or Generator) of the trials; equal seeds reproduce identical
         statistics in any process.  ``None`` draws fresh entropy — fine
         interactively, never for campaign cells.
+    variance_reduction:
+        Monte-Carlo sampling scheme, one of
+        :data:`VARIANCE_REDUCTION_SCHEMES`.  ``"independent"`` (default) is
+        the historical per-trial fork; ``"crn"`` derives every trial stream
+        from ``(crn_seed, trial index)`` alone so different cells share
+        common random numbers (tighter cross-cell comparisons); and
+        ``"antithetic"`` pairs trials on complementary landing draws
+        (``u`` / ``1 − u``) so a pair's mean has lower variance — the same
+        CI width at fewer trials.
+    crn_seed:
+        Stream seed of the ``"crn"`` scheme (ignored otherwise).  Cells
+        sharing a ``crn_seed`` consume identical trial streams.
     expected_repair:
         Make the massaging stage maximise *expected* success under the
         per-cell landing probabilities (no-op on probability-1.0 templates).
@@ -1428,6 +1504,11 @@ def lower_attack(
     """
     if trials < 0:
         raise ConfigurationError(f"trials must be >= 0, got {trials}")
+    if variance_reduction not in VARIANCE_REDUCTION_SCHEMES:
+        raise ConfigurationError(
+            f"variance_reduction must be one of {VARIANCE_REDUCTION_SCHEMES}, "
+            f"got {variance_reduction!r}"
+        )
     spec = storage_spec(storage)
     device = get_profile(profile) if profile is not None else None
     if device is not None:
@@ -1490,6 +1571,8 @@ def lower_attack(
             attack_plan,
             eval_set,
             batch_size,
+            variance_reduction=variance_reduction,
+            crn_seed=crn_seed,
         )
     ecc_summary = ecc_raw_summary = None
     unrepaired_success = unrepaired_keep = float("nan")

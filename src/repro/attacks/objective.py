@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.parameter_view import ParameterView
+from repro.attacks.parameter_view import ParameterView, StackedParameterView
 from repro.utils.errors import ConfigurationError, ShapeError
 from repro.utils.validation import check_array
 
-__all__ = ["AttackObjective"]
+__all__ = ["AttackObjective", "StackedAttackObjective"]
 
 
 class AttackObjective:
@@ -217,6 +217,24 @@ class AttackObjective:
             grad = self.view.gather_grads()
         return value, grad
 
+    def evaluate_candidate(self, delta: np.ndarray) -> tuple[float, float, float]:
+        """Return ``(G(θ+δ), success_rate, keep_rate)`` from one forward pass.
+
+        All three quantities describe the *same* iterate, which is what the
+        solver's history and best-candidate tracking need; computing them
+        from one set of logits is also three times cheaper than calling
+        :meth:`value`, :meth:`success_rate` and :meth:`keep_rate` separately.
+        """
+        logits = self.logits(delta)
+        margins = self._margins_from_logits(logits)
+        value = float((self.weights * np.maximum(margins + self.kappa, 0.0)).sum())
+        preds = np.argmax(logits, axis=1)
+        success = preds[self.target_slice] == self.desired_labels[self.target_slice]
+        keep = preds[self.keep_slice] == self.desired_labels[self.keep_slice]
+        success_rate = float(success.mean()) if success.size else 1.0
+        keep_rate = float(keep.mean()) if keep.size else 1.0
+        return value, success_rate, keep_rate
+
     # -- bookkeeping ----------------------------------------------------------------
     def predictions(self, delta: np.ndarray) -> np.ndarray:
         """Return the predicted labels of every anchor image under ``θ + δ``."""
@@ -241,3 +259,136 @@ class AttackObjective:
         """Fraction of the ``R − S`` keep images whose classification is unchanged."""
         mask = self.keep_mask(delta)
         return float(mask.mean()) if mask.size else 1.0
+
+
+class StackedAttackObjective:
+    """Evaluate several :class:`AttackObjective` instances in one stacked pass.
+
+    The objectives must share one :class:`ParameterView` (same model, same
+    selector) and one anchor count ``R``; targets, weights, kappa and the
+    anchor images themselves may differ per lane.  One stacked forward and
+    backward computes per-lane values and gradients that are bit-identical
+    to running the scalar objectives one by one, because every lane slice of
+    the stacked kernels is the exact scalar computation (see
+    :mod:`repro.nn.layers`).
+    """
+
+    def __init__(self, objectives: list[AttackObjective]):
+        if not objectives:
+            raise ConfigurationError("need at least one objective to stack")
+        first = objectives[0]
+        for obj in objectives[1:]:
+            if obj.view is not first.view:
+                raise ConfigurationError(
+                    "stacked objectives must share one ParameterView instance"
+                )
+            if obj.num_images != first.num_images:
+                raise ConfigurationError(
+                    f"stacked objectives must share the anchor count, got "
+                    f"{obj.num_images} != {first.num_images}"
+                )
+            if obj._start_layer != first._start_layer:
+                raise ConfigurationError(
+                    "stacked objectives must share the feature-cache start layer"
+                )
+        self.objectives = list(objectives)
+        self.lanes = len(objectives)
+        self.view = first.view
+        self.model = first.model
+        self.stacked_view = StackedParameterView(first.view, self.lanes)
+        self.num_images = first.num_images
+        self.num_classes = first.num_classes
+        self.num_targets = np.array([obj.num_targets for obj in objectives], dtype=np.int64)
+        self.desired_labels = np.stack([obj.desired_labels for obj in objectives])
+        self.weights = np.stack([obj.weights for obj in objectives])
+        self.kappa = np.stack([obj.kappa for obj in objectives])
+        self._start_layer = first._start_layer
+        self._logits_end = first._logits_end
+        # Per-lane feature caches were computed by the scalar objectives at θ,
+        # so stacking them preserves scalar bits by construction.  Without a
+        # cache the raw anchor images flow through the full stacked model.
+        self._stacked_features = np.stack(
+            [
+                obj._cached_features if obj._cached_features is not None else obj.images
+                for obj in objectives
+            ]
+        )
+
+    @property
+    def size(self) -> int:
+        return self.view.size
+
+    # -- forward ------------------------------------------------------------------
+    def logits(self, deltas: np.ndarray) -> np.ndarray:
+        """Return stacked logits of shape ``(lanes, R, num_classes)``."""
+        with self.stacked_view.applied(deltas):
+            return self.model.forward_between(
+                self._stacked_features, self._start_layer, self._logits_end
+            )
+
+    def _margins_from_logits(self, logits: np.ndarray) -> np.ndarray:
+        idx = self.desired_labels[..., None]
+        desired_logit = np.take_along_axis(logits, idx, axis=-1)[..., 0]
+        masked = logits.copy()
+        np.put_along_axis(masked, idx, -np.inf, axis=-1)
+        return masked.max(axis=-1) - desired_logit
+
+    def gradient(self, deltas: np.ndarray) -> np.ndarray:
+        """Return per-lane gradients ``(lanes, size)``."""
+        values, grads = self.value_and_gradient(deltas)
+        del values
+        return grads
+
+    def value_and_gradient(self, deltas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return per-lane ``(G, ∇_δ G)`` sharing one stacked forward pass."""
+        with self.stacked_view.applied(deltas):
+            logits = self.model.forward_between(
+                self._stacked_features, self._start_layer, self._logits_end
+            )
+            margins = self._margins_from_logits(logits)
+            hinge = np.maximum(margins + self.kappa, 0.0)
+            values = (self.weights * hinge).sum(axis=1)
+
+            idx = self.desired_labels[..., None]
+            masked = logits.copy()
+            np.put_along_axis(masked, idx, -np.inf, axis=-1)
+            best_other = masked.argmax(axis=-1)
+            active = (margins + self.kappa) > 0
+
+            # The masked argmax never coincides with the desired column, so
+            # writing the active weight at best_other and subtracting it at
+            # the desired column reproduces the scalar ±c_i logit gradient.
+            grad_logits = np.zeros_like(logits)
+            active_weight = np.where(active, self.weights, 0.0)[..., None]
+            np.put_along_axis(grad_logits, best_other[..., None], active_weight, axis=-1)
+            np.put_along_axis(
+                grad_logits,
+                idx,
+                np.take_along_axis(grad_logits, idx, axis=-1) - active_weight,
+                axis=-1,
+            )
+
+            self.model.zero_grads()
+            self.model.backward_between(grad_logits, self._start_layer, self._logits_end)
+            grads = self.stacked_view.gather_grads()
+        return values, grads
+
+    # -- bookkeeping ----------------------------------------------------------------
+    def evaluate_candidates(
+        self, deltas: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-lane ``(G, success_rate, keep_rate)`` from one stacked forward."""
+        logits = self.logits(deltas)
+        margins = self._margins_from_logits(logits)
+        values = (self.weights * np.maximum(margins + self.kappa, 0.0)).sum(axis=1)
+        preds = np.argmax(logits, axis=-1)
+        correct = preds == self.desired_labels
+        success = np.empty(self.lanes, dtype=np.float64)
+        keep = np.empty(self.lanes, dtype=np.float64)
+        for lane in range(self.lanes):
+            s = int(self.num_targets[lane])
+            success_mask = correct[lane, :s]
+            keep_mask = correct[lane, s:]
+            success[lane] = float(success_mask.mean()) if success_mask.size else 1.0
+            keep[lane] = float(keep_mask.mean()) if keep_mask.size else 1.0
+        return values, success, keep

@@ -17,7 +17,12 @@ import numpy as np
 from repro.nn.model import Sequential
 from repro.utils.errors import ConfigurationError, ShapeError
 
-__all__ = ["ParameterSelector", "ParameterView", "SelectedParameter"]
+__all__ = [
+    "ParameterSelector",
+    "ParameterView",
+    "SelectedParameter",
+    "StackedParameterView",
+]
 
 _WEIGHT_NAMES = ("W", "gamma")
 _BIAS_NAMES = ("b", "beta")
@@ -246,6 +251,112 @@ class _AppliedDelta:
 
     def __enter__(self) -> ParameterView:
         self._view.apply_delta(self._delta)
+        return self._view
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._view.restore()
+        return False
+
+
+class StackedParameterView:
+    """Apply ``lanes`` independent δ vectors to one model at once.
+
+    Built on top of a scalar :class:`ParameterView`, this applies a matrix of
+    deltas ``(lanes, size)`` by *replacing* each attacked parameter tensor
+    with a per-lane stack of shape ``(lanes, *block.shape)`` and flipping
+    every layer of the model into stacked mode (``layer.lanes``).  Layers
+    then broadcast a leading lane axis through forward/backward, so one
+    stacked pass computes what ``lanes`` scalar passes would — bit for bit,
+    because every lane slice runs the exact scalar kernel.
+
+    The original parameter arrays are kept aside and put back *by object* on
+    :meth:`restore`, so external references into ``layer.params`` stay valid.
+    """
+
+    def __init__(self, view: ParameterView, lanes: int):
+        if lanes <= 0:
+            raise ConfigurationError(f"lanes must be positive, got {lanes}")
+        self.view = view
+        self.lanes = int(lanes)
+        self._saved: dict[tuple[int, str], np.ndarray] | None = None
+
+    @property
+    def size(self) -> int:
+        return self.view.size
+
+    @property
+    def model(self) -> Sequential:
+        return self.view.model
+
+    def apply_deltas(self, deltas: np.ndarray) -> None:
+        """Write ``θ + δ_l`` for every lane ``l`` into the live model."""
+        deltas = self._check_matrix(deltas)
+        if self._saved is None:
+            self._saved = {}
+            for block in self.view.blocks:
+                layer = self.model.layers[block.layer_index]
+                self._saved[(block.layer_index, block.param_name)] = layer.params[
+                    block.param_name
+                ]
+            for layer in self.model.layers:
+                layer.lanes = self.lanes
+        baseline = self.view._baseline
+        for block in self.view.blocks:
+            layer = self.model.layers[block.layer_index]
+            stacked = baseline[block.slice][None, :] + deltas[:, block.slice]
+            layer.params[block.param_name] = stacked.reshape(self.lanes, *block.shape)
+
+    def restore(self) -> None:
+        """Put the original scalar parameter arrays back and leave stacked mode."""
+        if self._saved is None:
+            return
+        for (layer_index, param_name), original in self._saved.items():
+            self.model.layers[layer_index].params[param_name] = original
+        for layer in self.model.layers:
+            layer.lanes = None
+        self._saved = None
+
+    def applied(self, deltas: np.ndarray) -> "_AppliedDeltas":
+        """Context manager applying per-lane deltas and restoring θ on exit."""
+        return _AppliedDeltas(self, deltas)
+
+    def gather_grads(self) -> np.ndarray:
+        """Read per-lane gradients of the attacked parameters as (lanes, size)."""
+        out = np.empty((self.lanes, self.size), dtype=np.float64)
+        for block in self.view.blocks:
+            layer = self.model.layers[block.layer_index]
+            grad = layer.grads.get(block.param_name)
+            expected = (self.lanes, *block.shape)
+            if grad is None or grad.shape != expected:
+                raise ShapeError(
+                    f"layer {block.layer_name!r} holds no stacked gradient for "
+                    f"{block.param_name!r} (expected shape {expected}); "
+                    f"run a stacked backward pass first"
+                )
+            out[:, block.slice] = grad.reshape(self.lanes, -1)
+        return out
+
+    def _check_matrix(self, deltas: np.ndarray) -> np.ndarray:
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if deltas.shape != (self.lanes, self.size):
+            raise ShapeError(
+                f"deltas must have shape ({self.lanes}, {self.size}), got {deltas.shape}"
+            )
+        return deltas
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StackedParameterView(lanes={self.lanes}, base={self.view!r})"
+
+
+class _AppliedDeltas:
+    """Context manager used by :meth:`StackedParameterView.applied`."""
+
+    def __init__(self, view: StackedParameterView, deltas: np.ndarray):
+        self._view = view
+        self._deltas = deltas
+
+    def __enter__(self) -> StackedParameterView:
+        self._view.apply_deltas(self._deltas)
         return self._view
 
     def __exit__(self, exc_type, exc, tb) -> bool:

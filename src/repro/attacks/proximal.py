@@ -23,16 +23,43 @@ import numpy as np
 
 from repro.utils.errors import ConfigurationError
 
-__all__ = ["prox_l0", "prox_l2", "prox_l1", "get_proximal_operator", "PROXIMAL_OPERATORS"]
+__all__ = [
+    "prox_l0",
+    "prox_l2",
+    "prox_l1",
+    "get_proximal_operator",
+    "row_norms",
+    "PROXIMAL_OPERATORS",
+]
 
 
-def _check_rho(rho: float) -> float:
-    if rho <= 0:
+def row_norms(matrix: np.ndarray) -> np.ndarray:
+    """Per-row Euclidean norms computed with the scalar 1-D kernel.
+
+    ``np.linalg.norm(matrix, axis=1)`` reduces with a pairwise sum whose
+    rounding can differ from the 1-D ``sqrt(x·x)`` kernel by an ulp; batched
+    lanes must reproduce scalar solves bit for bit, so each row is normed
+    exactly as a scalar solve would norm it.
+    """
+    return np.array([float(np.linalg.norm(row)) for row in matrix])
+
+
+def _check_rho(rho: float | np.ndarray) -> float | np.ndarray:
+    """Validate ρ; scalar input stays a float, arrays pass through for batching.
+
+    Batched solves hand in a ``(lanes, 1)`` column of per-lane penalties that
+    broadcasts against ``(lanes, size)`` stacked vectors; each lane then sees
+    the exact scalar arithmetic.
+    """
+    rho_arr = np.asarray(rho, dtype=np.float64)
+    if np.any(rho_arr <= 0):
         raise ValueError(f"rho must be positive, got {rho}")
-    return float(rho)
+    if rho_arr.ndim == 0:
+        return float(rho_arr)
+    return rho_arr
 
 
-def prox_l0(v: np.ndarray, rho: float) -> np.ndarray:
+def prox_l0(v: np.ndarray, rho: float | np.ndarray) -> np.ndarray:
     """Hard-thresholding proximal operator of ``‖·‖₀`` (paper eq. (16))."""
     rho = _check_rho(rho)
     v = np.asarray(v, dtype=np.float64)
@@ -40,18 +67,26 @@ def prox_l0(v: np.ndarray, rho: float) -> np.ndarray:
     return np.where(keep, v, 0.0)
 
 
-def prox_l2(v: np.ndarray, rho: float) -> np.ndarray:
-    """Block soft-thresholding proximal operator of ``‖·‖₂`` (paper eq. (18))."""
+def prox_l2(v: np.ndarray, rho: float | np.ndarray) -> np.ndarray:
+    """Block soft-thresholding proximal operator of ``‖·‖₂`` (paper eq. (18)).
+
+    A 2-D ``v`` is treated as a stack of independent vectors (one block per
+    row), each shrunk by its own row norm.
+    """
     rho = _check_rho(rho)
     v = np.asarray(v, dtype=np.float64)
-    norm = float(np.linalg.norm(v))
     threshold = 1.0 / rho
+    if v.ndim == 2:
+        norms = row_norms(v)[:, None]
+        safe = np.where(norms > 0, norms, 1.0)
+        return np.where(norms < threshold, 0.0, (1.0 - threshold / safe) * v)
+    norm = float(np.linalg.norm(v))
     if norm < threshold:
         return np.zeros_like(v)
     return (1.0 - threshold / norm) * v
 
 
-def prox_l1(v: np.ndarray, rho: float) -> np.ndarray:
+def prox_l1(v: np.ndarray, rho: float | np.ndarray) -> np.ndarray:
     """Elementwise soft-thresholding proximal operator of ``‖·‖₁``."""
     rho = _check_rho(rho)
     v = np.asarray(v, dtype=np.float64)
@@ -59,14 +94,14 @@ def prox_l1(v: np.ndarray, rho: float) -> np.ndarray:
     return np.sign(v) * np.maximum(np.abs(v) - threshold, 0.0)
 
 
-PROXIMAL_OPERATORS: dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+PROXIMAL_OPERATORS: dict[str, Callable[[np.ndarray, float | np.ndarray], np.ndarray]] = {
     "l0": prox_l0,
     "l1": prox_l1,
     "l2": prox_l2,
 }
 
 
-def get_proximal_operator(norm: str) -> Callable[[np.ndarray, float], np.ndarray]:
+def get_proximal_operator(norm: str) -> Callable[[np.ndarray, float | np.ndarray], np.ndarray]:
     """Return the proximal operator for a norm name (``"l0"``, ``"l1"``, ``"l2"``)."""
     try:
         return PROXIMAL_OPERATORS[norm.lower()]

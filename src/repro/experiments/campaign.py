@@ -811,6 +811,7 @@ def run_campaign(
     executor: Executor | ExecutorConfig | str | None = None,
     store: ArtifactStore | None = None,
     on_event: EventCallback | None = None,
+    fuse: bool = False,
 ) -> CampaignResult:
     """Execute a campaign and return its results and statistics.
 
@@ -834,6 +835,12 @@ def run_campaign(
         Optional callback receiving structured progress dictionaries
         (cache hits, job completions, fleet worker attach/detach).  Fleet
         events arrive from a background thread.
+    fuse:
+        Group compatible pending cells (see :mod:`repro.experiments.fusion`)
+        into batched in-parent jobs — one stacked tensor solve per group —
+        before handing the remainder to the executor.  Purely an
+        execution-plan rewrite: per-cell artifact keys, metrics, manifests
+        and telemetry events are identical to an unfused run.
     """
     started = time.perf_counter()
     store = store if store is not None else ArtifactStore(enabled=False)
@@ -873,18 +880,53 @@ def run_campaign(
         executor.name,
     )
 
+    fused_groups: list[list[JobSpec]] = []
+    if fuse and pending:
+        # Imported lazily: fusion depends on this module.
+        from repro.experiments.fusion import plan_fusion, run_fused_group
+
+        fused_groups, pending = plan_fusion(pending)
+        if fused_groups:
+            _LOGGER.info(
+                "campaign %s: fused %d jobs into %d batched groups (%d stay scalar)",
+                campaign.name,
+                sum(len(group) for group in fused_groups),
+                len(fused_groups),
+                len(pending),
+            )
+
     # Warm-up only helps when workers can actually read what the parent
     # trains; a deliberately disabled disk cache means each worker retrains.
     warmup_reaches_workers = registry is None or registry.disk_cache.enabled
     if pending and executor.parallel and warmup_reaches_workers:
         _warm_model_caches(campaign, pending, registry)
+
+    for group in fused_groups:
+        # Fused groups run in-parent: the per-group batched solve is the
+        # parallelism.  Events mirror the scalar path cell for cell — the
+        # per-job (event, key, kind) multiset of a fused run equals the
+        # serial run's.
+        for spec in group:
+            Executor._emit(on_event, JobStarted(key=spec.key, kind=spec.kind))
+        for result in run_fused_group(group, registry=registry):
+            store.store(result)
+            results[result.key] = result
+            Executor._emit(
+                on_event,
+                JobFinished(
+                    key=result.key,
+                    kind=result.kind,
+                    metrics=encode_metrics(result.metrics),
+                    duration_s=result.elapsed,
+                ),
+            )
     for result in executor.run(pending, registry=registry, on_event=on_event):
         store.store(result)
         results[result.key] = result
 
     stats = CampaignStats(
         total=len(unique),
-        executed=len(pending),
+        executed=len(pending) + sum(len(group) for group in fused_groups),
         cache_hits=cache_hits,
         elapsed_seconds=time.perf_counter() - started,
         executor=executor.name,
@@ -915,6 +957,7 @@ def run_experiment(
     jobs: int = 1,
     executor: Executor | ExecutorConfig | str | None = None,
     artifact_dir: str | Path | None = None,
+    fuse: bool = False,
     **kwargs: Any,
 ) -> Any:
     """Build, run and assemble one experiment campaign (driver entry point).
@@ -926,7 +969,9 @@ def run_experiment(
     """
     campaign = build_campaign(scale, seed=seed, **kwargs)
     store = ArtifactStore(artifact_dir) if artifact_dir is not None else None
-    result = run_campaign(campaign, registry=registry, jobs=jobs, executor=executor, store=store)
+    result = run_campaign(
+        campaign, registry=registry, jobs=jobs, executor=executor, store=store, fuse=fuse
+    )
     return assemble(campaign, result)
 
 

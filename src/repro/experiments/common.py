@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.analysis.evaluation import evaluate_attack_result
+from repro.analysis.evaluation import evaluate_attack_result, evaluate_attack_results
 from repro.attacks.baselines import (
     GradientDescentAttack,
     GradientDescentAttackConfig,
@@ -28,6 +28,7 @@ from repro.attacks.baselines import (
 from repro.attacks.fault_sneaking import FaultSneakingAttack, FaultSneakingConfig
 from repro.attacks.targets import make_attack_plan
 from repro.experiments.campaign import JobSpec, register_job
+from repro.experiments.fusion import register_fusion
 from repro.utils.errors import ConfigurationError
 from repro.zoo.registry import ModelRegistry, ModelSpec, TrainedModel, default_registry
 
@@ -378,3 +379,62 @@ def _sweep_cell_job(
         zero_tolerance=config.zero_tolerance,
     )
     return evaluation.as_dict()
+
+
+def _sweep_cell_group_key(params: dict) -> tuple:
+    """Fusion compatibility key of one sweep cell.
+
+    Everything that must be *shared* across the lanes of one stacked solve:
+    the victim model (dataset, scale, seed), the attack configuration (scale,
+    norm) and the anchor count R (the stacked objective needs one common
+    image-batch shape).  S and the plan seed vary lane to lane.
+    """
+    return (
+        params["dataset"],
+        params["scale"],
+        int(params["seed"]),
+        int(params["r"]),
+        params.get("norm", "l0"),
+        params.get("target_strategy", "random"),
+    )
+
+
+@register_fusion("sweep-cell", group_key=_sweep_cell_group_key)
+def _sweep_cell_batch(specs, *, registry: ModelRegistry | None = None) -> list[dict]:
+    """Attack a group of compatible (S, R) grid points in one stacked solve.
+
+    The victim model, the anchor/evaluation split, the attack configuration
+    and the clean accuracy are computed once for the whole group; each cell
+    contributes its own attack plan as one lane of the batched solver.  Each
+    lane's metrics are bit-identical to what :func:`_sweep_cell_job` returns
+    for that cell alone (the batched solver mirrors the scalar arithmetic
+    ULP for ULP), so fusing is invisible to manifests and tables.
+    """
+    from repro.attacks.batched import BatchedFaultSneakingAttack
+
+    first = specs[0].param_dict()
+    trained = get_trained_model(
+        first["dataset"], first["scale"], registry=registry, seed=int(first["seed"])
+    )
+    anchor_pool, eval_set = anchor_and_eval_split(trained)
+    config = attack_config_for(first["scale"], norm=first.get("norm", "l0"))
+    clean_accuracy = trained.model.evaluate(eval_set.images, eval_set.labels)
+    plans = [
+        make_attack_plan(
+            anchor_pool,
+            num_targets=int(params["s"]),
+            num_images=int(params["r"]),
+            target_strategy=params.get("target_strategy", "random"),
+            seed=int(params.get("plan_seed", 0)),
+        )
+        for params in (spec.param_dict() for spec in specs)
+    ]
+    results = BatchedFaultSneakingAttack(trained.model, config).attack_batch(plans)
+    evaluations = evaluate_attack_results(
+        results,
+        eval_set,
+        clean_model=trained.model,
+        clean_accuracy=clean_accuracy,
+        zero_tolerance=config.zero_tolerance,
+    )
+    return [evaluation.as_dict() for evaluation in evaluations]

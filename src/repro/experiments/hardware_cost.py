@@ -48,7 +48,11 @@ from repro.analysis.reporting import (
     stochastic_cost_cells,
 )
 from repro.attacks.fault_sneaking import FaultSneakingAttack
-from repro.attacks.lowering import HardwareBudget, lower_attack
+from repro.attacks.lowering import (
+    VARIANCE_REDUCTION_SCHEMES,
+    HardwareBudget,
+    lower_attack,
+)
 from repro.attacks.parameter_view import ParameterView
 from repro.attacks.targets import AttackPlan, make_attack_plan
 from repro.experiments.campaign import (
@@ -126,7 +130,15 @@ def _cell(
     pattern: str,
     trials: int,
     flip_seed: int,
+    variance_reduction: str = "independent",
 ) -> JobSpec:
+    # The scheme enters the spec only when it differs from the historical
+    # default, so every pre-existing artifact key (and golden manifest)
+    # stays byte-identical for "independent" campaigns.
+    extra = (
+        {} if variance_reduction == "independent"
+        else {"variance_reduction": variance_reduction}
+    )
     return JobSpec.make(
         "hardware-cost-cell",
         dataset=dataset,
@@ -141,6 +153,7 @@ def _cell(
         plan_seed=int(seed),
         trials=int(trials),
         flip_seed=int(flip_seed),
+        **extra,
     )
 
 
@@ -224,6 +237,7 @@ def _hardware_cost_cell_job(
     plan_seed: int,
     trials: int = 0,
     flip_seed: int = 0,
+    variance_reduction: str = "independent",
 ) -> dict:
     """Solve one attack, lower it onto a device and return the cost metrics."""
     trained = get_trained_model(dataset, scale, registry=registry, seed=seed)
@@ -270,6 +284,11 @@ def _hardware_cost_cell_job(
             budget,
             pattern,
         ),
+        variance_reduction=variance_reduction,
+        # CRN streams are keyed by the campaign-wide flip seed alone, so
+        # every cell of a CRN campaign consumes identical trial draws —
+        # that sharing is the whole point of common random numbers.
+        crn_seed=int(flip_seed),
         eval_set=eval_set,
         clean_accuracy=clean_accuracy,
     )
@@ -292,12 +311,19 @@ def build_campaign(
     patterns: tuple[str, ...] = DEFAULT_PATTERNS,
     trials: int = DEFAULT_TRIALS,
     flip_seed: int = 0,
+    variance_reduction: str = "independent",
 ) -> Campaign:
     """Declare one job per (storage, profile, budget, hammer pattern, S) point.
 
     ``trials`` Monte-Carlo executions run inside every cell (0 disables the
     stochastic columns); ``flip_seed`` shifts every cell's trial stream at
     once — the campaign axis the CI seed matrix sweeps.
+    ``variance_reduction`` selects the per-cell Monte-Carlo scheme
+    (:data:`repro.attacks.lowering.VARIANCE_REDUCTION_SCHEMES`): ``"crn"``
+    runs every cell on common random numbers keyed by ``flip_seed``,
+    ``"antithetic"`` pairs each cell's trials on complementary landing
+    draws.  Either way the campaign stays a pure function of its
+    parameters, so serial and parallel runs agree byte for byte.
     """
     for name in profiles:
         get_profile(name)  # fail fast on unknown profile names
@@ -305,12 +331,17 @@ def build_campaign(
         get_pattern(name)  # fail fast on unknown pattern names
     if trials < 0:
         raise ConfigurationError(f"trials must be >= 0, got {trials}")
+    if variance_reduction not in VARIANCE_REDUCTION_SCHEMES:
+        raise ConfigurationError(
+            f"variance_reduction must be one of {VARIANCE_REDUCTION_SCHEMES}, "
+            f"got {variance_reduction!r}"
+        )
     setting = get_setting(scale)
     r = _num_images(setting)
     jobs = [
         _cell(
             dataset, scale, seed, s, r, storage, profile, budget, pattern,
-            trials, flip_seed,
+            trials, flip_seed, variance_reduction,
         )
         for storage in storages
         for profile in profiles
@@ -331,6 +362,7 @@ def build_campaign(
             "patterns": tuple(patterns),
             "trials": int(trials),
             "flip_seed": int(flip_seed),
+            "variance_reduction": variance_reduction,
         },
     )
 
@@ -343,6 +375,7 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
     patterns = campaign.metadata.get("patterns", DEFAULT_PATTERNS)
     trials = campaign.metadata.get("trials", 0)
     flip_seed = campaign.metadata.get("flip_seed", 0)
+    variance_reduction = campaign.metadata.get("variance_reduction", "independent")
     r = _num_images(setting)
     table = Table(
         title=(
@@ -383,6 +416,7 @@ def assemble(campaign: Campaign, results: CampaignResult) -> Table:
                                 pattern,
                                 trials,
                                 flip_seed,
+                                variance_reduction,
                             )
                         )
                         table.add_row(
@@ -450,6 +484,7 @@ def run(
     patterns: tuple[str, ...] = DEFAULT_PATTERNS,
     trials: int = DEFAULT_TRIALS,
     flip_seed: int = 0,
+    variance_reduction: str = "independent",
     jobs: int = 1,
     executor=None,
     artifact_dir=None,
@@ -470,4 +505,5 @@ def run(
         patterns=patterns,
         trials=trials,
         flip_seed=flip_seed,
+        variance_reduction=variance_reduction,
     )

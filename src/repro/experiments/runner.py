@@ -30,6 +30,17 @@ flip seed for an independent replication of the whole grid::
     repro-experiments hardware_cost --scale ci --profile stochastic-trrespass \
         --trials 32 --flip-seed 1
 
+Hit the same confidence-interval width with fewer trials (antithetic pairs),
+or compare cells on common random numbers (crn)::
+
+    repro-experiments hardware_cost --scale ci --profile stochastic-ddr3 \
+        --trials 16 --variance-reduction antithetic
+
+Fuse compatible grid cells into batched stacked solves (byte-identical
+tables, one tensor solve per fused group)::
+
+    repro-experiments table4 --scale ci --fuse
+
 Run a campaign on the worker fleet: a dispatcher plus N socket-attached
 worker processes (byte-identical to the serial tables)::
 
@@ -122,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
         "workers to attach)",
     )
     parser.add_argument(
+        "--fuse",
+        action="store_true",
+        help="fuse compatible grid cells into batched stacked solves (one "
+        "tensor solve per group; bit-identical tables and manifests, fewer "
+        "Python-overhead-bound solves)",
+    )
+    parser.add_argument(
         "--artifact-dir",
         type=Path,
         default=None,
@@ -178,6 +196,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the per-cell Monte-Carlo flip sampling in hardware_cost "
         "(default: 0).  Same seed = byte-identical tables, different seeds = "
         "independent replications",
+    )
+    parser.add_argument(
+        "--variance-reduction",
+        default=None,
+        choices=["independent", "crn", "antithetic"],
+        help="Monte-Carlo sampling scheme of the hardware_cost trials "
+        "(default: independent).  crn = common random numbers across cells "
+        "(keyed by --flip-seed); antithetic = paired complementary landing "
+        "draws — the same CI width at fewer trials",
     )
     parser.add_argument(
         "--list-profiles",
@@ -342,8 +369,12 @@ def main(argv: list[str] | None = None) -> int:
                 extra["trials"] = args.trials
             if args.flip_seed is not None and name == "hardware_cost":
                 extra["flip_seed"] = args.flip_seed
+            if args.variance_reduction is not None and name == "hardware_cost":
+                extra["variance_reduction"] = args.variance_reduction
             campaign = build_campaign(args.scale, seed=args.seed, **extra)
-            result = run_campaign(campaign, jobs=args.jobs, executor=executor, store=store)
+            result = run_campaign(
+                campaign, jobs=args.jobs, executor=executor, store=store, fuse=args.fuse
+            )
             table = assemble(campaign, result)
             elapsed = wall_clock() - started
             stats = result.stats
@@ -364,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
                         "scale": args.scale,
                         "seed": args.seed,
                         "jobs": args.jobs,
+                        "fuse": args.fuse,
                         "executor": stats.executor,
                         "workers": args.workers,
                         "artifact_dir": str(store.directory) if store is not None else None,
@@ -371,6 +403,7 @@ def main(argv: list[str] | None = None) -> int:
                         "hammer_patterns": list(args.hammer_pattern) if args.hammer_pattern else None,
                         "trials": args.trials,
                         "flip_seed": args.flip_seed,
+                        "variance_reduction": args.variance_reduction,
                     },
                 )
                 canonical_path = result.write_manifest(

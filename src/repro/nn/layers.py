@@ -70,6 +70,11 @@ class Layer:
         self.name = name or self.__class__.__name__.lower()
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
+        # Number of stacked solve lanes when the model runs in stacked mode
+        # (a leading lane axis on activations and, for attacked layers, on
+        # parameters); ``None`` in ordinary scalar mode.  Set and cleared by
+        # :class:`repro.attacks.parameter_view.StackedParameterView`.
+        self.lanes: int | None = None
 
     # -- interface -----------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -171,6 +176,16 @@ class Dense(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         del training
+        if x.ndim == 3 and x.shape[2] == self.in_features:
+            # Stacked mode: x is (lanes, N, in).  W is either per-lane
+            # (lanes, in, out) or shared (in, out); matmul broadcasts both,
+            # and each lane slice is the exact scalar GEMM.
+            self._last_input = x
+            out = np.matmul(x, self.params["W"])
+            if self.use_bias:
+                b = self.params["b"]
+                out = out + (b[:, None, :] if b.ndim == 2 else b)
+            return out
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ShapeError(
                 f"Dense layer {self.name!r} expects input of shape (N, {self.in_features}), "
@@ -186,10 +201,20 @@ class Dense(Layer):
         if self._last_input is None:
             raise RuntimeError("backward called before forward")
         x = self._last_input
+        w = self.params["W"]
+        if x.ndim == 3:
+            if w.ndim == 3:
+                self.grads["W"] = np.matmul(x.transpose(0, 2, 1), grad_output)
+            else:
+                self.grads["W"] = np.tensordot(x, grad_output, axes=([0, 1], [0, 1]))
+            if self.use_bias:
+                per_lane = self.params["b"].ndim == 2
+                self.grads["b"] = grad_output.sum(axis=1 if per_lane else (0, 1))
+            return np.matmul(grad_output, w.transpose(0, 2, 1) if w.ndim == 3 else w.T)
         self.grads["W"] = x.T @ grad_output
         if self.use_bias:
             self.grads["b"] = grad_output.sum(axis=0)
-        return grad_output @ self.params["W"].T
+        return grad_output @ w.T
 
     def get_config(self) -> dict:
         return {
@@ -250,6 +275,26 @@ class Conv2D(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         del training
+        if x.ndim == 5 and x.shape[4] == self.in_channels:
+            # Stacked mode: x is (lanes, N, H, W, C).  One im2col over the
+            # folded (lanes*N) batch (a pure per-sample gather), then a
+            # per-lane GEMM whose M dimension (N*oh*ow) matches the scalar
+            # path exactly, so each lane is bit-identical to a scalar solve.
+            lanes, n = x.shape[0], x.shape[1]
+            folded = x.reshape(lanes * n, *x.shape[2:])
+            cols, (out_h, out_w) = im2col(folded, self.kernel_size, self.stride, self.padding)
+            k = cols.shape[1]
+            w = self.params["W"]
+            if w.ndim == 5:
+                w_mat = w.reshape(lanes, k, self.out_channels)
+            else:
+                w_mat = w.reshape(k, self.out_channels)
+            out = np.matmul(cols.reshape(lanes, n * out_h * out_w, k), w_mat)
+            if self.use_bias:
+                b = self.params["b"]
+                out = out + (b[:, None, :] if b.ndim == 2 else b)
+            self._cache = (x.shape, cols)
+            return out.reshape(lanes, n, out_h, out_w, self.out_channels)
         if x.ndim != 4 or x.shape[3] != self.in_channels:
             raise ShapeError(
                 f"Conv2D layer {self.name!r} expects NHWC input with {self.in_channels} "
@@ -269,14 +314,40 @@ class Conv2D(Layer):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         input_shape, cols = self._cache
+        w = self.params["W"]
+        if grad_output.ndim == 5:
+            lanes, n, out_h, out_w, _ = grad_output.shape
+            k = cols.shape[1]
+            cols3 = cols.reshape(lanes, n * out_h * out_w, k)
+            grad3 = grad_output.reshape(lanes, n * out_h * out_w, self.out_channels)
+            if w.ndim == 5:
+                self.grads["W"] = np.matmul(cols3.transpose(0, 2, 1), grad3).reshape(w.shape)
+                w_mat = w.reshape(lanes, k, self.out_channels)
+                grad_cols = np.matmul(grad3, w_mat.transpose(0, 2, 1))
+            else:
+                self.grads["W"] = np.tensordot(
+                    cols3, grad3, axes=([0, 1], [0, 1])
+                ).reshape(w.shape)
+                grad_cols = np.matmul(grad3, w.reshape(k, self.out_channels).T)
+            if self.use_bias:
+                per_lane = self.params["b"].ndim == 2
+                self.grads["b"] = grad3.sum(axis=1 if per_lane else (0, 1))
+            folded = col2im(
+                grad_cols.reshape(lanes * n * out_h * out_w, k),
+                (lanes * n, *input_shape[2:]),
+                self.kernel_size,
+                self.stride,
+                self.padding,
+            )
+            return folded.reshape(input_shape)
         n, out_h, out_w, _ = grad_output.shape
         grad_mat = grad_output.reshape(n * out_h * out_w, self.out_channels)
 
-        self.grads["W"] = (cols.T @ grad_mat).reshape(self.params["W"].shape)
+        self.grads["W"] = (cols.T @ grad_mat).reshape(w.shape)
         if self.use_bias:
             self.grads["b"] = grad_mat.sum(axis=0)
 
-        w_mat = self.params["W"].reshape(-1, self.out_channels)
+        w_mat = w.reshape(-1, self.out_channels)
         grad_cols = grad_mat @ w_mat.T
         return col2im(grad_cols, input_shape, self.kernel_size, self.stride, self.padding)
 
@@ -306,6 +377,16 @@ class _Pool2D(Layer):
         self.stride = int(stride) if stride is not None else int(pool_size)
         self._cache: tuple | None = None
 
+    def _fold_lanes(self, array: np.ndarray, op) -> np.ndarray:
+        """Run a scalar forward/backward over (lanes*N, ...) and restack.
+
+        Pooling is a pure per-sample operation, so folding the lane axis into
+        the batch axis is bit-identical to pooling each lane separately.
+        """
+        lanes, n = array.shape[:2]
+        out = op(array.reshape(lanes * n, *array.shape[2:]))
+        return out.reshape(lanes, n, *out.shape[1:])
+
     def _patches(self, x: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
         n, h, w, c = x.shape
         out_h = conv_output_size(h, self.pool_size, self.stride, 0)
@@ -331,6 +412,8 @@ class MaxPool2D(_Pool2D):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         del training
+        if x.ndim == 5:
+            return self._fold_lanes(x, self.forward)
         if x.ndim != 4:
             raise ShapeError(f"MaxPool2D expects NHWC input, got shape {x.shape}")
         n, h, w, c = x.shape
@@ -343,6 +426,8 @@ class MaxPool2D(_Pool2D):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
+        if grad_output.ndim == 5:
+            return self._fold_lanes(grad_output, self.backward)
         input_shape, argmax, (out_h, out_w) = self._cache
         n, h, w, c = input_shape
         grad_flat = grad_output.reshape(-1)
@@ -363,6 +448,8 @@ class AvgPool2D(_Pool2D):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         del training
+        if x.ndim == 5:
+            return self._fold_lanes(x, self.forward)
         if x.ndim != 4:
             raise ShapeError(f"AvgPool2D expects NHWC input, got shape {x.shape}")
         n, h, w, c = x.shape
@@ -374,6 +461,8 @@ class AvgPool2D(_Pool2D):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
+        if grad_output.ndim == 5:
+            return self._fold_lanes(grad_output, self.backward)
         input_shape, (out_h, out_w) = self._cache
         n, h, w, c = input_shape
         window = self.pool_size * self.pool_size
@@ -395,6 +484,9 @@ class Flatten(Layer):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         del training
         self._input_shape = x.shape
+        if self.lanes is not None and x.ndim > 2 and x.shape[0] == self.lanes:
+            # Stacked mode: keep the lane axis, flatten per-sample features.
+            return x.reshape(x.shape[0], x.shape[1], -1)
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -574,6 +666,18 @@ class BatchNorm1D(Layer):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim == 3 and x.shape[2] == self.num_features:
+            # Stacked inference: normalise each lane with the shared running
+            # statistics (stacked training is not supported — the attack
+            # only ever runs inference passes).
+            if training:
+                raise ShapeError("BatchNorm1D does not support training on stacked inputs")
+            x_hat = (x - self.running_mean) / np.sqrt(self.running_var + self.eps)
+            self._cache = (x_hat, self.running_var)
+            gamma, beta = self.params["gamma"], self.params["beta"]
+            if gamma.ndim == 2:
+                return gamma[:, None, :] * x_hat + beta[:, None, :]
+            return gamma * x_hat + beta
         if x.ndim != 2 or x.shape[1] != self.num_features:
             raise ShapeError(
                 f"BatchNorm1D expects input of shape (N, {self.num_features}), got {x.shape}"
@@ -593,11 +697,28 @@ class BatchNorm1D(Layer):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_hat, var = self._cache
+        gamma = self.params["gamma"]
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        if grad_output.ndim == 3:
+            n = grad_output.shape[1]
+            per_lane = gamma.ndim == 2
+            axis = 1 if per_lane else (0, 1)
+            self.grads["gamma"] = np.sum(grad_output * x_hat, axis=axis)
+            self.grads["beta"] = grad_output.sum(axis=axis)
+            dx_hat = grad_output * (gamma[:, None, :] if per_lane else gamma)
+            return (
+                inv_std
+                / n
+                * (
+                    n * dx_hat
+                    - dx_hat.sum(axis=1, keepdims=True)
+                    - x_hat * np.sum(dx_hat * x_hat, axis=1, keepdims=True)
+                )
+            )
         n = grad_output.shape[0]
         self.grads["gamma"] = np.sum(grad_output * x_hat, axis=0)
         self.grads["beta"] = grad_output.sum(axis=0)
-        dx_hat = grad_output * self.params["gamma"]
-        inv_std = 1.0 / np.sqrt(var + self.eps)
+        dx_hat = grad_output * gamma
         return (
             inv_std
             / n

@@ -30,14 +30,14 @@ def log_softmax(logits: np.ndarray) -> np.ndarray:
 
 def _check_labels(outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
     targets = np.asarray(targets)
-    if targets.ndim != 1 or targets.shape[0] != outputs.shape[0]:
+    if targets.shape != outputs.shape[:-1]:
         raise ShapeError(
-            f"targets must be a 1-D label vector matching the batch size "
-            f"{outputs.shape[0]}, got shape {targets.shape}"
+            f"targets must be an integer label array of shape {outputs.shape[:-1]} "
+            f"(outputs without the class axis), got shape {targets.shape}"
         )
-    if targets.min() < 0 or targets.max() >= outputs.shape[1]:
+    if targets.min() < 0 or targets.max() >= outputs.shape[-1]:
         raise ValueError(
-            f"label values must lie in [0, {outputs.shape[1] - 1}], "
+            f"label values must lie in [0, {outputs.shape[-1] - 1}], "
             f"got range [{targets.min()}, {targets.max()}]"
         )
     return targets.astype(np.int64)
@@ -64,15 +64,15 @@ class CrossEntropyLoss(Loss):
     def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
         targets = _check_labels(outputs, targets)
         log_probs = log_softmax(outputs)
-        picked = log_probs[np.arange(outputs.shape[0]), targets]
+        picked = np.take_along_axis(log_probs, targets[..., None], axis=-1)[..., 0]
         return float(-picked.mean())
 
     def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
         targets = _check_labels(outputs, targets)
-        probs = softmax(outputs)
-        grad = probs.copy()
-        grad[np.arange(outputs.shape[0]), targets] -= 1.0
-        return grad / outputs.shape[0]
+        grad = softmax(outputs)
+        idx = targets[..., None]
+        np.put_along_axis(grad, idx, np.take_along_axis(grad, idx, axis=-1) - 1.0, axis=-1)
+        return grad / targets.size
 
 
 class MSELoss(Loss):
@@ -80,10 +80,10 @@ class MSELoss(Loss):
 
     def _expand(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
         targets = np.asarray(targets)
-        if targets.ndim == 1 and outputs.ndim == 2:
+        if targets.ndim == outputs.ndim - 1:
             one_hot = np.zeros_like(outputs)
             labels = _check_labels(outputs, targets)
-            one_hot[np.arange(outputs.shape[0]), labels] = 1.0
+            np.put_along_axis(one_hot, labels[..., None], 1.0, axis=-1)
             return one_hot
         if targets.shape != outputs.shape:
             raise ShapeError(
@@ -121,11 +121,11 @@ class HingeLogitLoss(Loss):
     def per_sample(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
         """Return the un-reduced hinge value for every sample."""
         targets = _check_labels(outputs, targets)
-        n = outputs.shape[0]
-        target_logit = outputs[np.arange(n), targets]
+        idx = targets[..., None]
+        target_logit = np.take_along_axis(outputs, idx, axis=-1)[..., 0]
         masked = outputs.copy()
-        masked[np.arange(n), targets] = -np.inf
-        best_other = masked.max(axis=1)
+        np.put_along_axis(masked, idx, -np.inf, axis=-1)
+        best_other = masked.max(axis=-1)
         return np.maximum(best_other - target_logit + self.kappa, 0.0)
 
     def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
@@ -133,16 +133,19 @@ class HingeLogitLoss(Loss):
 
     def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
         targets = _check_labels(outputs, targets)
-        n = outputs.shape[0]
-        target_logit = outputs[np.arange(n), targets]
+        idx = targets[..., None]
+        target_logit = np.take_along_axis(outputs, idx, axis=-1)[..., 0]
         masked = outputs.copy()
-        masked[np.arange(n), targets] = -np.inf
-        best_other_idx = masked.argmax(axis=1)
-        best_other = masked[np.arange(n), best_other_idx]
+        np.put_along_axis(masked, idx, -np.inf, axis=-1)
+        best_other_idx = masked.argmax(axis=-1)
+        best_other = np.take_along_axis(masked, best_other_idx[..., None], axis=-1)[..., 0]
         active = (best_other - target_logit + self.kappa) > 0
 
+        # The masked argmax never lands on the target column, so writing the
+        # active indicator at best_other_idx and subtracting it at the target
+        # reproduces the classic +/-1 sparse gradient exactly.
         grad = np.zeros_like(outputs)
-        rows = np.arange(n)[active]
-        grad[rows, best_other_idx[active]] += 1.0
-        grad[rows, targets[active]] -= 1.0
-        return grad / n
+        indicator = active.astype(outputs.dtype)[..., None]
+        np.put_along_axis(grad, best_other_idx[..., None], indicator, axis=-1)
+        np.put_along_axis(grad, idx, np.take_along_axis(grad, idx, axis=-1) - indicator, axis=-1)
+        return grad / targets.size

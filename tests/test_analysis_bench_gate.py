@@ -1,0 +1,144 @@
+"""Tests for repro.analysis.bench_gate (the perf-trajectory gate)."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench_gate import GateComparison, compare_payloads, main
+
+
+def _payload(**benchmarks) -> dict:
+    return {"scale": "ci", "benchmarks": benchmarks, "wall_clock_utc": 1.0}
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        baseline = _payload(sweep={"jobs_per_second": 10.0})
+        current = _payload(sweep={"jobs_per_second": 8.5})
+        comparisons, errors = compare_payloads(baseline, current, max_regression=0.2)
+        assert errors == []
+        assert [c.regressed for c in comparisons] == [False]
+
+    def test_regression_flagged(self):
+        baseline = _payload(sweep={"jobs_per_second": 10.0})
+        current = _payload(sweep={"jobs_per_second": 7.9})
+        comparisons, _ = compare_payloads(baseline, current, max_regression=0.2)
+        assert [c.regressed for c in comparisons] == [True]
+
+    def test_improvement_passes(self):
+        baseline = _payload(sweep={"jobs_per_second": 10.0})
+        current = _payload(sweep={"jobs_per_second": 30.0})
+        comparisons, _ = compare_payloads(baseline, current, max_regression=0.2)
+        assert [c.regressed for c in comparisons] == [False]
+        assert comparisons[0].ratio == pytest.approx(3.0)
+
+    def test_speedup_metric_gates_too(self):
+        baseline = _payload(fused={"jobs_per_second": 30.0, "speedup": 3.5})
+        current = _payload(fused={"jobs_per_second": 29.0, "speedup": 1.1})
+        comparisons, _ = compare_payloads(baseline, current, max_regression=0.2)
+        by_metric = {c.metric: c.regressed for c in comparisons}
+        assert by_metric == {"jobs_per_second": False, "speedup": True}
+
+    def test_wall_clock_fields_ignored(self):
+        baseline = _payload(sweep={"jobs_per_second": 10.0, "median_wall_s": 1.0})
+        current = _payload(sweep={"jobs_per_second": 10.0, "median_wall_s": 500.0})
+        comparisons, errors = compare_payloads(baseline, current, max_regression=0.2)
+        assert errors == []
+        assert all(not c.regressed for c in comparisons)
+        assert {c.metric for c in comparisons} == {"jobs_per_second"}
+
+    def test_missing_benchmark_is_an_error(self):
+        baseline = _payload(sweep={"jobs_per_second": 10.0})
+        current = _payload()
+        comparisons, errors = compare_payloads(baseline, current, max_regression=0.2)
+        assert comparisons == []
+        assert len(errors) == 1 and "sweep" in errors[0]
+
+    def test_missing_metric_is_an_error(self):
+        baseline = _payload(sweep={"jobs_per_second": 10.0})
+        current = _payload(sweep={"median_wall_s": 1.0})
+        _, errors = compare_payloads(baseline, current, max_regression=0.2)
+        assert len(errors) == 1 and "jobs_per_second" in errors[0]
+
+    def test_new_benchmark_passes_freely(self):
+        baseline = _payload()
+        current = _payload(brand_new={"jobs_per_second": 1.0})
+        comparisons, errors = compare_payloads(baseline, current, max_regression=0.2)
+        assert comparisons == [] and errors == []
+
+    def test_ungated_baseline_record_is_skipped(self):
+        baseline = _payload(sweep={"telemetry_events": {"job-started": 4}})
+        current = _payload(sweep={"telemetry_events": {}})
+        comparisons, errors = compare_payloads(baseline, current, max_regression=0.2)
+        assert comparisons == [] and errors == []
+
+    def test_bad_max_regression_rejected(self):
+        with pytest.raises(ValueError):
+            compare_payloads(_payload(), _payload(), max_regression=1.0)
+        with pytest.raises(ValueError):
+            compare_payloads(_payload(), _payload(), max_regression=-0.1)
+
+    def test_render_mentions_verdict(self):
+        comparison = GateComparison(
+            benchmark="sweep",
+            metric="jobs_per_second",
+            baseline=10.0,
+            current=5.0,
+            max_regression=0.2,
+        )
+        assert "REGRESSED" in comparison.render()
+
+
+class TestCli:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+    def test_pass_exit_code(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        self._write(baseline, _payload(sweep={"jobs_per_second": 10.0}))
+        self._write(current, _payload(sweep={"jobs_per_second": 11.0}))
+        code = main(["--current", str(current), "--baseline", str(baseline)])
+        assert code == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_fail_exit_code(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        self._write(baseline, _payload(sweep={"jobs_per_second": 10.0}))
+        self._write(current, _payload(sweep={"jobs_per_second": 1.0}))
+        code = main(["--current", str(current), "--baseline", str(baseline)])
+        assert code == 1
+        assert "perf gate FAILED" in capsys.readouterr().out
+
+    def test_max_regression_flag(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        self._write(baseline, _payload(sweep={"jobs_per_second": 10.0}))
+        self._write(current, _payload(sweep={"jobs_per_second": 6.0}))
+        assert main(["--current", str(current), "--baseline", str(baseline)]) == 1
+        assert (
+            main(
+                [
+                    "--current",
+                    str(current),
+                    "--baseline",
+                    str(baseline),
+                    "--max-regression",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+
+    def test_update_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        self._write(baseline, _payload(sweep={"jobs_per_second": 10.0}))
+        self._write(current, _payload(sweep={"jobs_per_second": 1.0}))
+        assert main(
+            ["--current", str(current), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        assert json.loads(baseline.read_text()) == json.loads(current.read_text())
+        # The refreshed baseline now gates cleanly.
+        assert main(["--current", str(current), "--baseline", str(baseline)]) == 0

@@ -6,6 +6,7 @@ import pytest
 from repro.analysis.evaluation import (
     count_modified_parameters,
     evaluate_attack_result,
+    evaluate_attack_results,
     evaluate_modification,
 )
 from repro.attacks.fault_sneaking import FaultSneakingAttack, FaultSneakingConfig
@@ -90,3 +91,36 @@ class TestEvaluateAttackResult:
         evaluation = evaluate_attack_result(result, tiny_split.test)
         expected = tiny_model.evaluate(tiny_split.test.images, tiny_split.test.labels)
         assert evaluation.clean_test_accuracy == pytest.approx(expected)
+
+
+class TestEvaluateAttackResults:
+    """The shared-prefix batched evaluator used by fused campaigns."""
+
+    @pytest.fixture(scope="class")
+    def results(self, request):
+        tiny_model = request.getfixturevalue("tiny_model")
+        tiny_split = request.getfixturevalue("tiny_split")
+        attack = FaultSneakingAttack(tiny_model, FaultSneakingConfig(norm="l0", **FAST))
+        return [
+            attack.attack(
+                make_attack_plan(tiny_split.test, num_targets=s, num_images=12, seed=seed)
+            )
+            for s, seed in ((1, 0), (2, 1), (3, 2))
+        ]
+
+    def test_matches_scalar_evaluation_bitwise(self, results, tiny_model, tiny_split):
+        batched = evaluate_attack_results(results, tiny_split.test, clean_model=tiny_model)
+        scalar = [
+            evaluate_attack_result(result, tiny_split.test, clean_model=tiny_model)
+            for result in results
+        ]
+        assert [e.as_dict() for e in batched] == [e.as_dict() for e in scalar]
+
+    def test_empty_input(self, tiny_split):
+        assert evaluate_attack_results([], tiny_split.test) == []
+
+    def test_clean_accuracy_passthrough(self, results, tiny_model, tiny_split):
+        batched = evaluate_attack_results(
+            results, tiny_split.test, clean_model=tiny_model, clean_accuracy=0.5
+        )
+        assert all(e.clean_test_accuracy == 0.5 for e in batched)

@@ -1,0 +1,231 @@
+"""Batched-vs-scalar bit-identity tests for repro.attacks.batched.
+
+The batched attack's contract is exact: every lane of a stacked solve must
+be *bit-identical* to running the scalar attack on that lane alone.  The
+property test here pins that contract over heterogeneous lanes (different
+target counts and plan seeds, shared anchor count R — the shape the campaign
+fusion pass produces), for both norms, across every ``ADMMResult`` field and
+the full per-iteration history.  The remaining tests pin the solver-level
+pieces the batch path relies on: per-lane early-stop freezing and the
+history rows describing the ``z^{k+1}`` iterate they were recorded at.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.admm import ADMMConfig, ADMMSolver
+from repro.attacks.batched import BatchedFaultSneakingAttack
+from repro.attacks.fault_sneaking import (
+    FaultSneakingAttack,
+    FaultSneakingConfig,
+    build_objective,
+)
+from repro.attacks.objective import StackedAttackObjective
+from repro.attacks.parameter_view import ParameterView
+from repro.attacks.targets import make_attack_plan
+from repro.utils.errors import ConfigurationError
+
+# (num_targets, plan seed) per lane: heterogeneous S and target selections
+# sharing one anchor count R, exactly as produced by campaign fusion.
+LANES = [(1, 0), (2, 1), (3, 2), (1, 5)]
+R = 24
+
+ADMM_FIELDS = ("delta", "z", "raw_delta", "dual")
+HISTORY_FIELDS = (
+    "objective",
+    "measure",
+    "primal_residual",
+    "dual_residual",
+    "success_rate",
+    "keep_rate",
+)
+
+
+def tiny_attack_config(norm: str, **overrides) -> FaultSneakingConfig:
+    kwargs = dict(norm=norm, iterations=30, warmup_iterations=60, refine_support_steps=15)
+    kwargs.update(overrides)
+    return FaultSneakingConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def plans(tiny_split):
+    return [
+        make_attack_plan(tiny_split.test, num_targets=s, num_images=R, seed=seed)
+        for s, seed in LANES
+    ]
+
+
+def assert_results_bit_equal(batched, scalar):
+    np.testing.assert_array_equal(batched.delta, scalar.delta)
+    np.testing.assert_array_equal(batched.success_mask, scalar.success_mask)
+    np.testing.assert_array_equal(batched.keep_mask, scalar.keep_mask)
+    for name in ADMM_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(batched.admm, name), getattr(scalar.admm, name), err_msg=name
+        )
+    assert batched.admm.iterations_run == scalar.admm.iterations_run
+    assert batched.admm.converged == scalar.admm.converged
+    assert batched.admm.feasible == scalar.admm.feasible
+    for name in HISTORY_FIELDS:
+        assert getattr(batched.admm.history, name) == getattr(scalar.admm.history, name), name
+
+
+class TestBatchedBitIdentity:
+    @pytest.mark.parametrize("norm", ["l0", "l2"])
+    def test_batched_matches_scalar_bitwise(self, norm, tiny_model, plans):
+        config = tiny_attack_config(norm)
+        scalar = [FaultSneakingAttack(tiny_model, config).attack(plan) for plan in plans]
+        batched = BatchedFaultSneakingAttack(tiny_model, config).attack_batch(plans)
+        assert len(batched) == len(scalar)
+        for batched_result, scalar_result in zip(batched, scalar):
+            assert_results_bit_equal(batched_result, scalar_result)
+
+    def test_single_lane_batch_matches_scalar(self, tiny_model, plans):
+        config = tiny_attack_config("l0")
+        scalar = FaultSneakingAttack(tiny_model, config).attack(plans[0])
+        (batched,) = BatchedFaultSneakingAttack(tiny_model, config).attack_batch(plans[:1])
+        assert_results_bit_equal(batched, scalar)
+
+    def test_model_restored_after_batch(self, tiny_model, plans):
+        config = tiny_attack_config("l0")
+        view = ParameterView(tiny_model, config.selector())
+        before = view.gather()
+        BatchedFaultSneakingAttack(tiny_model, config).attack_batch(plans)
+        np.testing.assert_array_equal(view.gather(), before)
+
+    def test_empty_batch_rejected(self, tiny_model):
+        with pytest.raises(ConfigurationError, match="at least one plan"):
+            BatchedFaultSneakingAttack(tiny_model).attack_batch([])
+
+    def test_mismatched_anchor_counts_rejected(self, tiny_model, tiny_split):
+        plans = [
+            make_attack_plan(tiny_split.test, num_targets=1, num_images=r, seed=0)
+            for r in (10, 20)
+        ]
+        with pytest.raises(ConfigurationError, match="anchor count"):
+            BatchedFaultSneakingAttack(tiny_model).attack_batch(plans)
+
+
+class TestStackedObjective:
+    def test_stacked_passes_match_scalar(self, tiny_model, plans):
+        config = tiny_attack_config("l0")
+        view = ParameterView(tiny_model, config.selector())
+        objectives = [build_objective(config, view, plan) for plan in plans]
+        stacked = StackedAttackObjective(objectives)
+        rng = np.random.default_rng(11)
+        deltas = 0.05 * rng.standard_normal((stacked.lanes, stacked.size))
+
+        values, grads = stacked.value_and_gradient(deltas)
+        cand_values, successes, keeps = stacked.evaluate_candidates(deltas)
+        for lane, objective in enumerate(objectives):
+            value, grad = objective.value_and_gradient(deltas[lane])
+            assert values[lane] == value
+            np.testing.assert_array_equal(grads[lane], grad)
+            cand_value, success, keep = objective.evaluate_candidate(deltas[lane])
+            assert cand_values[lane] == cand_value
+            assert successes[lane] == success
+            assert keeps[lane] == keep
+        view.restore()
+
+
+class TestSolveBatch:
+    @pytest.fixture()
+    def stacked(self, tiny_model, plans):
+        config = tiny_attack_config("l0")
+        view = ParameterView(tiny_model, config.selector())
+        objectives = [build_objective(config, view, plan) for plan in plans]
+        yield StackedAttackObjective(objectives)
+        view.restore()
+
+    def test_early_stop_freezes_converged_lanes(self, tiny_model, plans, stacked):
+        """A lane converging early keeps its frozen state bit-equal to scalar.
+
+        A huge primal tolerance makes every lane converge at its first
+        feasible candidate, so easy lanes (S=1) freeze while harder lanes
+        keep iterating — exercising the masked-update path — and the frozen
+        results must still match a scalar solve of the same lane.
+        """
+        attack = BatchedFaultSneakingAttack(tiny_model, tiny_attack_config("l0"))
+        starts = attack._dense_warm_start_batch(stacked)
+        config = ADMMConfig(norm="l0", rho=500.0, iterations=40, primal_tolerance=1e6)
+        solver = ADMMSolver(config)
+        batched = solver.solve_batch(stacked, initial_deltas=starts)
+        scalar = [
+            solver.solve(stacked.objectives[lane], initial_delta=starts[lane])
+            for lane in range(stacked.lanes)
+        ]
+        assert any(result.converged for result in batched)
+        for batched_result, scalar_result in zip(batched, scalar):
+            assert batched_result.iterations_run == scalar_result.iterations_run
+            assert batched_result.converged == scalar_result.converged
+            assert batched_result.history.objective == scalar_result.history.objective
+            np.testing.assert_array_equal(batched_result.delta, scalar_result.delta)
+            np.testing.assert_array_equal(batched_result.z, scalar_result.z)
+            # a frozen lane's history stops growing with its last iteration
+            assert len(batched_result.history.measure) == batched_result.iterations_run
+
+    def test_per_lane_rhos_match_scalar_overrides(self, stacked):
+        rhos = np.array([200.0, 500.0, 800.0, 350.0])
+        batched = ADMMSolver(ADMMConfig(norm="l0", iterations=15)).solve_batch(
+            stacked, rhos=rhos
+        )
+        for lane, rho in enumerate(rhos):
+            scalar = ADMMSolver(ADMMConfig(norm="l0", rho=float(rho), iterations=15)).solve(
+                stacked.objectives[lane]
+            )
+            np.testing.assert_array_equal(batched[lane].delta, scalar.delta)
+            np.testing.assert_array_equal(batched[lane].raw_delta, scalar.raw_delta)
+            assert batched[lane].history.primal_residual == scalar.history.primal_residual
+
+    def test_bad_initial_deltas_shape_rejected(self, stacked):
+        with pytest.raises(ConfigurationError, match="initial_deltas"):
+            ADMMSolver(ADMMConfig()).solve_batch(stacked, initial_deltas=np.zeros((2, 3)))
+
+    def test_bad_rhos_rejected(self, stacked):
+        solver = ADMMSolver(ADMMConfig())
+        with pytest.raises(ConfigurationError, match="rhos"):
+            solver.solve_batch(stacked, rhos=np.ones(2))
+        with pytest.raises(ConfigurationError, match="positive"):
+            solver.solve_batch(stacked, rhos=np.array([1.0, -1.0, 1.0, 1.0]))
+
+
+class TestHistoryAlignment:
+    """Pins for the history off-by-one fix: rows describe the z^{k+1} iterate."""
+
+    @pytest.fixture()
+    def objective(self, tiny_model, tiny_split):
+        config = tiny_attack_config("l0")
+        view = ParameterView(tiny_model, config.selector())
+        plan = make_attack_plan(tiny_split.test, num_targets=2, num_images=R, seed=0)
+        yield build_objective(config, view, plan)
+        view.restore()
+
+    def test_last_history_row_describes_final_z(self, objective):
+        result = ADMMSolver(ADMMConfig(norm="l0", rho=500.0, iterations=20)).solve(objective)
+        value, success, keep = objective.evaluate_candidate(result.z)
+        assert result.history.objective[-1] == value
+        assert result.history.success_rate[-1] == success
+        assert result.history.keep_rate[-1] == keep
+        assert result.history.measure[-1] == float(np.count_nonzero(result.z))
+
+    def test_non_evaluation_rows_carry_last_evaluated_rates(self, objective):
+        config = ADMMConfig(
+            norm="l0", rho=500.0, iterations=10, evaluate_every=3, primal_tolerance=0.0
+        )
+        result = ADMMSolver(config).solve(objective)
+        history = result.history
+        for k in range(1, result.iterations_run - 1):
+            if k % 3 != 0:
+                assert history.objective[k] == history.objective[k - 1]
+                assert history.success_rate[k] == history.success_rate[k - 1]
+                assert history.keep_rate[k] == history.keep_rate[k - 1]
+
+    def test_history_free_solve_matches_tracked_solve(self, objective):
+        """Success/keep bookkeeping must not read back from the (empty) history."""
+        kwargs = dict(norm="l0", rho=500.0, iterations=25, evaluate_every=4)
+        tracked = ADMMSolver(ADMMConfig(**kwargs)).solve(objective)
+        untracked = ADMMSolver(ADMMConfig(**kwargs, track_history=False)).solve(objective)
+        np.testing.assert_array_equal(untracked.delta, tracked.delta)
+        assert untracked.feasible == tracked.feasible
+        assert untracked.converged == tracked.converged
+        assert untracked.iterations_run == tracked.iterations_run
