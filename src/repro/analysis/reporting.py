@@ -13,10 +13,12 @@ from pathlib import Path
 __all__ = [
     "Table",
     "BIT_COST_COLUMNS",
+    "DEFENSE_COLUMNS",
     "DEVICE_COST_COLUMNS",
     "HAMMER_COST_COLUMNS",
     "STOCHASTIC_COST_COLUMNS",
     "bit_cost_cells",
+    "defense_cells",
     "device_cost_cells",
     "hammer_cost_cells",
     "stochastic_cost_cells",
@@ -126,6 +128,37 @@ _STOCHASTIC_COST_FIELDS = (
 )
 
 
+# Arms-race reporting columns for cells judged by a defense
+# (`defense_matrix`): the attack's modelled wall-clock, how often the
+# defender ever flags the modification, how often the attack completes
+# before the first flag (with its 95 % binomial CI), the mean
+# defender-clock time of the first flag over detected trials (inf-free:
+# NaN when nothing was detected), and the attack success that survives
+# the defender's response (restore on timely detection, payload scramble
+# under randomized placement) with its CI.
+DEFENSE_COLUMNS = (
+    "hammer s",
+    "detect rate",
+    "evasion rate",
+    "evasion ci95",
+    "ttd s",
+    "ttd ci95",
+    "surviving success",
+    "surviving ci95",
+)
+
+_DEFENSE_FIELDS = (
+    ("hammer_seconds", float),
+    ("detection_rate", float),
+    ("evasion_rate", float),
+    ("evasion_ci", float),
+    ("time_to_detection", float),
+    ("time_to_detection_ci", float),
+    ("surviving_success", float),
+    ("surviving_success_ci", float),
+)
+
+
 def _cost_cells(record: dict, fields) -> list:
     cells = []
     for key, kind in fields:
@@ -157,6 +190,16 @@ def hammer_cost_cells(record: dict) -> list:
 def stochastic_cost_cells(record: dict) -> list:
     """Map a lowering-report record onto :data:`STOCHASTIC_COST_COLUMNS` cells."""
     return _cost_cells(record, _STOCHASTIC_COST_FIELDS)
+
+
+def defense_cells(record: dict) -> list:
+    """Map a defense-statistics record onto :data:`DEFENSE_COLUMNS` cells.
+
+    ``record`` is a :meth:`repro.defenses.evaluate.DefenseStatistics.as_dict`
+    payload (or the identical metric dictionary stored by the campaign
+    artifact store).
+    """
+    return _cost_cells(record, _DEFENSE_FIELDS)
 
 
 def format_float(value, *, digits: int = 3) -> str:

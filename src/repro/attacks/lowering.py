@@ -90,6 +90,7 @@ from repro.utils.rng import RandomState, derive_seed, fork_rng
 __all__ = [
     "HardwareBudget",
     "PlanRepair",
+    "TrialOutcome",
     "TrialStatistics",
     "LoweringReport",
     "VARIANCE_REDUCTION_SCHEMES",
@@ -851,6 +852,7 @@ def repair_plan(
     hammer_pattern: "str | HammerPattern | None" = None,
     max_flips_per_row: int | None = None,
     optimize_expected: bool = False,
+    env_scale: float = 1.0,
 ) -> PlanRepair:
     """Repair ``plan`` to fit ``budget`` and the device physics.
 
@@ -877,7 +879,9 @@ def repair_plan(
     only when a pattern is planned against).  ``optimize_expected`` makes
     the massaging stage maximise *expected* progress under the template's
     per-cell landing probabilities instead of assuming every feasible flip
-    lands (identical on probability-1.0 templates).
+    lands (identical on probability-1.0 templates).  ``env_scale``
+    multiplies the landing probabilities the expected-mode scoring sees
+    (temperature/voltage drift); 1.0 is the nominal environment.
     """
     budget = budget or HardwareBudget()
     untouched = (
@@ -916,7 +920,8 @@ def repair_plan(
             placement = _choose_frames(
                 plan, memory, original_values, target_repr, template,
                 massage_frames, page_bytes,
-                yield_scale=pattern.flip_yield if pattern is not None else 1.0,
+                yield_scale=(pattern.flip_yield if pattern is not None else 1.0)
+                * env_scale,
                 optimize_expected=optimize_expected,
             )
         working, flips_infeasible, _ = _apply_template(
@@ -1050,6 +1055,29 @@ def repair_plan(
 
 
 @dataclass(frozen=True)
+class TrialOutcome:
+    """One Monte-Carlo execution of a repaired plan, in full.
+
+    ``landed`` is the boolean landing mask over the repaired plan's flips
+    (template Bernoulli draws and any probabilistic-TRR re-roll already
+    applied); the rates are measured on the model carrying exactly those
+    flips after ECC decoding.  :mod:`repro.defenses` replays these outcomes
+    to score a defender against the very executions the Monte-Carlo columns
+    aggregate — the "none" defense therefore reproduces them bit for bit.
+    """
+
+    landed: np.ndarray
+    success_rate: float
+    keep_rate: float
+    accuracy: float
+    ecc_alarms: int
+
+    @property
+    def flips_landed(self) -> int:
+        return int(np.count_nonzero(self.landed))
+
+
+@dataclass(frozen=True)
 class TrialStatistics:
     """Aggregate outcome of seeded Monte-Carlo lowering trials.
 
@@ -1058,6 +1086,8 @@ class TrialStatistics:
     the repaired plan's flips actually landed.  The summary properties report
     the mean and a 95 % normal-approximation confidence half-width (0.0 with
     fewer than two trials — a single trial has no spread to estimate).
+    ``outcomes`` carries the per-trial record behind the aggregates (None
+    for the no-trials placeholder).
     """
 
     trials: int
@@ -1065,6 +1095,7 @@ class TrialStatistics:
     keep_rates: np.ndarray
     accuracies: np.ndarray
     flips_landed: np.ndarray
+    outcomes: "tuple[TrialOutcome, ...] | None" = None
 
     @staticmethod
     def _mean(values: np.ndarray) -> float:
@@ -1195,6 +1226,7 @@ def _run_trials(
     batch_size: int,
     variance_reduction: str = "independent",
     crn_seed: int = 0,
+    env_scale: float = 1.0,
 ) -> TrialStatistics:
     """Seeded Monte-Carlo execution of a repaired plan.
 
@@ -1204,12 +1236,15 @@ def _run_trials(
     surviving victim rows, pushes the outcome through the ECC decoder, and
     re-measures the attack on the resulting bit-true model.  Everything
     downstream of the seed is deterministic, so equal seeds give equal
-    statistics in any process or executor.
+    statistics in any process or executor.  ``env_scale`` multiplies the
+    landing probabilities on top of the pattern's ``flip_yield`` (the
+    temperature/voltage drift axis); 1.0 is the nominal environment and
+    leaves the historical streams byte-identical.
     """
     plan = repair.plan
     _, bit, address, row = plan.as_arrays()
     frames = _frames_for(address, repair.placement, massage_frames, page_bytes)
-    yield_scale = pattern.flip_yield if pattern is not None else 1.0
+    yield_scale = (pattern.flip_yield if pattern is not None else 1.0) * env_scale
     # Trial-invariant sampling inputs, hoisted out of the loop: feasibility
     # and per-cell probabilities depend only on the repaired plan, the
     # template and the chosen placement — every trial starts from the same
@@ -1228,6 +1263,7 @@ def _run_trials(
     keep = np.empty(trials)
     accuracy = np.full(trials, float("nan"))
     landed = np.empty(trials, dtype=np.int64)
+    outcomes: list[TrialOutcome] = []
     streams = _trial_streams(
         trials,
         rng,
@@ -1263,8 +1299,10 @@ def _run_trials(
             mask &= np.isin(row, hammer.feasible_victims)
         trial_plan = plan.select(mask)
         landed[t] = trial_plan.num_flips
+        trial_alarms = 0
         if ecc is not None:
-            executed, _ = ecc.apply_to_plan(trial_plan, memory)
+            executed, trial_summary = ecc.apply_to_plan(trial_plan, memory)
+            trial_alarms = trial_summary.alarms
         else:
             executed = trial_plan
         memory.apply_plan(executed)
@@ -1276,12 +1314,22 @@ def _run_trials(
             accuracy[t] = model.evaluate(
                 eval_set.images, eval_set.labels, batch_size=batch_size
             )
+        outcomes.append(
+            TrialOutcome(
+                landed=mask.copy(),
+                success_rate=float(success[t]),
+                keep_rate=float(keep[t]),
+                accuracy=float(accuracy[t]),
+                ecc_alarms=int(trial_alarms),
+            )
+        )
     return TrialStatistics(
         trials=trials,
         success_rates=success,
         keep_rates=keep,
         accuracies=accuracy,
         flips_landed=landed,
+        outcomes=tuple(outcomes),
     )
 
 
@@ -1421,6 +1469,7 @@ def lower_attack(
     variance_reduction: str = "independent",
     crn_seed: int = 0,
     expected_repair: bool = False,
+    env_drift: float = 0.0,
     eval_set=None,
     clean_accuracy: float | None = None,
     batch_size: int = 256,
@@ -1495,6 +1544,13 @@ def lower_attack(
     expected_repair:
         Make the massaging stage maximise *expected* success under the
         per-cell landing probabilities (no-op on probability-1.0 templates).
+    env_drift:
+        Temperature/voltage drift of the deployment environment, in
+        ``(-1, 1)``.  Landing probabilities are scaled by ``1 - env_drift``
+        during the Monte-Carlo trials and the expected-success massaging:
+        positive drift (hot/undervolted victim refreshing more aggressively)
+        suppresses landings, negative drift boosts them.  ``0.0`` (default)
+        reproduces the nominal model bit-for-bit.
     eval_set:
         Held-out dataset for the bit-true accuracy numbers.  When ``None``
         the accuracy fields are NaN.
@@ -1509,6 +1565,11 @@ def lower_attack(
             f"variance_reduction must be one of {VARIANCE_REDUCTION_SCHEMES}, "
             f"got {variance_reduction!r}"
         )
+    if not -1.0 < env_drift < 1.0:
+        raise ConfigurationError(
+            f"env_drift must lie in (-1, 1), got {env_drift}"
+        )
+    env_scale = 1.0 - env_drift
     spec = storage_spec(storage)
     device = get_profile(profile) if profile is not None else None
     if device is not None:
@@ -1542,6 +1603,7 @@ def lower_attack(
         template=template, ecc=ecc, massage_frames=massage_frames,
         trr=trr, hammer_pattern=hammer_pattern, max_flips_per_row=max_flips_per_row,
         optimize_expected=expected_repair,
+        env_scale=env_scale,
     )
 
     attack_plan = result.plan
@@ -1573,6 +1635,7 @@ def lower_attack(
             batch_size,
             variance_reduction=variance_reduction,
             crn_seed=crn_seed,
+            env_scale=env_scale,
         )
     ecc_summary = ecc_raw_summary = None
     unrepaired_success = unrepaired_keep = float("nan")

@@ -1,0 +1,90 @@
+"""Defense suite: the defender side of the fault-sneaking arms race.
+
+The attacker stack lowers an ADMM solve into bit flips on a modelled device
+(profiles, templates, ECC, TRR, stochastic trials); this package is the
+defender stack layered on the same device model and
+:class:`~repro.hardware.memory.ParameterMemoryMap`:
+
+==============  ===================================================  ==========================
+registry name   defense                                              what it costs the attacker
+==============  ===================================================  ==========================
+``none``        no defense (undefended baseline)                     nothing
+``checksum``    hourly full-coverage page checksum scrub             detection after the fact
+``checksum-fast``  minute-cadence partial-coverage checksum scrub    loses the race to slow hammers
+``ecc-scrub``   ECC uncorrectable-alarm-driven scrubbing             detection on alarm (ECC profiles)
+``canary``      known-value canary cells in every hammered row       row-granular tripwires
+``aslr``        seeded randomized parameter placement                payload lands on wrong weights
+==============  ===================================================  ==========================
+
+Detection defenses race the injector's ``hammer_seconds``
+(:func:`~repro.defenses.base.attack_timeline`); the placement defense never
+detects but scrambles what the landed flips modify.  The shared detection
+math — probe and audit threshold probabilities — lives in
+:mod:`repro.defenses.detectors` and backs both the ``extension_detection``
+experiment and the partial-coverage scrub.  :func:`evaluate_defense` judges
+a lowered attack's Monte-Carlo trials under one defense;
+the ``defense_matrix`` campaign sweeps attacker profile × defense × budget.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import (
+    AttackTimeline,
+    Defense,
+    DefenseContext,
+    DefenseVerdict,
+    NoDefense,
+    attack_timeline,
+    get_defense,
+    list_defenses,
+    register_defense,
+)
+from repro.defenses.canary import CanaryField
+from repro.defenses.detectors import (
+    DetectionReport,
+    detection_report,
+    parameter_audit_detection_probability,
+    probe_detection_probability,
+    probes_needed_for_detection,
+)
+from repro.defenses.evaluate import DefenseStatistics, evaluate_defense
+from repro.defenses.integrity import ChecksumScrub, EccAlarmScrub
+from repro.defenses.placement import RandomizedPlacement, placement_permutation
+
+__all__ = [
+    "AttackTimeline",
+    "CanaryField",
+    "ChecksumScrub",
+    "Defense",
+    "DefenseContext",
+    "DefenseStatistics",
+    "DefenseVerdict",
+    "DetectionReport",
+    "EccAlarmScrub",
+    "NoDefense",
+    "RandomizedPlacement",
+    "attack_timeline",
+    "detection_report",
+    "evaluate_defense",
+    "get_defense",
+    "list_defenses",
+    "parameter_audit_detection_probability",
+    "placement_permutation",
+    "probe_detection_probability",
+    "probes_needed_for_detection",
+    "register_defense",
+]
+
+# The default configurations the `defense_matrix` campaign sweeps.  Scrub and
+# check cadences are chosen against the injectors' hammer_seconds at the
+# default scales (minutes-to-hours per plan on the swept profiles) so the
+# race has both outcomes: the hourly full scrub loses to fast plans, the
+# minute-cadence partial scrub and the canary checks win against slow ones.
+register_defense(NoDefense())
+register_defense(ChecksumScrub(name="checksum", interval_s=3600.0))
+register_defense(
+    ChecksumScrub(name="checksum-fast", interval_s=60.0, coverage=0.25)
+)
+register_defense(EccAlarmScrub(name="ecc-scrub"))
+register_defense(CanaryField(name="canary"))
+register_defense(RandomizedPlacement(name="aslr"))

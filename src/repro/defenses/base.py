@@ -1,0 +1,205 @@
+"""Defense abstractions: attack timelines, per-trial verdicts, the registry.
+
+A :class:`Defense` judges one Monte-Carlo execution of a lowered attack —
+one :class:`~repro.attacks.lowering.TrialOutcome` — against the timing model
+of the injection (:class:`AttackTimeline`, derived from
+:class:`~repro.hardware.injectors.InjectionCost`).  The race the paper's
+threat model implies is made explicit: the attacker needs
+``hammer_seconds`` of wall-clock to land every flip, the defender scrubs /
+checks / reads alarms on its own clock, and whoever finishes first wins the
+trial.  Defenses are deterministic given their configuration and the
+defense-private trial stream they are handed, so campaign cells stay pure
+functions of their parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.bitflip import BitFlipPlan
+from repro.hardware.device.templates import FlipTemplate
+from repro.hardware.injectors import InjectionCost
+from repro.utils.errors import ConfigurationError
+
+__all__ = [
+    "AttackTimeline",
+    "Defense",
+    "DefenseContext",
+    "DefenseVerdict",
+    "NoDefense",
+    "attack_timeline",
+    "get_defense",
+    "list_defenses",
+    "register_defense",
+]
+
+# A detection that never happens: the canonical undetected verdict time.
+NEVER = math.inf
+
+
+@dataclass(frozen=True)
+class AttackTimeline:
+    """When each hammered row of a plan finishes landing its flips.
+
+    ``hammer_seconds`` is the injector's pattern-dependent hammering effort
+    for the whole plan; rows are hammered in ascending row order and row
+    ``k`` of ``n`` completes at ``hammer_seconds * (k + 1) / n``.  The
+    linear schedule is the injector's own amortisation assumption (cost is
+    proportional to the hammered-row count), so the timeline adds no new
+    physics — it only spreads the already-modelled total over the rows.
+    """
+
+    hammer_seconds: float
+    rows: np.ndarray
+    row_times: np.ndarray
+
+    def flip_times(self, flip_rows: np.ndarray) -> np.ndarray:
+        """Completion time of each flip: when its row's hammering finishes."""
+        flip_rows = np.asarray(flip_rows, dtype=np.int64)
+        if not self.rows.size:
+            return np.zeros(flip_rows.shape, dtype=np.float64)
+        slot = np.searchsorted(self.rows, flip_rows)
+        return self.row_times[np.minimum(slot, self.rows.size - 1)]
+
+
+def attack_timeline(plan: BitFlipPlan, cost: InjectionCost) -> AttackTimeline:
+    """Build the row-completion timeline of a plan from its injection cost."""
+    rows = np.unique(plan.as_arrays()[3])
+    total = float(cost.hammer_seconds)
+    times = (
+        total * (np.arange(1, rows.size + 1, dtype=np.float64) / rows.size)
+        if rows.size
+        else np.empty(0, dtype=np.float64)
+    )
+    return AttackTimeline(hammer_seconds=total, rows=rows, row_times=times)
+
+
+@dataclass(frozen=True)
+class DefenseContext:
+    """Everything one defense needs to judge one Monte-Carlo trial.
+
+    The flip arrays (``addresses``, ``bits``, ``rows``, ``flip_times``) are
+    aligned with the repaired plan's flip order, exactly like the trial's
+    ``landed`` mask.  ``rng`` is a defense-private stream derived from the
+    cell identity and the trial index — defenses must draw randomness only
+    from it, never from the attacker's landing streams, so adding a defense
+    cannot perturb the attack statistics it is judged against.
+    """
+
+    plan: BitFlipPlan
+    landed: np.ndarray
+    addresses: np.ndarray
+    bits: np.ndarray
+    rows: np.ndarray
+    flip_times: np.ndarray
+    timeline: AttackTimeline
+    ecc_alarms: int
+    region_bytes: int
+    base_address: int
+    row_bytes: int
+    template: FlipTemplate | None
+    yield_scale: float
+    rng: np.random.Generator
+
+    def landed_times(self) -> np.ndarray:
+        """Completion times of the flips that landed this trial, sorted."""
+        return np.sort(self.flip_times[self.landed])
+
+
+@dataclass(frozen=True)
+class DefenseVerdict:
+    """One defense's judgement of one trial.
+
+    ``detected`` says the defense ever flags the modification (within its
+    scrub horizon); ``time_to_detection`` is the defender-clock time of the
+    first flag (``inf`` when undetected).  A detection *after* the attack's
+    ``hammer_seconds`` still counts as detected, but the attacker has
+    already finished — :meth:`evaded` is the race outcome.
+    """
+
+    detected: bool
+    time_to_detection: float = NEVER
+
+    def evaded(self, hammer_seconds: float) -> bool:
+        """Did the attack complete before the defense first flagged it?"""
+        return not self.detected or self.time_to_detection > hammer_seconds
+
+
+UNDETECTED = DefenseVerdict(detected=False, time_to_detection=NEVER)
+
+
+@dataclass(frozen=True)
+class Defense:
+    """Base class: a no-op defender (also registered as ``"none"``).
+
+    Subclasses override :meth:`judge` (detection defenses) and/or
+    :meth:`remap_plan` (placement defenses).  All defenses are frozen
+    dataclasses so a configured instance is hashable, printable and — like
+    everything else feeding campaign cells — a pure value.  ``name`` is the
+    registry key *and* the label folded into the defense-private trial-seed
+    derivation, so two configurations of one defense class registered under
+    different names consume independent streams.
+    """
+
+    name: str = "none"
+
+    def describe(self) -> str:
+        """One-line summary used by table notes and ``--list-defenses``."""
+        return "no defense (undefended baseline)"
+
+    def judge(self, ctx: DefenseContext) -> DefenseVerdict:
+        """Judge one trial; the base defense never detects anything."""
+        del ctx
+        return UNDETECTED
+
+    def remap_plan(
+        self, word_index: np.ndarray, bits: np.ndarray, original_words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Map attacker-targeted words to the words physically hit.
+
+        Returns ``(occupant, effective)``: ``occupant[i]`` is the word the
+        ``i``-th flip lands in under this defense's placement, and
+        ``effective[i]`` whether the physical cell actually flips the
+        occupant's stored bit.  The identity placement hits exactly what the
+        attacker planned.
+        """
+        del bits, original_words
+        return word_index, np.ones(word_index.shape, dtype=bool)
+
+
+class NoDefense(Defense):
+    """Alias kept for readability at call sites (`NoDefense()` reads better)."""
+
+
+# -- registry --------------------------------------------------------------------
+
+_DEFENSES: dict[str, Defense] = {}
+
+
+def register_defense(defense: Defense) -> Defense:
+    """Register a configured defense instance under its ``name``."""
+    if defense.name in _DEFENSES:
+        raise ConfigurationError(f"defense {defense.name!r} is already registered")
+    _DEFENSES[defense.name] = defense
+    return defense
+
+
+def get_defense(name: "str | Defense") -> Defense:
+    """Resolve a defense by registry name (instances pass through)."""
+    if isinstance(name, Defense):
+        return name
+    try:
+        return _DEFENSES[name]
+    except KeyError:
+        known = ", ".join(sorted(_DEFENSES))
+        raise ConfigurationError(
+            f"unknown defense {name!r}; known defenses: {known}"
+        ) from None
+
+
+def list_defenses() -> tuple[str, ...]:
+    """Names of all registered defenses, sorted."""
+    return tuple(sorted(_DEFENSES))

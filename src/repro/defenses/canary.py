@@ -1,0 +1,112 @@
+"""Canary parameters interleaved into the weight region's memory layout.
+
+The defender plants ``cells_per_row`` decoy cells with known stored values
+in every DRAM row of the parameter region.  Hammering a row to flip weights
+disturbs the row's canaries with the same physics as the weights themselves
+(template feasibility × per-cell landing probability), and a periodic
+integrity check of the canary values alone — far cheaper than checksumming
+every page — flags the row.  Against rowhammer the attacker cannot aim
+around the canaries: the fault is row-granular.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.defenses.base import (
+    UNDETECTED,
+    Defense,
+    DefenseContext,
+    DefenseVerdict,
+)
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import derive_seed
+
+__all__ = ["CanaryField"]
+
+
+@dataclass(frozen=True)
+class CanaryField(Defense):
+    """Known-value decoy cells per hammered row, checked every ``check_interval_s``.
+
+    Canary cell coordinates and stored values are a pure function of
+    ``value_seed`` and the row id (so both sides of a campaign derive the
+    identical field), and a canary flips when the device template says its
+    cell is feasible for that direction *and* its landing draw — taken from
+    the defense-private stream, never the attacker's — clears the cell's
+    landing probability scaled by the pattern/environment yield.
+    """
+
+    name: str = "canary"
+    cells_per_row: int = 4
+    check_interval_s: float = 600.0
+    value_seed: int = 0
+    max_checks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.cells_per_row <= 0:
+            raise ConfigurationError(
+                f"cells_per_row must be positive, got {self.cells_per_row}"
+            )
+        if self.check_interval_s <= 0:
+            raise ConfigurationError(
+                f"check_interval_s must be positive, got {self.check_interval_s}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"{self.cells_per_row} canary cells per row, "
+            f"checked every {self.check_interval_s:g}s"
+        )
+
+    def _canary_cells(
+        self, rows: np.ndarray, row_bytes: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Addresses, bit positions and stored values of the rows' canaries."""
+        addresses = np.empty(rows.size * self.cells_per_row, dtype=np.int64)
+        bits = np.empty_like(addresses)
+        stored = np.empty_like(addresses)
+        k = 0
+        for row in rows.tolist():
+            for j in range(self.cells_per_row):
+                cell = derive_seed("canary-cell", self.value_seed, int(row), j)
+                addresses[k] = int(row) * row_bytes + cell % row_bytes
+                bits[k] = (cell // row_bytes) % 8
+                stored[k] = derive_seed("canary-value", self.value_seed, int(row), j) & 1
+                k += 1
+        return addresses, bits, stored
+
+    def judge(self, ctx: DefenseContext) -> DefenseVerdict:
+        if ctx.template is None or not ctx.plan.num_flips:
+            return UNDETECTED
+        # Every row the plan hammers disturbs its canaries, whether or not
+        # the attacker's own flips in that row landed this trial.
+        rows = ctx.timeline.rows
+        if not rows.size:
+            return UNDETECTED
+        addresses, bits, stored = self._canary_cells(rows, ctx.row_bytes)
+        feasible = ctx.template.feasible_cells(addresses, bits, stored)
+        probabilities = ctx.template.cell_flip_probabilities(
+            addresses, bits, scale=ctx.yield_scale
+        )
+        # One draw per canary cell, landed or not, so the stream position is
+        # independent of the outcome (same discipline as sample_flips).
+        draws = ctx.rng.random(addresses.shape)
+        flipped = feasible & (draws < probabilities)
+        if not np.any(flipped):
+            return UNDETECTED
+        # A flipped canary surfaces at its row's hammer-completion time; the
+        # periodic check flags the first tick at or after the earliest one.
+        row_of_cell = np.repeat(rows, self.cells_per_row)
+        first = float(ctx.timeline.flip_times(row_of_cell[flipped]).min())
+        tick = max(1, math.ceil(first / self.check_interval_s))
+        horizon = (
+            math.ceil(ctx.timeline.hammer_seconds / self.check_interval_s)
+            + self.max_checks
+        )
+        if tick > horizon:
+            return UNDETECTED
+        return DefenseVerdict(True, tick * self.check_interval_s)

@@ -1,0 +1,105 @@
+"""Randomized parameter placement — ASLR for weights.
+
+A seeded permutation of page-sized parameter blocks sits between the
+logical parameter order and the physical address space.  The attacker's
+plan was derived against the nominal (identity) placement, so every flip it
+lands hits whatever page *actually* occupies the hammered physical frame:
+the right physical cell, the wrong weight.  A cell's hammer polarity was
+chosen to flip the attacker-expected stored bit, so the occupant's bit only
+flips when it happens to store the same value — the other half of the
+landed flips silently do nothing.  The defense never *detects* anything
+(evasion rate stays 1.0); it collapses the payload instead, which the
+matrix shows as surviving attack success falling toward the clean-model
+rate while time-to-detection stays ``inf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.defenses.base import Defense
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RandomState, derive_seed
+
+__all__ = ["RandomizedPlacement", "placement_permutation"]
+
+
+def placement_permutation(seed: int, num_pages: int) -> np.ndarray:
+    """The seeded page permutation: ``perm[logical_page] = physical_page``.
+
+    Deriving the stream from ``(seed, num_pages)`` ties the permutation to
+    the region it shuffles, so two regions of different size never share a
+    layout even under the same seed.
+    """
+    if num_pages <= 0:
+        raise ConfigurationError(f"num_pages must be positive, got {num_pages}")
+    rng = RandomState(derive_seed("aslr-placement", int(seed), int(num_pages)))
+    return rng.permutation(num_pages)
+
+
+@dataclass(frozen=True)
+class RandomizedPlacement(Defense):
+    """Seeded permutation of page-sized parameter blocks.
+
+    ``words_per_page`` words travel together (the remap unit; the 16-word
+    default is one 64-byte cacheline of float32 weights — the finest shuffle
+    that keeps cacheline locality intact), and the final partial page, if
+    any, stays pinned in place so every remapped word index stays in range.
+    """
+
+    name: str = "aslr"
+    seed: int = 0
+    words_per_page: int = 16
+
+    def __post_init__(self) -> None:
+        if self.words_per_page <= 0:
+            raise ConfigurationError(
+                f"words_per_page must be positive, got {self.words_per_page}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"randomized placement of {self.words_per_page}-word blocks "
+            f"(seed {self.seed}); never detects, scrambles the payload"
+        )
+
+    def remap_plan(
+        self, word_index: np.ndarray, bits: np.ndarray, original_words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Map each attacked word to the occupant of its physical frame.
+
+        The attacker aims at logical word ``w`` assuming the identity
+        placement, so the physical frame it hammers is nominal-page
+        ``page(w)``; under the permutation that frame holds the logical page
+        ``p`` with ``perm[p] == page(w)`` (the inverse image).  A flip is
+        effective only when the occupant's stored bit equals the bit the
+        attacker's chosen cell polarity flips away from.
+        """
+        num_words = int(original_words.size)
+        full_pages = num_words // self.words_per_page
+        if full_pages < 2:
+            # Nothing to shuffle: the region fits in one page (plus a pinned
+            # tail), so the placement degenerates to the identity.
+            return word_index, np.ones(word_index.shape, dtype=bool)
+        perm = placement_permutation(self.seed, full_pages)
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(full_pages)
+
+        pages = word_index // self.words_per_page
+        offsets = word_index % self.words_per_page
+        in_tail = pages >= full_pages
+        occupant_pages = np.where(
+            in_tail, pages, inverse[np.minimum(pages, full_pages - 1)]
+        )
+        occupant = occupant_pages * self.words_per_page + offsets
+
+        # Words come back from the memory map as uint64; shift with a
+        # matching unsigned dtype so mixed int/uint inputs stay valid.
+        words = np.asarray(original_words, dtype=np.uint64)
+        shift = np.asarray(bits, dtype=np.uint64)
+        attacker_bit = (words[word_index] >> shift) & 1
+        occupant_bit = (words[occupant] >> shift) & 1
+        effective = occupant_bit == attacker_bit
+        return occupant, effective

@@ -22,6 +22,7 @@ Module                    Paper artefact
 ``ablations``             extra ablations (ρ sweep, warm start, δ-step, hardware cost)
 ``extension_detection``   extension — detectability under probing / auditing defenders
 ``hardware_cost``         extension — bit-true lowering: storage format × flip budget × S
+``defense_matrix``        extension — arms race: attacker profile × defense × flip budget
 ========================  =====================================================
 
 The ``scale`` argument selects the grid size: ``"ci"`` (minutes, used by the
@@ -47,6 +48,7 @@ from repro.experiments.common import (
 from repro.experiments import (
     ablations,
     baseline_comparison,
+    defense_matrix,
     extension_detection,
     figure1,
     figure2,
@@ -75,6 +77,7 @@ EXPERIMENTS = {
     "ablations": ablations.run,
     "extension_detection": extension_detection.run,
     "hardware_cost": hardware_cost.run,
+    "defense_matrix": defense_matrix.run,
 }
 
 # Grid builders and assemblers, used by the CLI runner so it can execute the
@@ -91,6 +94,7 @@ CAMPAIGNS = {
     "ablations": (ablations.build_campaign, ablations.assemble),
     "extension_detection": (extension_detection.build_campaign, extension_detection.assemble),
     "hardware_cost": (hardware_cost.build_campaign, hardware_cost.assemble),
+    "defense_matrix": (defense_matrix.build_campaign, defense_matrix.assemble),
 }
 
 __all__ = [
@@ -116,4 +120,5 @@ __all__ = [
     "ablations",
     "extension_detection",
     "hardware_cost",
+    "defense_matrix",
 ]

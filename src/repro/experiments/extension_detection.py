@@ -3,7 +3,8 @@
 This goes beyond the paper's tables: it quantifies the stealth argument of
 §1/§3 ("misclassifications are only for certain images while maintaining high
 model accuracy ... therefore cannot be easily detected") with two concrete
-defender models from :mod:`repro.analysis.detection`:
+defender models from :mod:`repro.defenses.detectors` — the same probability
+code path the defense suite's checksum scrub and canary field run on:
 
 * accuracy probing — probability that measuring accuracy on a probe set of
   100 / 1000 samples raises an alarm, and the probe size needed to reach 95 %
@@ -19,7 +20,7 @@ from __future__ import annotations
 
 import math
 
-from repro.analysis.detection import detection_report
+from repro.defenses import detection_report
 from repro.analysis.reporting import Table
 from repro.attacks.parameter_view import ParameterSelector, ParameterView
 from repro.attacks.targets import make_attack_plan

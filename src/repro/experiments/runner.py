@@ -36,6 +36,15 @@ or compare cells on common random numbers (crn)::
     repro-experiments hardware_cost --scale ci --profile stochastic-ddr3 \
         --trials 16 --variance-reduction antithetic
 
+Run the arms race — attacker profile × defense × flip budget — against a
+chosen defense subset, or replay the whole grid under environmental drift
+(hotter DRAM, lower landing probabilities)::
+
+    repro-experiments defense_matrix --scale ci
+    repro-experiments defense_matrix --scale ci --defense none \
+        --defense checksum-fast --defense aslr --attacker ddr3-blitz
+    repro-experiments defense_matrix --scale ci --env-drift 0.2
+
 Fuse compatible grid cells into batched stacked solves (byte-identical
 tables, one tensor solve per fused group)::
 
@@ -207,6 +216,33 @@ def build_parser() -> argparse.ArgumentParser:
         "draws — the same CI width at fewer trials",
     )
     parser.add_argument(
+        "--env-drift",
+        type=float,
+        default=None,
+        metavar="D",
+        help="environmental drift in (-1, 1) scaling every landing "
+        "probability by (1 - D) in hardware_cost and defense_matrix "
+        "(default: 0 = nominal temperature/voltage; positive = hotter "
+        "DRAM, fewer flips land)",
+    )
+    parser.add_argument(
+        "--attacker",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="attacker profile for the defense_matrix grid (repeatable; "
+        "default: all named attackers)",
+    )
+    parser.add_argument(
+        "--defense",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="defense configuration for the defense_matrix grid "
+        "(repeatable; default: the registered suite incl. the undefended "
+        "'none' baseline)",
+    )
+    parser.add_argument(
         "--list-profiles",
         action="store_true",
         help="list the registered device profiles and hammer patterns, then exit",
@@ -312,6 +348,26 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.trials is not None and args.trials < 0:
         parser.error(f"--trials must be >= 0, got {args.trials}")
+    if args.env_drift is not None and not -1.0 < args.env_drift < 1.0:
+        parser.error(f"--env-drift must lie in (-1, 1), got {args.env_drift}")
+    if args.attacker:
+        from repro.experiments.defense_matrix import ATTACKER_PROFILES
+
+        unknown = [name for name in args.attacker if name not in ATTACKER_PROFILES]
+        if unknown:
+            parser.error(
+                f"unknown attacker(s) {unknown}; named attackers: "
+                f"{', '.join(sorted(ATTACKER_PROFILES))}"
+            )
+    if args.defense:
+        from repro.defenses import list_defenses
+
+        unknown = [name for name in args.defense if name not in list_defenses()]
+        if unknown:
+            parser.error(
+                f"unknown defense(s) {unknown}; registered: "
+                f"{', '.join(list_defenses())}"
+            )
     if args.workers is not None:
         if args.executor != "fleet":
             parser.error("--workers requires --executor fleet")
@@ -365,12 +421,21 @@ def main(argv: list[str] | None = None) -> int:
                 extra["profiles"] = tuple(args.profile)
             if args.hammer_pattern and name == "hardware_cost":
                 extra["patterns"] = tuple(args.hammer_pattern)
-            if args.trials is not None and name == "hardware_cost":
+            if args.trials is not None and name in ("hardware_cost", "defense_matrix"):
                 extra["trials"] = args.trials
-            if args.flip_seed is not None and name == "hardware_cost":
+            if args.flip_seed is not None and name in ("hardware_cost", "defense_matrix"):
                 extra["flip_seed"] = args.flip_seed
-            if args.variance_reduction is not None and name == "hardware_cost":
+            if args.variance_reduction is not None and name in (
+                "hardware_cost",
+                "defense_matrix",
+            ):
                 extra["variance_reduction"] = args.variance_reduction
+            if args.env_drift is not None and name in ("hardware_cost", "defense_matrix"):
+                extra["env_drift"] = args.env_drift
+            if args.attacker and name == "defense_matrix":
+                extra["attackers"] = tuple(args.attacker)
+            if args.defense and name == "defense_matrix":
+                extra["defenses"] = tuple(args.defense)
             campaign = build_campaign(args.scale, seed=args.seed, **extra)
             result = run_campaign(
                 campaign, jobs=args.jobs, executor=executor, store=store, fuse=args.fuse
@@ -404,6 +469,9 @@ def main(argv: list[str] | None = None) -> int:
                         "trials": args.trials,
                         "flip_seed": args.flip_seed,
                         "variance_reduction": args.variance_reduction,
+                        "env_drift": args.env_drift,
+                        "attackers": list(args.attacker) if args.attacker else None,
+                        "defenses": list(args.defense) if args.defense else None,
                     },
                 )
                 canonical_path = result.write_manifest(

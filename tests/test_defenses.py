@@ -1,0 +1,312 @@
+"""Unit tests for the defense suite (repro.defenses).
+
+These run on synthetic :class:`DefenseContext` objects — no model training —
+so every race property is exercised directly: scrub cadence vs the
+injector's ``hammer_seconds``, ECC-alarm latency, canary determinism and
+the seeded placement permutation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.defenses import (
+    AttackTimeline,
+    CanaryField,
+    ChecksumScrub,
+    Defense,
+    DefenseContext,
+    EccAlarmScrub,
+    NoDefense,
+    RandomizedPlacement,
+    attack_timeline,
+    get_defense,
+    list_defenses,
+    placement_permutation,
+    register_defense,
+)
+from repro.hardware.bitflip import BitFlipPlan
+from repro.hardware.device import get_profile
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RandomState
+
+
+def make_ctx(
+    *,
+    rows,
+    addresses=None,
+    bits=None,
+    hammer_seconds=100.0,
+    landed=None,
+    ecc_alarms=0,
+    region_bytes=1 << 20,
+    base_address=0,
+    row_bytes=8192,
+    template=None,
+    yield_scale=1.0,
+    rng_seed=0,
+):
+    """A synthetic one-flip-per-entry context with a linear row timeline."""
+    rows = np.asarray(rows, dtype=np.int64)
+    n = rows.size
+    if addresses is None:
+        addresses = base_address + rows * row_bytes
+    addresses = np.asarray(addresses, dtype=np.int64)
+    bits = (
+        np.zeros(n, dtype=np.int64) if bits is None else np.asarray(bits, dtype=np.int64)
+    )
+    landed = (
+        np.ones(n, dtype=bool) if landed is None else np.asarray(landed, dtype=bool)
+    )
+    word_index = np.arange(n, dtype=np.int64)
+    plan = BitFlipPlan.from_arrays(
+        word_index, bits, addresses, rows, num_words_total=max(int(n), 1)
+    )
+    unique = np.unique(rows)
+    times = (
+        hammer_seconds * (np.arange(1, unique.size + 1, dtype=np.float64) / unique.size)
+        if unique.size
+        else np.empty(0, dtype=np.float64)
+    )
+    timeline = AttackTimeline(
+        hammer_seconds=float(hammer_seconds), rows=unique, row_times=times
+    )
+    return DefenseContext(
+        plan=plan,
+        landed=landed,
+        addresses=addresses,
+        bits=bits,
+        rows=rows,
+        flip_times=timeline.flip_times(rows),
+        timeline=timeline,
+        ecc_alarms=int(ecc_alarms),
+        region_bytes=int(region_bytes),
+        base_address=int(base_address),
+        row_bytes=int(row_bytes),
+        template=template,
+        yield_scale=float(yield_scale),
+        rng=RandomState(rng_seed),
+    )
+
+
+class TestRegistry:
+    def test_default_suite_registered(self):
+        names = list_defenses()
+        for expected in ("none", "checksum", "checksum-fast", "ecc-scrub", "canary", "aslr"):
+            assert expected in names
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_defense("definitely-not-a-defense")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_defense(NoDefense())  # "none" is already registered
+
+    def test_instances_pass_through(self):
+        instance = ChecksumScrub(name="scratch-checksum", interval_s=5.0)
+        assert get_defense(instance) is instance
+
+    def test_base_defense_is_inert(self):
+        ctx = make_ctx(rows=[1, 2, 3])
+        verdict = Defense().judge(ctx)
+        assert not verdict.detected
+        assert verdict.evaded(ctx.timeline.hammer_seconds)
+        occupant, effective = Defense().remap_plan(
+            np.arange(4), np.zeros(4, dtype=np.int64), np.zeros(8, dtype=np.uint64)
+        )
+        assert np.array_equal(occupant, np.arange(4))
+        assert effective.all()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChecksumScrub(name="x", interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ChecksumScrub(name="x", coverage=0.0)
+        with pytest.raises(ConfigurationError):
+            CanaryField(name="x", cells_per_row=0)
+        with pytest.raises(ConfigurationError):
+            EccAlarmScrub(name="x", alarm_latency_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RandomizedPlacement(name="x", words_per_page=0)
+
+
+class TestAttackTimeline:
+    def test_rows_complete_linearly(self):
+        plan = BitFlipPlan.from_arrays(
+            np.array([0, 1, 2]),
+            np.array([0, 1, 2]),
+            np.array([0, 8192, 16384]),
+            np.array([0, 1, 2]),
+            num_words_total=4,
+        )
+        cost = get_profile("ddr3-noecc").injector().cost(plan)
+        timeline = attack_timeline(plan, cost)
+        assert timeline.hammer_seconds == pytest.approx(cost.hammer_seconds)
+        assert timeline.row_times[-1] == pytest.approx(cost.hammer_seconds)
+        assert np.all(np.diff(timeline.row_times) > 0)
+        # A flip's completion time is its own row's completion time.
+        times = timeline.flip_times(np.array([2, 0]))
+        assert times[0] == timeline.row_times[2]
+        assert times[1] == timeline.row_times[0]
+
+
+class TestChecksumScrub:
+    """The scrub-interval vs hammer_seconds race, full and partial coverage."""
+
+    @pytest.mark.parametrize("interval", [7.0, 30.0, 90.0, 240.0, 1000.0])
+    def test_full_coverage_detection_tick(self, interval):
+        hammer = 180.0
+        ctx = make_ctx(rows=[1, 2, 3], hammer_seconds=hammer)
+        verdict = ChecksumScrub(name="x", interval_s=interval).judge(ctx)
+        assert verdict.detected
+        first_corruption = float(ctx.flip_times.min())
+        expected = max(1, math.ceil(first_corruption / interval)) * interval
+        assert verdict.time_to_detection == pytest.approx(expected)
+        assert verdict.evaded(hammer) == (verdict.time_to_detection > hammer)
+
+    def test_race_property_sweep(self):
+        # Property: over a seeded (hammer, interval) sweep, the detection
+        # time is always a scrub tick inside [first corruption,
+        # first corruption + interval), and an interval slower than the
+        # whole attack always loses the race.
+        sample = np.random.default_rng(42)
+        for _ in range(50):
+            hammer = float(sample.uniform(10.0, 5000.0))
+            num_rows = int(sample.integers(1, 12))
+            ctx = make_ctx(rows=np.arange(num_rows), hammer_seconds=hammer)
+            first_corruption = float(ctx.flip_times.min())
+            for interval in sample.uniform(1.0, 2.0 * hammer, size=4).tolist():
+                verdict = ChecksumScrub(name="x", interval_s=interval).judge(ctx)
+                assert verdict.detected
+                assert verdict.time_to_detection >= first_corruption
+                assert verdict.time_to_detection < first_corruption + interval
+                assert (
+                    verdict.time_to_detection / interval
+                ) == pytest.approx(round(verdict.time_to_detection / interval))
+                if interval > hammer:
+                    assert verdict.evaded(hammer)
+
+    def test_nothing_landed_nothing_detected(self):
+        ctx = make_ctx(rows=[1, 2], landed=[False, False])
+        verdict = ChecksumScrub(name="x", interval_s=10.0).judge(ctx)
+        assert not verdict.detected
+        assert verdict.evaded(ctx.timeline.hammer_seconds)
+
+    def test_partial_coverage_is_deterministic_and_bounded(self):
+        scrub = ChecksumScrub(name="x", interval_s=20.0, coverage=0.25)
+        first = scrub.judge(make_ctx(rows=np.arange(8), rng_seed=9))
+        second = scrub.judge(make_ctx(rows=np.arange(8), rng_seed=9))
+        assert first == second
+        if first.detected:
+            horizon = math.ceil(100.0 / 20.0) + scrub.max_passes
+            assert first.time_to_detection <= horizon * 20.0
+
+
+class TestEccAlarmScrub:
+    def test_inert_without_alarms(self):
+        ctx = make_ctx(rows=[0, 1], ecc_alarms=0)
+        verdict = EccAlarmScrub(name="e").judge(ctx)
+        assert not verdict.detected
+
+    def test_alarm_surfaces_at_second_landed_flip(self):
+        ctx = make_ctx(rows=[0, 1], hammer_seconds=100.0, ecc_alarms=3)
+        verdict = EccAlarmScrub(name="e", alarm_latency_s=2.0).judge(ctx)
+        assert verdict.detected
+        # Rows 0 and 1 complete at 50 s and 100 s; an uncorrectable pattern
+        # needs two flips, so the alarm fires at 100 s + 2 s latency.
+        assert verdict.time_to_detection == pytest.approx(102.0)
+        assert verdict.evaded(100.0)  # detected, but the attack had finished
+
+    def test_alarm_with_no_landed_flips_is_inert(self):
+        ctx = make_ctx(rows=[0, 1], landed=[False, False], ecc_alarms=1)
+        assert not EccAlarmScrub(name="e").judge(ctx).detected
+
+
+class TestCanaryField:
+    def test_deterministic_given_stream(self):
+        template = get_profile("ddr3-noecc").template(0)
+        canary = CanaryField(name="c", cells_per_row=8, check_interval_s=50.0)
+        first = canary.judge(
+            make_ctx(rows=np.arange(24), hammer_seconds=400.0, template=template, rng_seed=5)
+        )
+        second = canary.judge(
+            make_ctx(rows=np.arange(24), hammer_seconds=400.0, template=template, rng_seed=5)
+        )
+        assert first == second
+
+    def test_detects_on_permissive_device(self):
+        # 24 hammered rows x 8 canaries on the probability-1.0 consumer
+        # profile: some canary flips, and the periodic check flags a tick.
+        template = get_profile("ddr3-noecc").template(0)
+        canary = CanaryField(name="c", cells_per_row=8, check_interval_s=50.0)
+        verdict = canary.judge(
+            make_ctx(rows=np.arange(24), hammer_seconds=400.0, template=template, rng_seed=5)
+        )
+        assert verdict.detected
+        assert verdict.time_to_detection % 50.0 == pytest.approx(0.0)
+
+    def test_inert_without_template(self):
+        ctx = make_ctx(rows=[0, 1], template=None)
+        assert not CanaryField(name="c").judge(ctx).detected
+
+
+class TestRandomizedPlacement:
+    def test_permutation_round_trips(self):
+        perm = placement_permutation(3, 37)
+        assert sorted(perm.tolist()) == list(range(37))
+        assert np.array_equal(perm, placement_permutation(3, 37))
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(37)
+        assert np.array_equal(perm[inverse], np.arange(37))
+        assert not np.array_equal(perm, placement_permutation(4, 37))
+
+    def test_remap_is_a_pinned_tail_bijection(self):
+        num_words = 100
+        defense = RandomizedPlacement(name="a2", seed=1, words_per_page=8)
+        sample = np.random.default_rng(0)
+        words = np.arange(num_words, dtype=np.int64)
+        bits = sample.integers(0, 32, size=num_words, dtype=np.int64)
+        original = sample.integers(0, 1 << 62, size=num_words, dtype=np.int64).astype(
+            np.uint64
+        )
+        occupant, effective = defense.remap_plan(words, bits, original)
+        # Bijection over the region: every word is hit exactly once...
+        assert sorted(occupant.tolist()) == list(range(num_words))
+        # ...the partial tail page (words 96..99) stays pinned in place...
+        assert np.array_equal(occupant[96:], words[96:])
+        # ...and a flip is effective exactly when the occupant stores the
+        # bit value the attacker's cell polarity was chosen to flip.
+        attacker_bit = (original[words] >> bits.astype(np.uint64)) & 1
+        occupant_bit = (original[occupant] >> bits.astype(np.uint64)) & 1
+        assert np.array_equal(effective, attacker_bit == occupant_bit)
+        # Seeded round trip: a fresh instance reproduces the mapping.
+        again, effective_again = RandomizedPlacement(
+            name="a3", seed=1, words_per_page=8
+        ).remap_plan(words, bits, original)
+        assert np.array_equal(occupant, again)
+        assert np.array_equal(effective, effective_again)
+        # A different seed shuffles differently.
+        other, _ = RandomizedPlacement(
+            name="a4", seed=2, words_per_page=8
+        ).remap_plan(words, bits, original)
+        assert not np.array_equal(occupant, other)
+
+    def test_small_region_degenerates_to_identity(self):
+        words = np.arange(10, dtype=np.int64)
+        bits = np.zeros(10, dtype=np.int64)
+        original = np.zeros(10, dtype=np.uint64)
+        occupant, effective = RandomizedPlacement(
+            name="a5", seed=0, words_per_page=1024
+        ).remap_plan(words, bits, original)
+        assert np.array_equal(occupant, words)
+        assert effective.all()
+
+    def test_never_detects(self):
+        ctx = make_ctx(rows=np.arange(8))
+        verdict = RandomizedPlacement(name="a6", seed=0).judge(ctx)
+        assert not verdict.detected
+        assert verdict.evaded(ctx.timeline.hammer_seconds)

@@ -38,6 +38,7 @@ class TestRegistry:
             "ablations",
             "extension_detection",
             "hardware_cost",
+            "defense_matrix",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -190,7 +191,7 @@ class TestHardwareCost:
             setting.hardware_s_values
         )
         assert set(result.column("storage")) == {"float32", "float16", "int8"}
-        assert set(result.column("budget")) == {"unlimited", "derived"}
+        assert set(result.column("budget")) == {"unlimited", "derived", "expected"}
         assert set(result.column("profile")) == set(hardware_cost.DEFAULT_PROFILES)
 
     def test_bit_true_rates_in_range(self, result):
